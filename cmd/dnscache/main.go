@@ -1,0 +1,125 @@
+// Command dnscache runs the paper's resilient caching server over UDP: an
+// iterative resolver whose cache implements TTL refresh, credit-based TTL
+// renewal of infrastructure records, and the 7-day TTL clamp.
+//
+// Usage:
+//
+//	dnscache -listen 127.0.0.1:5301 -root 198.41.0.4:53 \
+//	    -refresh -renewal a-lfu -credit 5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"resilientdns/internal/core"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dnscache:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:5301", "UDP address to serve stub resolvers on")
+	roots := flag.String("root", "", "comma-separated root server addresses (host:port), required")
+	refresh := flag.Bool("refresh", false, "enable TTL refresh of infrastructure records")
+	renewal := flag.String("renewal", "", "TTL renewal policy: lru, lfu, a-lru, a-lfu (empty = off)")
+	credit := flag.Float64("credit", 3, "renewal credit c")
+	maxTTL := flag.Duration("max-ttl", 7*24*time.Hour, "cache TTL clamp")
+	negTTL := flag.Duration("negative-ttl", 0, "negative-answer cache TTL (0 = off)")
+	serveStale := flag.Duration("serve-stale", 0, "serve expired records for this long when servers are unreachable (0 = off)")
+	prefetch := flag.Bool("prefetch", false, "refresh hot answers in the last 10% of their TTL")
+	port := flag.Int("upstream-port", 53, "port appended to learned name-server addresses")
+	statsEvery := flag.Duration("stats", time.Minute, "stats reporting interval (0 = off)")
+	flag.Parse()
+
+	if *roots == "" {
+		return fmt.Errorf("-root is required (e.g. -root 198.41.0.4:53)")
+	}
+	var hints []core.ServerRef
+	for i, addr := range strings.Split(*roots, ",") {
+		hints = append(hints, core.ServerRef{
+			Host: dnswire.MustName(fmt.Sprintf("root%d.hint.", i)),
+			Addr: transport.Addr(strings.TrimSpace(addr)),
+		})
+	}
+	policy, err := core.ParsePolicy(*renewal, *credit)
+	if err != nil {
+		return err
+	}
+
+	cs, err := core.NewCachingServer(core.Config{
+		Transport: &transport.UDPWithTCPFallback{
+			UDP: transport.UDP{Timeout: 2 * time.Second},
+			TCP: transport.TCP{Timeout: 4 * time.Second},
+		},
+		RootHints:   hints,
+		RefreshTTL:  *refresh,
+		Renewal:     policy,
+		MaxTTL:      *maxTTL,
+		NegativeTTL: *negTTL,
+		ServeStale:  *serveStale,
+		Prefetch:    *prefetch,
+		AddrMapper: func(a netip.Addr) transport.Addr {
+			return transport.Addr(fmt.Sprintf("%s:%d", a, *port))
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if policy != nil {
+		go cs.RunRenewalLoop(ctx)
+	}
+
+	udp := &transport.UDPServer{Handler: cs}
+	addr, err := udp.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer udp.Close()
+	tcp := &transport.TCPServer{Handler: cs}
+	if _, err := tcp.Listen(addr); err != nil {
+		return err
+	}
+	defer tcp.Close()
+	fmt.Printf("caching server on %s (udp+tcp, refresh=%v renewal=%s)\n", addr, *refresh, *renewal)
+
+	if *statsEvery > 0 {
+		go func() {
+			t := time.NewTicker(*statsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					st := cs.Stats()
+					cst := cs.CacheStats()
+					fmt.Printf("in=%d out=%d failed=%d renewals=%d cached: zones=%d records=%d\n",
+						st.QueriesIn, st.QueriesOut, st.Failed, st.Renewals, cst.Zones, cst.Records)
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

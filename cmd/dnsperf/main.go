@@ -1,0 +1,149 @@
+// Command dnsperf load-tests a DNS server: it fires concurrent queries
+// for a fixed duration and reports throughput, success rate, and latency
+// percentiles. Query names come from a trace file (-trace) or a single
+// repeated name (-name).
+//
+// Usage:
+//
+//	dnsperf -server 127.0.0.1:5301 -name www.example.com -duration 5s -concurrency 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/metrics"
+	"resilientdns/internal/transport"
+	"resilientdns/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsperf:", err)
+		os.Exit(1)
+	}
+}
+
+// loadNames builds the query name list from flags.
+func loadNames(traceFile, name string) ([]dnswire.Name, error) {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := workload.ReadTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]dnswire.Name, 0, len(tr.Queries))
+		for _, q := range tr.Queries {
+			names = append(names, q.Name)
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("trace %s has no queries", traceFile)
+		}
+		return names, nil
+	}
+	n, err := dnswire.CanonicalName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []dnswire.Name{n}, nil
+}
+
+func run() error {
+	server := flag.String("server", "127.0.0.1:5301", "DNS server to load (host:port)")
+	name := flag.String("name", "www.example.com", "query name when no trace is given")
+	traceFile := flag.String("trace", "", "trace file supplying query names")
+	duration := flag.Duration("duration", 5*time.Second, "test duration")
+	concurrency := flag.Int("concurrency", 8, "concurrent query workers")
+	timeout := flag.Duration("timeout", time.Second, "per-query timeout")
+	flag.Parse()
+
+	names, err := loadNames(*traceFile, *name)
+	if err != nil {
+		return err
+	}
+
+	stats := runLoad(context.Background(), transport.Addr(*server), names,
+		*duration, *concurrency, *timeout)
+	stats.print(os.Stdout)
+	if stats.sent == 0 {
+		return fmt.Errorf("no queries completed")
+	}
+	return nil
+}
+
+// loadStats aggregates worker results.
+type loadStats struct {
+	mu        sync.Mutex
+	latencies metrics.CDF
+
+	sent, ok, failed uint64
+	elapsed          time.Duration
+}
+
+func (s *loadStats) record(d time.Duration, success bool) {
+	atomic.AddUint64(&s.sent, 1)
+	if success {
+		atomic.AddUint64(&s.ok, 1)
+	} else {
+		atomic.AddUint64(&s.failed, 1)
+	}
+	s.mu.Lock()
+	s.latencies.AddDuration(d)
+	s.mu.Unlock()
+}
+
+func (s *loadStats) print(w *os.File) {
+	qps := float64(s.sent) / s.elapsed.Seconds()
+	fmt.Fprintf(w, "queries:      %d (%.0f qps)\n", s.sent, qps)
+	fmt.Fprintf(w, "success:      %d (%.2f%%)\n", s.ok, 100*float64(s.ok)/float64(max64(s.sent, 1)))
+	fmt.Fprintf(w, "failed:       %d\n", s.failed)
+	fmt.Fprintf(w, "latency p50:  %.3f ms\n", 1000*s.latencies.Quantile(0.50))
+	fmt.Fprintf(w, "latency p95:  %.3f ms\n", 1000*s.latencies.Quantile(0.95))
+	fmt.Fprintf(w, "latency p99:  %.3f ms\n", 1000*s.latencies.Quantile(0.99))
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runLoad drives the workers and returns aggregated statistics.
+func runLoad(ctx context.Context, server transport.Addr, names []dnswire.Name,
+	duration time.Duration, concurrency int, timeout time.Duration) *loadStats {
+	stats := &loadStats{}
+	deadline := time.Now().Add(duration)
+	ctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			tr := &transport.UDP{Timeout: timeout}
+			for i := worker; time.Now().Before(deadline); i += concurrency {
+				q := dnswire.NewQuery(uint16(i), names[i%len(names)], dnswire.TypeA)
+				q.Flags.RecursionDesired = true
+				start := time.Now()
+				resp, err := tr.Exchange(ctx, server, q)
+				success := err == nil && resp.RCode != dnswire.RCodeServFail
+				stats.record(time.Since(start), success)
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats.elapsed = duration
+	return stats
+}

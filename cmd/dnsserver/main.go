@@ -1,0 +1,141 @@
+// Command dnsserver runs an authoritative DNS server over UDP and TCP,
+// serving RFC 1035 master files as a primary and/or zones transferred
+// from another server as a secondary (AXFR with SOA-serial polling).
+//
+// Usage:
+//
+//	dnsserver -listen 127.0.0.1:5300 -zone example.com=example.com.zone
+//	    [-secondary other.org=10.0.0.1:53]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"resilientdns/internal/authserver"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+	"resilientdns/internal/xfer"
+	"resilientdns/internal/zone"
+)
+
+// zoneFlags collects repeated -zone origin=file arguments.
+type zoneFlags []string
+
+func (z *zoneFlags) String() string { return strings.Join(*z, ",") }
+
+func (z *zoneFlags) Set(v string) error {
+	*z = append(*z, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var zones, secondaries zoneFlags
+	listen := flag.String("listen", "127.0.0.1:5300", "UDP and TCP address to serve on")
+	noIRRs := flag.Bool("no-apex-ns", false, "do not attach apex NS/glue to answers (ablation)")
+	flag.Var(&zones, "zone", "origin=masterfile, repeatable")
+	flag.Var(&secondaries, "secondary", "origin=primary-host:port, repeatable (AXFR secondary)")
+	flag.Parse()
+	if len(zones) == 0 && len(secondaries) == 0 {
+		return fmt.Errorf("at least one -zone origin=file or -secondary origin=addr is required")
+	}
+
+	var loaded []*zone.Zone
+	for _, spec := range zones {
+		origin, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -zone %q, want origin=file", spec)
+		}
+		name, err := dnswire.CanonicalName(origin)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		z, err := zone.Parse(f, name)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := z.Validate(); err != nil {
+			return err
+		}
+		loaded = append(loaded, z)
+		fmt.Printf("loaded zone %s (%d records)\n", name, z.RecordCount())
+	}
+
+	primary := authserver.New(loaded...)
+	primary.AttachApexNS = !*noIRRs
+
+	// Secondaries transfer their zone from a remote primary and keep it
+	// fresh by polling the SOA serial.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var secs []*xfer.Secondary
+	for _, spec := range secondaries {
+		origin, primaryAddr, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("bad -secondary %q, want origin=addr", spec)
+		}
+		name, err := dnswire.CanonicalName(origin)
+		if err != nil {
+			return err
+		}
+		sec := &xfer.Secondary{Zone: name, Primary: transport.Addr(primaryAddr)}
+		secs = append(secs, sec)
+		go sec.Run(ctx)
+		fmt.Printf("secondary for %s from %s\n", name, primaryAddr)
+	}
+
+	// Route each query to the secondary owning the deepest matching zone,
+	// falling back to the primary zones.
+	handler := transport.HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		if len(q.Question) == 1 {
+			var best *xfer.Secondary
+			for _, sec := range secs {
+				if q.Question[0].Name.IsSubdomainOf(sec.Zone) {
+					if best == nil || sec.Zone.LabelCount() > best.Zone.LabelCount() {
+						best = sec
+					}
+				}
+			}
+			if best != nil {
+				return best.HandleQuery(q)
+			}
+		}
+		return primary.HandleQuery(q)
+	})
+
+	udp := &transport.UDPServer{Handler: handler}
+	addr, err := udp.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	defer udp.Close()
+	tcp := &transport.TCPServer{Handler: handler}
+	if _, err := tcp.Listen(addr); err != nil {
+		return err
+	}
+	defer tcp.Close()
+	fmt.Printf("serving on %s (udp+tcp)\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command dnssign DNSSEC-signs a master-file zone with a fresh Ed25519
+// key: it writes the signed zone (DNSKEY + RRSIGs) to stdout or a file
+// and prints the DS record for the parent.
+//
+// Usage:
+//
+//	dnssign -zone example.com -in example.com.zone -out example.com.signed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"resilientdns/internal/dnssec"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/zone"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dnssign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	origin := flag.String("zone", "", "zone origin (required)")
+	in := flag.String("in", "", "input master file (required)")
+	out := flag.String("out", "", "output file (default stdout)")
+	validity := flag.Duration("validity", 30*24*time.Hour, "signature validity period")
+	keyTTL := flag.Uint("key-ttl", 3600, "TTL for the DNSKEY RRset")
+	flag.Parse()
+	if *origin == "" || *in == "" {
+		return fmt.Errorf("-zone and -in are required")
+	}
+
+	name, err := dnswire.CanonicalName(*origin)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	z, err := zone.Parse(f, name)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	signer, err := dnssec.GenerateSigner(name, uint32(*keyTTL), nil)
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	ds, err := dnssec.SignZone(z, signer, now.Add(-time.Hour), now.Add(*validity))
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	if _, err := io.WriteString(w, z.String()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "signed %s (%d records)\nDS for the parent zone:\n%s\n",
+		name, z.RecordCount(), ds)
+	return nil
+}

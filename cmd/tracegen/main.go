@@ -1,0 +1,84 @@
+// Command tracegen generates synthetic stub-resolver query traces over a
+// synthetic DNS hierarchy, and prints Table 1-style statistics for
+// existing trace files.
+//
+// Usage:
+//
+//	tracegen -out trc1.trace -queries 50000 -clients 300 -days 7
+//	tracegen -stats trc1.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"resilientdns/internal/topology"
+	"resilientdns/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "", "output trace file (generation mode)")
+	statsFile := flag.String("stats", "", "print statistics for an existing trace file")
+	seed := flag.Int64("seed", 1, "random seed")
+	queries := flag.Int("queries", 50000, "total queries")
+	clients := flag.Int("clients", 300, "stub-resolver population")
+	days := flag.Int("days", 7, "trace horizon in days")
+	tlds := flag.Int("tlds", 12, "TLD count in the synthetic hierarchy")
+	slds := flag.Int("slds", 70, "mean SLDs per TLD")
+	label := flag.String("label", "TRC1", "trace label")
+	flag.Parse()
+
+	if *statsFile != "" {
+		f, err := os.Open(*statsFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := workload.ReadTrace(f)
+		if err != nil {
+			return err
+		}
+		st := workload.ComputeStats(tr)
+		fmt.Printf("trace %s: duration=%v clients=%d requests=%d names=%d zones=%d\n",
+			st.Label, st.Duration, st.Clients, st.RequestsIn, st.Names, st.Zones)
+		return nil
+	}
+	if *out == "" {
+		return fmt.Errorf("either -out or -stats is required")
+	}
+
+	tp := topology.DefaultParams(*seed)
+	tp.NumTLDs = *tlds
+	tp.SLDsPerTLD = *slds
+	tree, err := topology.Generate(tp)
+	if err != nil {
+		return err
+	}
+	gp := workload.DefaultGenParams(*label, *seed, time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	gp.Clients = *clients
+	gp.TotalQueries = *queries
+	gp.Duration = time.Duration(*days) * 24 * time.Hour
+	tr := workload.Generate(gp, tree.QueryableNames())
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := tr.WriteTo(f); err != nil {
+		return err
+	}
+	st := workload.ComputeStats(tr)
+	fmt.Printf("wrote %s: %d queries, %d clients, %d names, %d zones over %v\n",
+		*out, st.RequestsIn, st.Clients, st.Names, st.Zones, st.Duration)
+	return nil
+}

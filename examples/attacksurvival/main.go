@@ -1,0 +1,71 @@
+// Attack survival: replay the same workload against a vanilla caching
+// server and against the paper's resilient configuration while the root
+// and all TLDs are blacked out for six hours, and compare failure rates.
+//
+//	go run ./examples/attacksurvival
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"resilientdns/internal/attack"
+	"resilientdns/internal/core"
+	"resilientdns/internal/sim"
+	"resilientdns/internal/topology"
+	"resilientdns/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attacksurvival:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	params := topology.DefaultParams(7)
+	params.NumTLDs = 6
+	params.SLDsPerTLD = 30
+	tree, err := topology.Generate(params)
+	if err != nil {
+		return err
+	}
+
+	gp := workload.DefaultGenParams("DEMO", 7, epoch)
+	gp.Clients = 100
+	gp.TotalQueries = 12000
+	trace := workload.Generate(gp, tree.QueryableNames())
+
+	// Six days of normal operation, then a 6-hour blackout of the root
+	// and every TLD — the paper's evaluation scenario.
+	sched := attack.RootAndTLDs(epoch.Add(6*24*time.Hour), 6*time.Hour, tree.AllZoneNames())
+
+	schemes := []sim.Scheme{
+		sim.Vanilla(),
+		sim.Refresh(),
+		sim.RefreshRenew(core.ALFU{C: 5, MaxDays: 50}),
+	}
+	fmt.Println("scheme                     SR failures   CS failures")
+	for _, scheme := range schemes {
+		res, err := sim.Run(sim.Scenario{
+			Tree:   tree,
+			Trace:  trace,
+			Attack: sched,
+			Scheme: scheme,
+			Seed:   7,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-26s %10.2f%% %12.2f%%\n",
+			scheme.Name, 100*res.SRFailRate(), 100*res.CSFailRate())
+	}
+	fmt.Println("\nTTL refresh plus adaptive-LFU renewal keeps the infrastructure")
+	fmt.Println("records of every recently used zone cached, so resolution keeps")
+	fmt.Println("working even though the upper hierarchy is unreachable.")
+	return nil
+}

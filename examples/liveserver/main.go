@@ -1,0 +1,146 @@
+// Live server: the whole stack over real UDP sockets on localhost — a
+// root server, a TLD server, a leaf-zone server, the resilient caching
+// server, and a stub query, each talking wire-format DNS over the network.
+//
+//	go run ./examples/liveserver
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"resilientdns/internal/authserver"
+	"resilientdns/internal/core"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+	"resilientdns/internal/zone"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "liveserver:", err)
+		os.Exit(1)
+	}
+}
+
+// serve starts a UDP authoritative server for the zones and returns its
+// bound address.
+func serve(zones ...*zone.Zone) (string, *transport.UDPServer, error) {
+	srv := &transport.UDPServer{Handler: authserver.New(zones...)}
+	addr, err := srv.Listen("127.0.0.1:0")
+	return addr, srv, err
+}
+
+func run() error {
+	// The zone data references placeholder IPs; what matters for routing
+	// is the AddrMapper below, which sends every learned address to the
+	// right localhost UDP port.
+	const (
+		rootIP = "10.0.0.1"
+		tldIP  = "10.0.0.2"
+		leafIP = "10.0.0.3"
+	)
+
+	rootZone, err := zone.ParseString(`
+@	518400	IN	NS	a.root-servers.net.
+a.root-servers.net.	518400	IN	A	`+rootIP+`
+example.	172800	IN	NS	ns1.example.
+ns1.example.	172800	IN	A	`+tldIP+`
+`, dnswire.Root)
+	if err != nil {
+		return err
+	}
+	tldZone, err := zone.ParseString(`
+@	172800	IN	NS	ns1.example.
+ns1.example.	172800	IN	A	`+tldIP+`
+corp.example.	86400	IN	NS	ns1.corp.example.
+ns1.corp.example.	86400	IN	A	`+leafIP+`
+`, dnswire.MustName("example."))
+	if err != nil {
+		return err
+	}
+	leafZone, err := zone.ParseString(`
+@	86400	IN	NS	ns1.corp.example.
+ns1	86400	IN	A	`+leafIP+`
+www	300	IN	A	192.0.2.80
+mail	300	IN	MX	10 www.corp.example.
+`, dnswire.MustName("corp.example."))
+	if err != nil {
+		return err
+	}
+
+	rootAddr, rootSrv, err := serve(rootZone)
+	if err != nil {
+		return err
+	}
+	defer rootSrv.Close()
+	tldAddr, tldSrv, err := serve(tldZone)
+	if err != nil {
+		return err
+	}
+	defer tldSrv.Close()
+	leafAddr, leafSrv, err := serve(leafZone)
+	if err != nil {
+		return err
+	}
+	defer leafSrv.Close()
+	fmt.Printf("root=%s tld=%s leaf=%s\n", rootAddr, tldAddr, leafAddr)
+
+	// Map the placeholder zone-data IPs to the real ephemeral ports.
+	portOf := map[string]string{rootIP: rootAddr, tldIP: tldAddr, leafIP: leafAddr}
+	cs, err := core.NewCachingServer(core.Config{
+		Transport:  &transport.UDP{Timeout: time.Second},
+		RootHints:  []core.ServerRef{{Host: dnswire.MustName("a.root-servers.net."), Addr: transport.Addr(rootAddr)}},
+		RefreshTTL: true,
+		Renewal:    core.ALFU{C: 5, MaxDays: 50},
+		AddrMapper: func(a netip.Addr) transport.Addr {
+			if real, ok := portOf[a.String()]; ok {
+				return transport.Addr(real)
+			}
+			return transport.Addr(a.String() + ":53")
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Run the caching server itself as a UDP service and query it with a
+	// plain stub query, like an /etc/resolv.conf client would.
+	csSrv := &transport.UDPServer{Handler: cs}
+	csAddr, err := csSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer csSrv.Close()
+	fmt.Printf("caching server on %s\n\n", csAddr)
+
+	stub := &transport.UDP{Timeout: 2 * time.Second}
+	for _, q := range []struct {
+		name string
+		typ  dnswire.Type
+	}{
+		{"www.corp.example.", dnswire.TypeA},
+		{"mail.corp.example.", dnswire.TypeMX},
+		{"www.corp.example.", dnswire.TypeA}, // answered from cache
+	} {
+		query := dnswire.NewQuery(1, dnswire.MustName(q.name), q.typ)
+		query.Flags.RecursionDesired = true
+		resp, err := stub.Exchange(context.Background(), transport.Addr(csAddr), query)
+		if err != nil {
+			return err
+		}
+		var answers []string
+		for _, rr := range resp.Answer {
+			answers = append(answers, rr.Data.String())
+		}
+		fmt.Printf("%-28s %-4s -> %s [%s]\n", q.name, q.typ, strings.Join(answers, ", "), resp.RCode)
+	}
+
+	st := cs.Stats()
+	fmt.Printf("\ncaching server sent %d upstream queries for 3 stub queries\n", st.QueriesOut)
+	return nil
+}

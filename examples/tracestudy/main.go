@@ -1,0 +1,63 @@
+// Trace study: generate a synthetic stub-resolver trace, compute Table 1
+// style statistics, and reproduce the paper's Figure 3 measurement — the
+// CDF of the gap between a zone IRR's expiry and the next query for it.
+//
+//	go run ./examples/tracestudy
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"resilientdns/internal/sim"
+	"resilientdns/internal/topology"
+	"resilientdns/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	params := topology.DefaultParams(11)
+	params.NumTLDs = 6
+	params.SLDsPerTLD = 30
+	tree, err := topology.Generate(params)
+	if err != nil {
+		return err
+	}
+
+	gp := workload.DefaultGenParams("STUDY", 11, epoch)
+	gp.Clients = 120
+	gp.TotalQueries = 15000
+	trace := workload.Generate(gp, tree.QueryableNames())
+
+	st := workload.ComputeStats(trace)
+	fmt.Printf("trace %s: %v, %d clients, %d requests, %d names, %d zones\n\n",
+		st.Label, st.Duration, st.Clients, st.RequestsIn, st.Names, st.Zones)
+
+	// Replay against vanilla DNS with no attack; the simulator observes
+	// every IRR expiry-to-reuse gap along the way.
+	res, err := sim.Run(sim.Scenario{Tree: tree, Trace: trace, Scheme: sim.Vanilla(), Seed: 11})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("observed %d IRR expiry gaps\n", res.GapAbs.Len())
+	fmt.Println("\ngap duration CDF (absolute):")
+	for _, days := range []float64{0.1, 0.5, 1, 2, 3, 5} {
+		fmt.Printf("  P(gap <= %4.1f days) = %5.1f%%\n", days, 100*res.GapAbs.At(days*86400))
+	}
+	fmt.Println("\ngap duration CDF (fraction of the IRR TTL):")
+	for _, frac := range []float64{0.5, 1, 2, 5, 10, 50} {
+		fmt.Printf("  P(gap <= %4.1f x TTL) = %5.1f%%\n", frac, 100*res.GapFrac.At(frac))
+	}
+	fmt.Println("\nAlmost all gaps are short in absolute time, which is why modest")
+	fmt.Println("TTL extensions (days, not weeks) recover most of the resilience.")
+	return nil
+}

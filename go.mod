@@ -1,0 +1,3 @@
+module resilientdns
+
+go 1.22

@@ -1,0 +1,107 @@
+// Package attack models DDoS attacks against DNS zones: time windows
+// during which every authoritative server of a targeted zone stops
+// responding. The paper's headline scenario — a blackout of the root zone
+// and all top-level domains starting on day seven — is provided as a
+// constructor, along with a greedy "maximum damage" target picker (§6).
+package attack
+
+import (
+	"sort"
+	"time"
+
+	"resilientdns/internal/dnswire"
+)
+
+// Window is one attack interval against a set of zones. A query to any
+// authoritative server of a targeted zone during [Start, End) times out.
+type Window struct {
+	Start time.Time
+	End   time.Time
+	// Zones are the targeted zone apex names.
+	Zones map[dnswire.Name]bool
+}
+
+// Covers reports whether the window blacks out zone at time t.
+func (w Window) Covers(zone dnswire.Name, t time.Time) bool {
+	return w.Zones[zone] && !t.Before(w.Start) && t.Before(w.End)
+}
+
+// Schedule is a set of attack windows.
+type Schedule []Window
+
+// ZoneDown reports whether any window blacks out zone at time t.
+func (s Schedule) ZoneDown(zone dnswire.Name, t time.Time) bool {
+	for _, w := range s {
+		if w.Covers(zone, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Active reports whether any window is in effect at time t.
+func (s Schedule) Active(t time.Time) bool {
+	for _, w := range s {
+		if !t.Before(w.Start) && t.Before(w.End) {
+			return true
+		}
+	}
+	return false
+}
+
+// NewWindow builds a window over the given zones.
+func NewWindow(start time.Time, duration time.Duration, zones ...dnswire.Name) Window {
+	w := Window{Start: start, End: start.Add(duration), Zones: make(map[dnswire.Name]bool, len(zones))}
+	for _, z := range zones {
+		w.Zones[z] = true
+	}
+	return w
+}
+
+// RootAndTLDs builds the paper's evaluation attack: a single window that
+// blacks out the root zone and every zone exactly one label deep.
+func RootAndTLDs(start time.Time, duration time.Duration, allZones []dnswire.Name) Schedule {
+	w := Window{Start: start, End: start.Add(duration), Zones: make(map[dnswire.Name]bool)}
+	for _, z := range allZones {
+		if z.IsRoot() || z.LabelCount() == 1 {
+			w.Zones[z] = true
+		}
+	}
+	return Schedule{w}
+}
+
+// MaxDamage greedily picks the budget zones whose blackout covers the most
+// upcoming queries, using the per-zone descendant query counts. This is
+// the heuristic approximation of the paper's "maximum damage attack" (§6):
+// the exact optimum needs an oracle over all caching servers' future
+// traffic and cascading IRR expiries, which the paper notes is infeasible.
+func MaxDamage(start time.Time, duration time.Duration, budget int, queryCountsByZone map[dnswire.Name]uint64) Schedule {
+	// Attribute each zone's queries to all of its ancestors: attacking a
+	// zone disables resolution for every descendant (modulo caching).
+	damage := make(map[dnswire.Name]uint64)
+	for z, n := range queryCountsByZone {
+		for _, anc := range z.Ancestors() {
+			damage[anc] += n
+		}
+	}
+	type cand struct {
+		zone dnswire.Name
+		hits uint64
+	}
+	cands := make([]cand, 0, len(damage))
+	for z, n := range damage {
+		cands = append(cands, cand{zone: z, hits: n})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].hits != cands[j].hits {
+			return cands[i].hits > cands[j].hits
+		}
+		return cands[i].zone < cands[j].zone
+	})
+
+	w := Window{Start: start, End: start.Add(duration), Zones: make(map[dnswire.Name]bool)}
+	for i := 0; i < budget && i < len(cands); i++ {
+		w.Zones[cands[i].zone] = true
+	}
+	return Schedule{w}
+}

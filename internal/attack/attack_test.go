@@ -1,0 +1,121 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"resilientdns/internal/dnswire"
+)
+
+var epoch = time.Date(2026, 1, 7, 0, 0, 0, 0, time.UTC)
+
+func TestWindowCovers(t *testing.T) {
+	w := NewWindow(epoch, 6*time.Hour, dnswire.MustName("edu."))
+	tests := []struct {
+		zone dnswire.Name
+		at   time.Time
+		want bool
+	}{
+		{"edu.", epoch, true},
+		{"edu.", epoch.Add(3 * time.Hour), true},
+		{"edu.", epoch.Add(6 * time.Hour), false}, // end-exclusive
+		{"edu.", epoch.Add(-time.Second), false},
+		{"com.", epoch, false},
+	}
+	for _, tt := range tests {
+		if got := w.Covers(tt.zone, tt.at); got != tt.want {
+			t.Errorf("Covers(%s, %v) = %v, want %v", tt.zone, tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestScheduleZoneDownAndActive(t *testing.T) {
+	s := Schedule{
+		NewWindow(epoch, time.Hour, dnswire.MustName("edu.")),
+		NewWindow(epoch.Add(2*time.Hour), time.Hour, dnswire.MustName("com.")),
+	}
+	if !s.ZoneDown(dnswire.MustName("edu."), epoch.Add(30*time.Minute)) {
+		t.Error("edu not down during its window")
+	}
+	if s.ZoneDown(dnswire.MustName("edu."), epoch.Add(2*time.Hour+30*time.Minute)) {
+		t.Error("edu down during com's window")
+	}
+	if !s.Active(epoch.Add(2*time.Hour + 30*time.Minute)) {
+		t.Error("schedule not active during second window")
+	}
+	if s.Active(epoch.Add(90 * time.Minute)) {
+		t.Error("schedule active in the gap between windows")
+	}
+	if (Schedule)(nil).Active(epoch) {
+		t.Error("nil schedule active")
+	}
+}
+
+func TestRootAndTLDs(t *testing.T) {
+	zones := []dnswire.Name{
+		dnswire.Root,
+		dnswire.MustName("edu."),
+		dnswire.MustName("com."),
+		dnswire.MustName("ucla.edu."),
+		dnswire.MustName("cs.ucla.edu."),
+	}
+	s := RootAndTLDs(epoch, 6*time.Hour, zones)
+	at := epoch.Add(time.Hour)
+	if !s.ZoneDown(dnswire.Root, at) {
+		t.Error("root not attacked")
+	}
+	if !s.ZoneDown(dnswire.MustName("edu."), at) || !s.ZoneDown(dnswire.MustName("com."), at) {
+		t.Error("TLDs not attacked")
+	}
+	if s.ZoneDown(dnswire.MustName("ucla.edu."), at) {
+		t.Error("SLD attacked by root+TLD schedule")
+	}
+}
+
+func TestMaxDamagePicksHottestAncestors(t *testing.T) {
+	counts := map[dnswire.Name]uint64{
+		dnswire.MustName("a.com."): 1000,
+		dnswire.MustName("b.com."): 900,
+		dnswire.MustName("c.edu."): 10,
+	}
+	s := MaxDamage(epoch, time.Hour, 2, counts)
+	if len(s) != 1 {
+		t.Fatalf("schedule = %v", s)
+	}
+	at := epoch.Add(time.Minute)
+	// The root (1910 hits) and com. (1900 hits) dominate.
+	if !s.ZoneDown(dnswire.Root, at) {
+		t.Error("root not selected")
+	}
+	if !s.ZoneDown(dnswire.MustName("com."), at) {
+		t.Error("com. not selected")
+	}
+	if s.ZoneDown(dnswire.MustName("edu."), at) {
+		t.Error("edu. selected over com.")
+	}
+}
+
+func TestMaxDamageDeterministicTieBreak(t *testing.T) {
+	counts := map[dnswire.Name]uint64{
+		dnswire.MustName("x.aa."): 5,
+		dnswire.MustName("x.bb."): 5,
+	}
+	a := MaxDamage(epoch, time.Hour, 3, counts)
+	b := MaxDamage(epoch, time.Hour, 3, counts)
+	for zone := range a[0].Zones {
+		if !b[0].Zones[zone] {
+			t.Fatalf("tie-break not deterministic: %v vs %v", a[0].Zones, b[0].Zones)
+		}
+	}
+}
+
+func TestMaxDamageBudgetRespected(t *testing.T) {
+	counts := map[dnswire.Name]uint64{}
+	for _, z := range []string{"a.com.", "b.com.", "c.net.", "d.org.", "e.edu."} {
+		counts[dnswire.MustName(z)] = 10
+	}
+	s := MaxDamage(epoch, time.Hour, 3, counts)
+	if got := len(s[0].Zones); got != 3 {
+		t.Errorf("selected %d zones, want 3", got)
+	}
+}

@@ -1,0 +1,497 @@
+// Package cache implements the resolver-side RRset cache that is the heart
+// of the paper's contribution. Beyond vanilla TTL-based expiry it supports:
+//
+//   - credibility ranking (RFC 2181): data learned from a child zone's own
+//     answers replaces glue learned from parent referrals;
+//   - TTL refresh: resetting a cached infrastructure RRset's TTL whenever a
+//     fresh copy arrives from the zone's own authoritative servers;
+//   - a maximum-TTL clamp (7 days, §6 "Deployment Issues");
+//   - expiry tombstones used to measure the paper's Fig. 3 time gap
+//     between an IRR's expiry and the next query needing it;
+//   - occupancy accounting (cached zones and records, Fig. 12 and Table 2).
+//
+// TTL renewal policies (LRU/LFU and their adaptive variants) are layered
+// on top by package core, which owns the renewal scheduler.
+package cache
+
+import (
+	"sort"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/simclock"
+)
+
+// Credibility ranks how trustworthy a cached RRset is, following the
+// RFC 2181 §5.4.1 ranking (higher replaces lower).
+type Credibility int
+
+// Credibility levels, lowest first.
+const (
+	// CredReferral: NS/glue from a parent zone's referral.
+	CredReferral Credibility = 1
+	// CredAuthority: records from the authority/additional sections of an
+	// authoritative answer (the child zone's own copy of its IRRs).
+	CredAuthority Credibility = 2
+	// CredAnswer: records from the answer section of an authoritative answer.
+	CredAnswer Credibility = 3
+)
+
+// Key identifies a cached RRset.
+type Key struct {
+	Name dnswire.Name
+	Type dnswire.Type
+}
+
+// Entry is one cached RRset.
+type Entry struct {
+	Key  Key
+	RRs  []dnswire.RR
+	Cred Credibility
+	// staleTombstoned marks that the expiry gap for this entry was
+	// already observed, so repeated stale accesses do not re-record it.
+	staleTombstoned bool
+	// Infra marks infrastructure RRsets: a zone's NS set and the address
+	// records of its name servers. Only these are eligible for the
+	// paper's refresh and renewal treatment.
+	Infra bool
+	// OrigTTL is the (possibly clamped) TTL the set arrived with.
+	OrigTTL time.Duration
+	// Expires is when the entry leaves the cache.
+	Expires time.Time
+	// StoredAt is when the entry was first inserted or last replaced.
+	StoredAt time.Time
+}
+
+// GapFunc observes a tombstone hit: a lookup for key arrived gap after the
+// previous entry (with the given original TTL) expired. Used for Fig. 3.
+type GapFunc func(key Key, gap time.Duration, origTTL time.Duration)
+
+// Config parameterises a Cache.
+type Config struct {
+	// Clock supplies time; defaults to the wall clock.
+	Clock simclock.Clock
+	// MaxTTL clamps all TTLs; caching servers do not accept arbitrarily
+	// large TTL values (§6). Defaults to 7 days. Negative disables.
+	MaxTTL time.Duration
+	// RefreshInfraTTL enables the paper's TTL-refresh scheme: an arriving
+	// copy of a cached infrastructure RRset resets its TTL even when the
+	// credibility is not higher.
+	RefreshInfraTTL bool
+	// OnGap, when set, observes expiry-to-next-use gaps.
+	OnGap GapFunc
+	// MaxEntries bounds the number of live RRset entries (0 = unbounded).
+	// When full, the soonest-to-expire non-infrastructure entries are
+	// evicted first; infrastructure records — the paper's prized asset —
+	// go last.
+	MaxEntries int
+	// KeepStale retains expired entries for this long so they can be
+	// served as a last resort when authoritative servers are unreachable
+	// — the Ballani & Francis HotNets'06 scheme the paper's related work
+	// (§7) compares against, and the ancestor of RFC 8767 serve-stale.
+	// Zero disables stale retention.
+	KeepStale time.Duration
+}
+
+// DefaultMaxTTL is the clamp applied when Config.MaxTTL is zero.
+const DefaultMaxTTL = 7 * 24 * time.Hour
+
+// Stats describes cache occupancy at a point in time.
+type Stats struct {
+	// Entries is the number of live RRset entries.
+	Entries int
+	// Records is the number of live resource records.
+	Records int
+	// Zones is the number of zones whose NS RRset is cached — the
+	// paper's "number of cached zones".
+	Zones int
+	// InfraEntries is the number of live infrastructure RRset entries.
+	InfraEntries int
+	// StaleEntries counts retained expired entries (KeepStale only).
+	StaleEntries int
+	// ApproxBytes estimates the wire-format size of the cached data,
+	// grounding the paper's "tens of MBytes" memory claim (§5.2.2).
+	ApproxBytes int
+}
+
+// Cache is an RRset cache. It is not safe for concurrent use; wrap it or
+// confine it to one goroutine (the simulator is single-threaded, and the
+// live caching server serialises through a mutex in package core).
+type Cache struct {
+	cfg     Config
+	entries map[Key]*Entry
+	// tombstones remember when an expired entry died, to measure gaps.
+	tombstones map[Key]tombstone
+	// hits/misses count Get outcomes for reporting.
+	hits, misses uint64
+	// staleHits counts stale entries served after expiry.
+	staleHits uint64
+	// evictions counts capacity-pressure removals.
+	evictions uint64
+}
+
+type tombstone struct {
+	expiredAt time.Time
+	origTTL   time.Duration
+	infra     bool
+}
+
+// New returns an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.MaxTTL == 0 {
+		cfg.MaxTTL = DefaultMaxTTL
+	}
+	return &Cache{
+		cfg:        cfg,
+		entries:    make(map[Key]*Entry),
+		tombstones: make(map[Key]tombstone),
+	}
+}
+
+// Clock returns the cache's clock.
+func (c *Cache) Clock() simclock.Clock { return c.cfg.Clock }
+
+// RefreshEnabled reports whether TTL refresh is on.
+func (c *Cache) RefreshEnabled() bool { return c.cfg.RefreshInfraTTL }
+
+// clampTTL applies the MaxTTL policy to a TTL expressed in seconds.
+func (c *Cache) clampTTL(ttl time.Duration) time.Duration {
+	if c.cfg.MaxTTL > 0 && ttl > c.cfg.MaxTTL {
+		return c.cfg.MaxTTL
+	}
+	return ttl
+}
+
+// rrsetEqual reports whether two RRsets carry the same data, ignoring TTL
+// and order.
+func rrsetEqual(a, b []dnswire.RR) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := make([]string, len(a))
+	bs := make([]string, len(b))
+	for i := range a {
+		as[i] = a[i].Data.String()
+		bs[i] = b[i].Data.String()
+	}
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// minTTL returns the smallest TTL in the set, as a duration.
+func minTTL(rrs []dnswire.RR) time.Duration {
+	min := rrs[0].TTL
+	for _, rr := range rrs[1:] {
+		if rr.TTL < min {
+			min = rr.TTL
+		}
+	}
+	return time.Duration(min) * time.Second
+}
+
+// Put inserts or updates the RRset for its (name, type). All records must
+// share one owner and type. Returns the resulting entry.
+//
+// Replacement rules:
+//   - an expired or absent entry is always replaced;
+//   - a higher-credibility set replaces a lower one;
+//   - an equal-or-higher credibility copy of an infrastructure set
+//     refreshes the entry's TTL when RefreshInfraTTL is on;
+//   - otherwise the arriving copy is ignored (vanilla DNS behaviour: the
+//     cached TTL keeps counting down).
+func (c *Cache) Put(rrs []dnswire.RR, cred Credibility, infra bool) *Entry {
+	if len(rrs) == 0 {
+		return nil
+	}
+	now := c.cfg.Clock.Now()
+	key := Key{Name: rrs[0].Name, Type: rrs[0].Type()}
+	ttl := c.clampTTL(minTTL(rrs))
+
+	if e, ok := c.entries[key]; ok {
+		if e.Expires.After(now) {
+			same := rrsetEqual(e.RRs, rrs)
+			switch {
+			case cred > e.Cred:
+				// Higher credibility: replace outright.
+			case !same && cred == e.Cred:
+				// Equal credibility, different data: the fresher copy
+				// wins (RFC 2181 §5.4.1 replacement).
+			case same && c.cfg.RefreshInfraTTL && e.Infra && infra && cred >= e.Cred:
+				// TTL refresh: reset the clock on the existing entry.
+				// Keep the cached (higher-credibility) data; only the
+				// timer is reset, per §4 "TTL Refresh".
+				e.Expires = now.Add(e.OrigTTL)
+				return e
+			default:
+				return e // vanilla: ignore the new copy
+			}
+		} else {
+			c.expireEntry(key, e, now)
+			c.noteTombstoneHit(key, now)
+		}
+	} else {
+		c.noteTombstoneHit(key, now)
+	}
+
+	e := &Entry{
+		Key:      key,
+		RRs:      append([]dnswire.RR(nil), rrs...),
+		Cred:     cred,
+		Infra:    infra,
+		OrigTTL:  ttl,
+		Expires:  now.Add(ttl),
+		StoredAt: now,
+	}
+	c.entries[key] = e
+	delete(c.tombstones, key)
+	c.enforceCapacity(now)
+	return e
+}
+
+// enforceCapacity evicts entries until the cache fits MaxEntries: expired
+// entries first, then the soonest-to-expire data entries, then (only if
+// unavoidable) the soonest-to-expire infrastructure entries.
+func (c *Cache) enforceCapacity(now time.Time) {
+	if c.cfg.MaxEntries <= 0 || len(c.entries) <= c.cfg.MaxEntries {
+		return
+	}
+	c.SweepExpired()
+	for _, infraPass := range []bool{false, true} {
+		for len(c.entries) > c.cfg.MaxEntries {
+			var victim Key
+			var victimExpires time.Time
+			found := false
+			for key, e := range c.entries {
+				if e.Infra != infraPass {
+					continue
+				}
+				if !found || e.Expires.Before(victimExpires) {
+					victim, victimExpires, found = key, e.Expires, true
+				}
+			}
+			if !found {
+				break
+			}
+			delete(c.entries, victim)
+			c.evictions++
+		}
+		if len(c.entries) <= c.cfg.MaxEntries {
+			return
+		}
+	}
+}
+
+// Evictions returns how many entries capacity pressure has removed.
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// Get returns the live entry for (name, type), or nil. An expired entry is
+// retired (leaving a tombstone; retained for stale service under
+// KeepStale) and reported as a miss.
+func (c *Cache) Get(name dnswire.Name, t dnswire.Type) *Entry {
+	key := Key{Name: name, Type: t}
+	e, ok := c.entries[key]
+	if !ok {
+		c.noteTombstoneHit(key, c.cfg.Clock.Now())
+		c.misses++
+		return nil
+	}
+	now := c.cfg.Clock.Now()
+	if !e.Expires.After(now) {
+		c.expireEntry(key, e, now)
+		c.noteTombstoneHit(key, now)
+		c.misses++
+		return nil
+	}
+	c.hits++
+	return e
+}
+
+// GetStale returns the expired-but-retained entry for (name, type) when
+// stale retention is on and the entry died within the KeepStale window.
+// Live entries are returned as well (callers prefer Get first).
+func (c *Cache) GetStale(name dnswire.Name, t dnswire.Type) *Entry {
+	if c.cfg.KeepStale <= 0 {
+		return nil
+	}
+	key := Key{Name: name, Type: t}
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	now := c.cfg.Clock.Now()
+	if e.Expires.After(now) {
+		return e
+	}
+	if now.Sub(e.Expires) > c.cfg.KeepStale {
+		c.expireEntry(key, e, now)
+		return nil
+	}
+	c.staleHits++
+	return e
+}
+
+// StaleHits counts GetStale successes on expired entries.
+func (c *Cache) StaleHits() uint64 { return c.staleHits }
+
+// Peek returns the entry without expiry processing or stats; nil if absent.
+func (c *Cache) Peek(name dnswire.Name, t dnswire.Type) *Entry {
+	return c.entries[Key{Name: name, Type: t}]
+}
+
+// Extend resets the entry's expiry to now + its original TTL, returning
+// false if the entry is absent. Package core uses this when a renewal
+// refetch succeeds.
+func (c *Cache) Extend(name dnswire.Name, t dnswire.Type) bool {
+	e, ok := c.entries[Key{Name: name, Type: t}]
+	if !ok {
+		return false
+	}
+	e.Expires = c.cfg.Clock.Now().Add(e.OrigTTL)
+	return true
+}
+
+// Evict removes the entry without leaving a tombstone (used when a zone's
+// servers all stop responding and its stale IRRs must be discarded).
+func (c *Cache) Evict(name dnswire.Name, t dnswire.Type) {
+	delete(c.entries, Key{Name: name, Type: t})
+}
+
+// expireEntry retires a dead entry: it leaves a tombstone (once) and
+// either deletes the entry or, with KeepStale, retains it for stale
+// service until the window passes.
+func (c *Cache) expireEntry(key Key, e *Entry, now time.Time) {
+	if !e.staleTombstoned {
+		c.tombstones[key] = tombstone{expiredAt: e.Expires, origTTL: e.OrigTTL, infra: e.Infra}
+		e.staleTombstoned = true
+	}
+	if c.cfg.KeepStale > 0 && now.Sub(e.Expires) <= c.cfg.KeepStale {
+		return // retained as stale
+	}
+	delete(c.entries, key)
+}
+
+// noteTombstoneHit reports the gap between an entry's expiry and this
+// renewed interest in it, then clears the tombstone.
+func (c *Cache) noteTombstoneHit(key Key, now time.Time) {
+	ts, ok := c.tombstones[key]
+	if !ok {
+		return
+	}
+	delete(c.tombstones, key)
+	if c.cfg.OnGap != nil && now.After(ts.expiredAt) {
+		c.cfg.OnGap(key, now.Sub(ts.expiredAt), ts.origTTL)
+	}
+}
+
+// SweepExpired removes every entry whose TTL has passed, leaving
+// tombstones. The cache expires lazily on Get; call this before reading
+// occupancy stats so that Fig. 12-style series reflect live entries only.
+func (c *Cache) SweepExpired() {
+	now := c.cfg.Clock.Now()
+	for key, e := range c.entries {
+		if !e.Expires.After(now) {
+			c.expireEntry(key, e, now)
+		}
+	}
+}
+
+// Stats reports occupancy. Call SweepExpired first for exact numbers.
+// Live and stale entries are counted separately.
+func (c *Cache) Stats() Stats {
+	var s Stats
+	now := c.cfg.Clock.Now()
+	for key, e := range c.entries {
+		if !e.Expires.After(now) {
+			s.StaleEntries++
+			continue
+		}
+		s.Entries++
+		s.Records += len(e.RRs)
+		if e.Infra {
+			s.InfraEntries++
+		}
+		if key.Type == dnswire.TypeNS {
+			s.Zones++
+		}
+		for _, rr := range e.RRs {
+			// Owner + fixed RR header (type/class/TTL/rdlength) + a
+			// cheap RDATA size proxy.
+			s.ApproxBytes += len(rr.Name) + 10 + len(rr.Data.String())
+		}
+	}
+	return s
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any Get.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Len returns the number of live entries (without sweeping).
+func (c *Cache) Len() int { return len(c.entries) }
+
+// InfraExpiries returns the (name, expiry) pairs of all live
+// infrastructure NS entries, sorted by expiry. The renewal scheduler in
+// package core uses this to rebuild its due-queue after configuration
+// changes and in tests.
+func (c *Cache) InfraExpiries() []ExpiryInfo {
+	var out []ExpiryInfo
+	for key, e := range c.entries {
+		if key.Type == dnswire.TypeNS && e.Infra {
+			out = append(out, ExpiryInfo{Zone: key.Name, Expires: e.Expires, OrigTTL: e.OrigTTL})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Expires.Equal(out[j].Expires) {
+			return out[i].Expires.Before(out[j].Expires)
+		}
+		return out[i].Zone < out[j].Zone
+	})
+	return out
+}
+
+// ExpiryInfo describes one cached zone IRR's expiry.
+type ExpiryInfo struct {
+	Zone    dnswire.Name
+	Expires time.Time
+	OrigTTL time.Duration
+}
+
+// RemainingTTL returns the seconds left for an entry at time now, for
+// serving decremented TTLs to stub resolvers.
+func (e *Entry) RemainingTTL(now time.Time) uint32 {
+	d := e.Expires.Sub(now)
+	if d <= 0 {
+		return 0
+	}
+	secs := int64(d / time.Second)
+	if secs == 0 {
+		secs = 1
+	}
+	return uint32(secs)
+}
+
+// RRsWithRemainingTTL returns a copy of the RRset with TTLs decremented to
+// the remaining lifetime.
+func (e *Entry) RRsWithRemainingTTL(now time.Time) []dnswire.RR {
+	rem := e.RemainingTTL(now)
+	out := make([]dnswire.RR, len(e.RRs))
+	for i, rr := range e.RRs {
+		rr.TTL = rem
+		out[i] = rr
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+)
+
+// frontendTimeout bounds one stub query's resolution when served over a
+// real transport.
+const frontendTimeout = 5 * time.Second
+
+// HandleQuery implements transport.Handler, making the caching server
+// directly servable over UDP to stub resolvers: the full CS role from the
+// paper (Fig. 1), with recursion available.
+func (cs *CachingServer) HandleQuery(q *dnswire.Message) *dnswire.Message {
+	resp := q.Reply()
+	resp.Flags.RecursionAvailable = true
+	if len(q.Question) != 1 || q.Opcode != dnswire.OpcodeQuery {
+		resp.RCode = dnswire.RCodeFormErr
+		return resp
+	}
+	question := q.Question[0]
+	if question.Class != dnswire.ClassIN {
+		resp.RCode = dnswire.RCodeRefused
+		return resp
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), frontendTimeout)
+	defer cancel()
+	res, err := cs.Resolve(ctx, question.Name, question.Type)
+	if err != nil {
+		resp.RCode = dnswire.RCodeServFail
+		return resp
+	}
+	resp.RCode = res.RCode
+	resp.Answer = append(resp.Answer, res.Answer...)
+	return resp
+}
+
+var _ transport.Handler = (*CachingServer)(nil)

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"resilientdns/internal/attack"
+	"resilientdns/internal/dnswire"
+)
+
+func TestFrontendAnswersStubQuery(t *testing.T) {
+	f := newFixture(t, Config{RefreshTTL: true})
+	q := dnswire.NewQuery(77, dnswire.MustName("www.ucla.edu."), dnswire.TypeA)
+	q.Flags.RecursionDesired = true
+	resp := f.cs.HandleQuery(q)
+	if resp.ID != 77 || !resp.Flags.Response {
+		t.Fatalf("resp header = %+v", resp)
+	}
+	if !resp.Flags.RecursionAvailable {
+		t.Error("RA not set")
+	}
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answer) != 1 {
+		t.Fatalf("resp = %v", resp)
+	}
+	if resp.Answer[0].Data.String() != "10.9.9.9" {
+		t.Errorf("answer = %v", resp.Answer)
+	}
+}
+
+func TestFrontendNXDomain(t *testing.T) {
+	f := newFixture(t, Config{})
+	q := dnswire.NewQuery(1, dnswire.MustName("missing.ucla.edu."), dnswire.TypeA)
+	resp := f.cs.HandleQuery(q)
+	if resp.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %v, want NXDOMAIN", resp.RCode)
+	}
+}
+
+func TestFrontendServFailWhenUnresolvable(t *testing.T) {
+	f := newFixture(t, Config{})
+	// Root and TLDs down, cold cache: resolution fails → SERVFAIL.
+	f.net.SetAttack(attack.RootAndTLDs(epoch, 6*time.Hour, []dnswire.Name{
+		dnswire.Root, dnswire.MustName("edu."), dnswire.MustName("com."),
+	}))
+	q := dnswire.NewQuery(1, dnswire.MustName("www.ucla.edu."), dnswire.TypeA)
+	resp := f.cs.HandleQuery(q)
+	if resp.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %v, want SERVFAIL", resp.RCode)
+	}
+}
+
+func TestFrontendRejectsBadQueries(t *testing.T) {
+	f := newFixture(t, Config{})
+	resp := f.cs.HandleQuery(&dnswire.Message{ID: 5})
+	if resp.RCode != dnswire.RCodeFormErr {
+		t.Errorf("no-question rcode = %v, want FORMERR", resp.RCode)
+	}
+	q := dnswire.NewQuery(6, dnswire.MustName("a.edu."), dnswire.TypeA)
+	q.Question[0].Class = dnswire.ClassCH
+	resp = f.cs.HandleQuery(q)
+	if resp.RCode != dnswire.RCodeRefused {
+		t.Errorf("CH-class rcode = %v, want REFUSED", resp.RCode)
+	}
+}
+
+func TestFrontendDecrementsTTLOnCachedAnswers(t *testing.T) {
+	f := newFixture(t, Config{})
+	q := dnswire.NewQuery(1, dnswire.MustName("www.ucla.edu."), dnswire.TypeA)
+	f.cs.HandleQuery(q)
+	f.clock.Advance(100 * time.Second)
+	resp := f.cs.HandleQuery(q)
+	if len(resp.Answer) != 1 {
+		t.Fatalf("resp = %v", resp)
+	}
+	if got := resp.Answer[0].TTL; got != 200 {
+		t.Errorf("cached answer TTL = %d, want 200 (300s original - 100s elapsed)", got)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"resilientdns/internal/cache"
+	"resilientdns/internal/dnswire"
+)
+
+// ingest caches every usable record in resp, applying RFC 2181 credibility
+// ranking and marking infrastructure RRsets (zone NS sets and the address
+// records of the servers they name) so the refresh and renewal schemes
+// know what they may extend.
+func (cs *CachingServer) ingest(resp *dnswire.Message, fromZone dnswire.Name, qname dnswire.Name) {
+	aa := resp.Flags.Authoritative
+
+	// Collect the name-server host names mentioned by NS records anywhere
+	// in the message; their address records are infrastructure.
+	nsHosts := make(map[dnswire.Name]bool)
+	nsOwners := make(map[dnswire.Name]bool)
+	for _, section := range [][]dnswire.RR{resp.Answer, resp.Authority} {
+		for _, rr := range section {
+			if ns, ok := rr.Data.(dnswire.NS); ok {
+				nsHosts[ns.Host] = true
+				nsOwners[rr.Name] = true
+			}
+		}
+	}
+
+	// Answer section: full credibility. Zone NS and DNSKEY sets are
+	// infrastructure (§6 extends the IRR notion to the DNSSEC records).
+	for _, set := range groupRRSets(resp.Answer) {
+		if set[0].Type() == dnswire.TypeRRSIG {
+			// RRSIGs for different covered types share an (owner, type)
+			// cache key; they are validated in-line from the response
+			// instead of being cached.
+			continue
+		}
+		t := set[0].Type()
+		infra := t == dnswire.TypeNS || t == dnswire.TypeDNSKEY || t == dnswire.TypeDS
+		cs.putInfraAware(set, cache.CredAnswer, infra)
+	}
+
+	// Authority section: the child's own copy of its IRRs when the answer
+	// is authoritative, referral data otherwise.
+	cred := cache.CredReferral
+	if aa {
+		cred = cache.CredAuthority
+	}
+	for _, set := range groupRRSets(resp.Authority) {
+		switch set[0].Type() {
+		case dnswire.TypeNS:
+			cs.putInfraAware(set, cred, true)
+			if cred == cache.CredReferral {
+				// A referral is the parent vouching for the delegation.
+				cs.parentSeen[set[0].Name] = cs.cfg.Clock.Now()
+			}
+		case dnswire.TypeDS:
+			// Parent-side DS is infrastructure, like NS and glue.
+			cs.putInfraAware(set, cred, true)
+		case dnswire.TypeSOA, dnswire.TypeRRSIG:
+			// SOA in negative answers is not cached as data; the
+			// negative-cache layer handles the outcome itself. RRSIGs
+			// are consumed in-line, not cached.
+		default:
+			cs.cache.Put(set, cred, false)
+		}
+	}
+
+	// Additional section: glue. Only address records for name servers
+	// mentioned in this message are trusted (bailiwick hygiene).
+	for _, set := range groupRRSets(resp.Additional) {
+		t := set[0].Type()
+		if t != dnswire.TypeA && t != dnswire.TypeAAAA {
+			continue
+		}
+		if !nsHosts[set[0].Name] {
+			continue
+		}
+		cs.putInfraAware(set, cred, true)
+	}
+
+	// Renewal bookkeeping: any newly cached zone IRR gets a scheduler
+	// entry keyed to its expiry.
+	if cs.cfg.Renewal != nil {
+		for owner := range nsOwners {
+			if e := cs.cache.Peek(owner, dnswire.TypeNS); e != nil && e.Infra {
+				cs.scheduleRenewal(owner, e.Expires)
+			}
+		}
+	}
+}
+
+// putInfraAware stores a set and, for infrastructure NS sets, keeps the
+// renewal scheduler in sync.
+func (cs *CachingServer) putInfraAware(set []dnswire.RR, cred cache.Credibility, infra bool) {
+	e := cs.cache.Put(set, cred, infra)
+	if e != nil && infra && cs.cfg.Renewal != nil && e.Key.Type == dnswire.TypeNS {
+		cs.scheduleRenewal(e.Key.Name, e.Expires)
+	}
+}
+
+// groupRRSets splits a message section into RRsets by (owner, type),
+// preserving first-appearance order.
+func groupRRSets(rrs []dnswire.RR) [][]dnswire.RR {
+	type key struct {
+		name dnswire.Name
+		typ  dnswire.Type
+	}
+	var order []key
+	groups := make(map[key][]dnswire.RR)
+	for _, rr := range rrs {
+		k := key{name: rr.Name, typ: rr.Type()}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], rr)
+	}
+	out := make([][]dnswire.RR, 0, len(order))
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"time"
+
+	"resilientdns/internal/cache"
+	"resilientdns/internal/dnswire"
+)
+
+// negEntry caches a negative resolution outcome.
+type negEntry struct {
+	rcode   dnswire.RCode
+	expires time.Time
+}
+
+// negativeStore remembers a negative outcome when negative caching is on.
+func (cs *CachingServer) negativeStore(qname dnswire.Name, qtype dnswire.Type, rcode dnswire.RCode) {
+	if cs.cfg.NegativeTTL <= 0 {
+		return
+	}
+	if cs.negative == nil {
+		cs.negative = make(map[cache.Key]negEntry)
+	}
+	cs.negative[cache.Key{Name: qname, Type: qtype}] = negEntry{
+		rcode:   rcode,
+		expires: cs.cfg.Clock.Now().Add(cs.cfg.NegativeTTL),
+	}
+}
+
+// negativeLookup returns a cached negative outcome, if one is live.
+func (cs *CachingServer) negativeLookup(qname dnswire.Name, qtype dnswire.Type, now time.Time) (dnswire.RCode, bool) {
+	if cs.cfg.NegativeTTL <= 0 || cs.negative == nil {
+		return 0, false
+	}
+	key := cache.Key{Name: qname, Type: qtype}
+	e, ok := cs.negative[key]
+	if !ok {
+		return 0, false
+	}
+	if !e.expires.After(now) {
+		delete(cs.negative, key)
+		return 0, false
+	}
+	return e.rcode, true
+}

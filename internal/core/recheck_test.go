@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"resilientdns/internal/dnswire"
+)
+
+func TestParentRecheckForcesReferral(t *testing.T) {
+	f := newFixture(t, Config{
+		RefreshTTL:            true,
+		ParentRecheckInterval: 2 * time.Hour,
+	})
+	f.resolveA(t, "www.ucla.edu.")
+	// Keep the ucla IRRs refreshed with sub-TTL queries for three hours;
+	// without the recheck they would never leave the cache.
+	for i := 0; i < 6; i++ {
+		f.clock.Advance(30 * time.Minute)
+		f.resolveA(t, "www.ucla.edu.")
+	}
+	// The last resolution happened past the 2h recheck deadline, so the
+	// resolver must have re-visited the edu parent at least once.
+	st := f.cs.Stats()
+	if st.Referrals < 3 { // root→edu, edu→ucla initially, plus the recheck
+		t.Errorf("Referrals = %d, want a parent recheck beyond the initial walk", st.Referrals)
+	}
+}
+
+func TestParentRecheckDisabledByDefault(t *testing.T) {
+	f := newFixture(t, Config{RefreshTTL: true})
+	f.resolveA(t, "www.ucla.edu.")
+	base := f.cs.Stats().Referrals
+	for i := 0; i < 6; i++ {
+		f.clock.Advance(30 * time.Minute)
+		f.resolveA(t, "www.ucla.edu.")
+	}
+	if got := f.cs.Stats().Referrals; got != base {
+		t.Errorf("referrals grew from %d to %d despite refresh keeping IRRs live", base, got)
+	}
+}
+
+func TestParentRecheckPicksUpNewDelegation(t *testing.T) {
+	// Simulate a delegation change: after the CS caches ucla.edu.'s IRRs,
+	// the edu parent switches the delegation to new servers. With the
+	// recheck, the CS notices within the interval.
+	f := newFixture(t, Config{
+		RefreshTTL:            true,
+		ParentRecheckInterval: time.Hour,
+	})
+	f.resolveA(t, "www.ucla.edu.")
+	e := f.cs.Cache().Peek(dnswire.MustName("ucla.edu."), dnswire.TypeNS)
+	if e == nil {
+		t.Fatal("ucla IRRs not cached")
+	}
+	// Two hours later (past the recheck interval), a resolution must go
+	// through edu again even though refresh kept the child IRRs alive.
+	f.clock.Advance(30 * time.Minute)
+	f.resolveA(t, "www.ucla.edu.") // keeps IRRs fresh
+	f.clock.Advance(40 * time.Minute)
+	before := f.cs.Stats().Referrals
+	f.resolveA(t, "www.ucla.edu.")
+	if got := f.cs.Stats().Referrals; got == before {
+		t.Error("no referral after the recheck interval elapsed")
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+)
+
+// renewItem is one scheduled renewal check for a zone's cached IRRs.
+type renewItem struct {
+	due  time.Time
+	zone dnswire.Name
+	seq  uint64
+}
+
+// renewQueue is a min-heap of renewal checks ordered by (due, seq).
+type renewQueue struct {
+	items []*renewItem
+	seq   uint64
+}
+
+func (q *renewQueue) Len() int { return len(q.items) }
+
+func (q *renewQueue) Less(i, j int) bool {
+	if !q.items[i].due.Equal(q.items[j].due) {
+		return q.items[i].due.Before(q.items[j].due)
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *renewQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+func (q *renewQueue) Push(x any) { q.items = append(q.items, x.(*renewItem)) }
+
+func (q *renewQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+// scheduleRenewal enqueues a renewal check for zone shortly before
+// expires. At most one queue entry exists per zone; later expiries are
+// handled by re-queuing on pop.
+func (cs *CachingServer) scheduleRenewal(zone dnswire.Name, expires time.Time) {
+	if cs.scheduled[zone] {
+		return
+	}
+	cs.scheduled[zone] = true
+	cs.renew.seq++
+	heap.Push(&cs.renew, &renewItem{due: expires.Add(-renewLead), zone: zone, seq: cs.renew.seq})
+}
+
+// NextRenewalDue returns the earliest pending renewal check time. The
+// trace-driven simulator uses it to advance the virtual clock precisely to
+// each renewal instant.
+func (cs *CachingServer) NextRenewalDue() (time.Time, bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.renew.Len() == 0 {
+		return time.Time{}, false
+	}
+	return cs.renew.items[0].due, true
+}
+
+// ProcessDueRenewals runs every renewal check due at or before now and
+// returns how many refetches were issued.
+func (cs *CachingServer) ProcessDueRenewals(ctx context.Context, now time.Time) int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	issued := 0
+	for cs.renew.Len() > 0 && !cs.renew.items[0].due.After(now) {
+		it := heap.Pop(&cs.renew).(*renewItem)
+		delete(cs.scheduled, it.zone)
+		if cs.renewZone(ctx, it.zone, now) {
+			issued++
+		}
+	}
+	return issued
+}
+
+// renewZone decides whether the zone's IRRs should be refetched and, if
+// so, spends one credit doing it. Reports whether a refetch was issued.
+func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now time.Time) bool {
+	if cs.cfg.Renewal == nil {
+		return false
+	}
+	e := cs.cache.Peek(zone, dnswire.TypeNS)
+	if e == nil || !e.Infra {
+		return false // expired or evicted; nothing to renew
+	}
+	if e.Expires.Add(-renewLead).After(now) {
+		// The entry was refreshed since this check was scheduled; requeue
+		// for the new expiry.
+		cs.scheduleRenewal(zone, e.Expires)
+		return false
+	}
+	if cs.credits[zone] < 1 {
+		return false // out of credit: let the IRRs expire normally
+	}
+	cs.credits[zone]--
+	cs.stats.RenewalQueries++
+
+	// Refetch the zone's own NS RRset from its servers. The response's
+	// answer carries the NS set and its glue, which ingest re-caches with
+	// answer credibility, resetting the TTL.
+	addrs := cs.zoneAddrs(e.RRs)
+	resp, err := cs.refetch(ctx, zone, addrs)
+	if err != nil {
+		cs.stats.RenewalFailed++
+		return true
+	}
+	cs.ingest(resp, zone, zone)
+	// Guarantee the renewal outcome even if credibility rules would have
+	// ignored the copies: renewal explicitly extends the zone's IRRs (NS
+	// and server addresses).
+	cs.cache.Extend(zone, dnswire.TypeNS)
+	for _, rr := range e.RRs {
+		host := rr.Data.(dnswire.NS).Host
+		cs.cache.Extend(host, dnswire.TypeA)
+		cs.cache.Extend(host, dnswire.TypeAAAA)
+	}
+	cs.stats.Renewals++
+	if ne := cs.cache.Peek(zone, dnswire.TypeNS); ne != nil {
+		cs.scheduleRenewal(zone, ne.Expires)
+	}
+	return true
+}
+
+// zoneAddrs collects the cached addresses of the NS hosts in set.
+func (cs *CachingServer) zoneAddrs(set []dnswire.RR) []transport.Addr {
+	var addrs []transport.Addr
+	for _, rr := range set {
+		ns, ok := rr.Data.(dnswire.NS)
+		if !ok {
+			continue
+		}
+		if ae := cs.cache.Peek(ns.Host, dnswire.TypeA); ae != nil {
+			for _, arr := range ae.RRs {
+				addrs = append(addrs, cs.cfg.AddrMapper(arr.Data.(dnswire.A).Addr))
+			}
+		}
+	}
+	return addrs
+}
+
+// refetch sends a NS query for zone to its own servers. Unlike resolution
+// queries, refetches do not update renewal credit: only genuine demand
+// keeps a zone alive, otherwise renewal would sustain itself forever.
+func (cs *CachingServer) refetch(ctx context.Context, zone dnswire.Name, addrs []transport.Addr) (*dnswire.Message, error) {
+	if len(addrs) == 0 {
+		return nil, transport.ErrServerUnreachable
+	}
+	cs.qid++
+	q := dnswire.NewQuery(cs.qid, zone, dnswire.TypeNS)
+	if cs.cfg.AdvertiseEDNS0 {
+		q.SetEDNS0(dnswire.DefaultEDNS0PayloadSize)
+	}
+	var lastErr error
+	for _, addr := range addrs {
+		cs.stats.QueriesOut++
+		resp, err := cs.cfg.Transport.Exchange(ctx, addr, q)
+		if err != nil {
+			cs.stats.QueriesOutFailed++
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// RunRenewalLoop services renewals in real time until ctx is cancelled.
+// Use it with the wall clock when running as a live caching server; the
+// trace-driven simulator calls ProcessDueRenewals directly instead.
+func (cs *CachingServer) RunRenewalLoop(ctx context.Context) {
+	const idlePoll = time.Second
+	for {
+		due, ok := cs.NextRenewalDue()
+		var wait time.Duration
+		if !ok {
+			wait = idlePoll
+		} else {
+			wait = time.Until(due)
+			if wait < 0 {
+				wait = 0
+			}
+			if wait > idlePoll {
+				wait = idlePoll
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(wait):
+		}
+		cs.ProcessDueRenewals(ctx, cs.cfg.Clock.Now())
+	}
+}

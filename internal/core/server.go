@@ -1,0 +1,655 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"resilientdns/internal/cache"
+	"resilientdns/internal/dnssec"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/simclock"
+	"resilientdns/internal/transport"
+)
+
+// ServerRef names one authoritative server endpoint.
+type ServerRef struct {
+	// Host is the server's DNS name (e.g. "a.root-servers.net.").
+	Host dnswire.Name
+	// Addr is where to reach it.
+	Addr transport.Addr
+}
+
+// Config parameterises a CachingServer.
+type Config struct {
+	// Transport carries queries to authoritative servers. Required.
+	Transport transport.Transport
+	// Clock supplies time; defaults to the wall clock.
+	Clock simclock.Clock
+	// RootHints are the hard-coded root servers every caching server
+	// knows (§2). Required.
+	RootHints []ServerRef
+
+	// RefreshTTL enables the paper's TTL-refresh scheme.
+	RefreshTTL bool
+	// Renewal enables credit-based TTL renewal with the given policy;
+	// nil disables renewal.
+	Renewal RenewalPolicy
+	// MaxTTL clamps cached TTLs; defaults to 7 days (§6: caching servers
+	// do not accept arbitrarily large TTL values, which also bounds how
+	// long a reclaimed delegation can linger).
+	MaxTTL time.Duration
+	// NegativeTTL caches NXDOMAIN/NODATA outcomes for this long; zero
+	// disables negative caching (the paper's simulations ignore it).
+	NegativeTTL time.Duration
+	// ServeStale retains expired records for this long and serves them as
+	// a last resort when resolution fails — the Ballani & Francis
+	// HotNets'06 baseline from the paper's related work (§7), ancestor of
+	// RFC 8767. Zero disables it.
+	ServeStale time.Duration
+	// Prefetch re-fetches a cached answer when a query hits it within
+	// the last tenth of its TTL — unbound's prefetch behaviour, the other
+	// modern cousin of the paper's renewal scheme (data records instead
+	// of IRRs).
+	Prefetch bool
+
+	// MaxReferrals bounds one resolution's downward steps (default 24).
+	MaxReferrals int
+	// MaxCNAME bounds CNAME chain chasing (default 8).
+	MaxCNAME int
+
+	// OnGap observes IRR expiry-to-reuse gaps (Fig. 3).
+	OnGap cache.GapFunc
+
+	// ValidateDNSSEC verifies answers from signed zones against the
+	// DS→DNSKEY chain rooted at TrustAnchors (§6: DNSSEC's DS and DNSKEY
+	// sets are infrastructure records and flow through the same cache).
+	ValidateDNSSEC bool
+	// TrustAnchors are trusted DNSKEY RRs (normally the root zone's).
+	TrustAnchors []dnswire.RR
+
+	// AdvertiseEDNS0 attaches an EDNS0 OPT record advertising a 4096-byte
+	// UDP payload to outgoing queries, avoiding TCP fallback for large
+	// referrals.
+	AdvertiseEDNS0 bool
+
+	// ParentRecheckInterval forces a query to a zone's parent when the
+	// cached delegation has not been confirmed by the parent for this
+	// long, so reclaimed delegations surface even under indefinite
+	// refresh/renewal (§6 "Deployment Issues"; the paper suggests 7
+	// days). Zero disables the recheck.
+	ParentRecheckInterval time.Duration
+
+	// AddrMapper converts a name server's address record into a transport
+	// address. The default uses the bare IP string (the simulator's
+	// convention); live deployments typically append ":53".
+	AddrMapper func(addr netip.Addr) transport.Addr
+}
+
+// Stats counts a caching server's activity. Counters are cumulative;
+// subtract two snapshots to measure an interval.
+type Stats struct {
+	// QueriesIn counts Resolve calls (stub-resolver queries).
+	QueriesIn uint64
+	// Resolved counts Resolve calls that produced an answer, including
+	// authoritative negative answers.
+	Resolved uint64
+	// Failed counts Resolve calls that failed (servers unreachable).
+	Failed uint64
+	// CacheAnswered counts Resolve calls served entirely from cache.
+	CacheAnswered uint64
+
+	// QueriesOut counts queries sent to authoritative servers, renewal
+	// refetches included.
+	QueriesOut uint64
+	// QueriesOutFailed counts those that timed out or were unreachable.
+	QueriesOutFailed uint64
+
+	// RenewalQueries counts refetches issued by the renewal scheduler.
+	RenewalQueries uint64
+	// RenewalFailed counts renewal refetches that failed entirely.
+	RenewalFailed uint64
+	// Renewals counts successful renew cycles.
+	Renewals uint64
+
+	// Referrals counts referral responses followed.
+	Referrals uint64
+	// StaleAnswers counts expired records served under ServeStale.
+	StaleAnswers uint64
+	// PrefetchQueries counts early refreshes issued by Prefetch.
+	PrefetchQueries uint64
+}
+
+// Result is a completed resolution.
+type Result struct {
+	RCode dnswire.RCode
+	// Answer holds the answer-section records (CNAME chains included).
+	Answer []dnswire.RR
+	// FromCache reports that no authoritative query was needed.
+	FromCache bool
+}
+
+// ErrResolutionFailed reports that every reachable path to the answer was
+// exhausted (the paper's "failed query").
+var ErrResolutionFailed = errors.New("core: resolution failed")
+
+// CachingServer is the paper's modified caching server (CS). It is safe
+// for concurrent use over a real transport; the trace-driven simulator
+// uses it single-threaded.
+type CachingServer struct {
+	cfg   Config
+	mu    sync.Mutex
+	cache *cache.Cache
+	// credits holds per-zone renewal credit.
+	credits map[dnswire.Name]float64
+	renew   renewQueue
+	// scheduled marks zones with a pending renewal-queue entry.
+	scheduled map[dnswire.Name]bool
+	negative  map[cache.Key]negEntry
+	// parentSeen records when each zone's delegation was last confirmed
+	// by a referral from the parent.
+	parentSeen map[dnswire.Name]time.Time
+	// validator holds the DNSSEC chain state; nil when not validating.
+	validator *dnssec.Validator
+	// insecure caches zones proven to lack a DS (unsigned delegations).
+	insecure map[dnswire.Name]bool
+	stats    Stats
+	qid      uint16
+	rotate   uint64
+}
+
+// maxGlueDepth bounds nested resolutions of out-of-bailiwick name-server
+// addresses.
+const maxGlueDepth = 4
+
+// staleServeTTL is the TTL stamped on stale answers (RFC 8767 recommends
+// a short value so clients re-try soon).
+const staleServeTTL = 30
+
+// defaultTimeouts and loop bounds.
+const (
+	defaultMaxReferrals = 24
+	defaultMaxCNAME     = 8
+	// renewLead is how far before expiry a renewal refetch fires ("just
+	// before they are ready to expire", §4).
+	renewLead = time.Second
+)
+
+// NewCachingServer builds a caching server from cfg.
+func NewCachingServer(cfg Config) (*CachingServer, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("core: Config.Transport is required")
+	}
+	if len(cfg.RootHints) == 0 {
+		return nil, errors.New("core: Config.RootHints is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.MaxReferrals == 0 {
+		cfg.MaxReferrals = defaultMaxReferrals
+	}
+	if cfg.MaxCNAME == 0 {
+		cfg.MaxCNAME = defaultMaxCNAME
+	}
+	if cfg.AddrMapper == nil {
+		cfg.AddrMapper = func(a netip.Addr) transport.Addr { return transport.Addr(a.String()) }
+	}
+	cs := &CachingServer{
+		cfg: cfg,
+		cache: cache.New(cache.Config{
+			Clock:           cfg.Clock,
+			MaxTTL:          cfg.MaxTTL,
+			RefreshInfraTTL: cfg.RefreshTTL,
+			OnGap:           cfg.OnGap,
+			KeepStale:       cfg.ServeStale,
+		}),
+		credits:    make(map[dnswire.Name]float64),
+		scheduled:  make(map[dnswire.Name]bool),
+		parentSeen: make(map[dnswire.Name]time.Time),
+	}
+	if cfg.ValidateDNSSEC {
+		if len(cfg.TrustAnchors) == 0 {
+			return nil, errors.New("core: ValidateDNSSEC requires TrustAnchors")
+		}
+		cs.validator = dnssec.NewValidator(cfg.TrustAnchors...)
+		cs.insecure = make(map[dnswire.Name]bool)
+	}
+	return cs, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (cs *CachingServer) Stats() Stats {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.stats
+}
+
+// CacheStats reports cache occupancy after sweeping expired entries.
+func (cs *CachingServer) CacheStats() cache.Stats {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.cache.SweepExpired()
+	return cs.cache.Stats()
+}
+
+// Cache exposes the underlying cache for tests and examples.
+func (cs *CachingServer) Cache() *cache.Cache { return cs.cache }
+
+// Resolve answers one stub-resolver query.
+func (cs *CachingServer) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.stats.QueriesIn++
+	res, err := cs.resolveChain(ctx, qname, qtype)
+	if err != nil {
+		cs.stats.Failed++
+		return nil, err
+	}
+	cs.stats.Resolved++
+	if res.FromCache {
+		cs.stats.CacheAnswered++
+	}
+	return res, nil
+}
+
+// resolveChain resolves qname/qtype, chasing CNAMEs across zones.
+func (cs *CachingServer) resolveChain(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	var answer []dnswire.RR
+	fromCache := true
+	cur := qname
+	for hop := 0; hop <= cs.cfg.MaxCNAME; hop++ {
+		step, err := cs.resolveOne(ctx, cur, qtype, 0)
+		if err != nil {
+			return nil, err
+		}
+		answer = append(answer, step.Answer...)
+		fromCache = fromCache && step.FromCache
+		if step.RCode != dnswire.RCodeNoError {
+			return &Result{RCode: step.RCode, Answer: answer, FromCache: fromCache}, nil
+		}
+		if target, ok := cnameTarget(step.Answer, cur, qtype); ok {
+			cur = target
+			continue
+		}
+		return &Result{RCode: dnswire.RCodeNoError, Answer: answer, FromCache: fromCache}, nil
+	}
+	return nil, fmt.Errorf("%w: CNAME chain too long for %s", ErrResolutionFailed, qname)
+}
+
+// cnameTarget returns the target to chase when rrs answer name only via a
+// CNAME and the query was not for the CNAME itself.
+func cnameTarget(rrs []dnswire.RR, name dnswire.Name, qtype dnswire.Type) (dnswire.Name, bool) {
+	if qtype == dnswire.TypeCNAME {
+		return "", false
+	}
+	var target dnswire.Name
+	found := false
+	for _, rr := range rrs {
+		if rr.Type() == qtype {
+			return "", false // real answer present
+		}
+		if rr.Name == name && rr.Type() == dnswire.TypeCNAME {
+			target = rr.Data.(dnswire.CNAME).Target
+			found = true
+		}
+	}
+	return target, found
+}
+
+// resolveOne resolves a single (name, type) without CNAME chasing across
+// calls: a cached or received CNAME is returned for the caller to chase.
+// depth counts nested glue resolutions.
+func (cs *CachingServer) resolveOne(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, depth int) (*Result, error) {
+	now := cs.cfg.Clock.Now()
+	// Cache: exact answer, then a cached CNAME.
+	if e := cs.cache.Get(qname, qtype); e != nil {
+		cs.maybePrefetch(ctx, e, qname, qtype, depth, now)
+		return &Result{RCode: dnswire.RCodeNoError, Answer: e.RRsWithRemainingTTL(now), FromCache: true}, nil
+	}
+	if qtype != dnswire.TypeCNAME {
+		if e := cs.cache.Get(qname, dnswire.TypeCNAME); e != nil {
+			return &Result{RCode: dnswire.RCodeNoError, Answer: e.RRsWithRemainingTTL(now), FromCache: true}, nil
+		}
+	}
+	if rcode, ok := cs.negativeLookup(qname, qtype, now); ok {
+		return &Result{RCode: rcode, FromCache: true}, nil
+	}
+	validate := cs.cfg.ValidateDNSSEC && depth == 0
+	res, _, err := cs.iterate(ctx, qname, qtype, depth, validate, false)
+	if err != nil && cs.cfg.ServeStale > 0 {
+		// Retry using stale IRRs: expired NS/glue still point at child
+		// servers that may be alive even though the upper hierarchy is
+		// not (the serve-stale baseline's main power in this attack).
+		if res2, _, err2 := cs.iterate(ctx, qname, qtype, depth, validate, true); err2 == nil {
+			return res2, nil
+		}
+		if stale := cs.staleAnswer(qname, qtype); stale != nil {
+			return stale, nil
+		}
+	}
+	return res, err
+}
+
+// maybePrefetch refreshes a cache entry early when a query arrives in the
+// last tenth of its TTL (unbound-style prefetch). The refetch happens
+// inline before the cached data is returned, so the caller still gets the
+// (valid) cached answer even if the refetch fails.
+func (cs *CachingServer) maybePrefetch(ctx context.Context, e *cache.Entry, qname dnswire.Name, qtype dnswire.Type, depth int, now time.Time) {
+	if !cs.cfg.Prefetch || depth > 0 {
+		return
+	}
+	remaining := e.Expires.Sub(now)
+	if remaining > e.OrigTTL/10 {
+		return
+	}
+	cs.stats.PrefetchQueries++
+	// A fresh fetch restarts the entry's lifetime; failures are harmless
+	// (the cached copy is still live). The explicit Extend covers the
+	// cache's conservative replacement rules for identical data.
+	if _, _, err := cs.iterate(ctx, qname, qtype, depth+1, false, false); err == nil {
+		cs.cache.Extend(qname, qtype)
+	}
+}
+
+// staleAnswer serves an expired cached answer (or stale CNAME step) after
+// live resolution failed, per the serve-stale baseline.
+func (cs *CachingServer) staleAnswer(qname dnswire.Name, qtype dnswire.Type) *Result {
+	if e := cs.cache.GetStale(qname, qtype); e != nil {
+		cs.stats.StaleAnswers++
+		rrs := make([]dnswire.RR, len(e.RRs))
+		copy(rrs, e.RRs)
+		for i := range rrs {
+			rrs[i].TTL = staleServeTTL
+		}
+		return &Result{RCode: dnswire.RCodeNoError, Answer: rrs, FromCache: true}
+	}
+	if qtype != dnswire.TypeCNAME {
+		if e := cs.cache.GetStale(qname, dnswire.TypeCNAME); e != nil {
+			cs.stats.StaleAnswers++
+			rrs := make([]dnswire.RR, len(e.RRs))
+			copy(rrs, e.RRs)
+			for i := range rrs {
+				rrs[i].TTL = staleServeTTL
+			}
+			return &Result{RCode: dnswire.RCodeNoError, Answer: rrs, FromCache: true}
+		}
+	}
+	return nil
+}
+
+// iterate walks the DNS hierarchy from the deepest zone with cached IRRs
+// down to the zone authoritative for qname.
+func (cs *CachingServer) iterate(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, depth int, validate, stale bool) (*Result, *dnswire.Message, error) {
+	var lastErr error
+	prevZone := dnswire.Name("")
+	for step := 0; step < cs.cfg.MaxReferrals; step++ {
+		zname, servers := cs.deepestKnownZone(qname, qtype, stale)
+		if zname == prevZone {
+			// A referral that does not descend (e.g. the child's servers
+			// have no resolvable addresses) would loop forever.
+			return nil, nil, fmt.Errorf("%w: %s %s: no progress below zone %s",
+				ErrResolutionFailed, qname, qtype, zname)
+		}
+		prevZone = zname
+		resp, err := cs.queryZone(ctx, zname, servers, qname, qtype)
+		if err != nil {
+			lastErr = err
+			if zname.IsRoot() {
+				// Even the root hints failed: the query is lost (§3).
+				return nil, nil, fmt.Errorf("%w: %s %s: %v", ErrResolutionFailed, qname, qtype, err)
+			}
+			// The zone's cached IRRs are stale or its servers are down;
+			// discard them and climb to an ancestor (§4 "Long TTL": in
+			// the worst case the parent zone must be queried to reset
+			// the IRR).
+			cs.cache.Evict(zname, dnswire.TypeNS)
+			continue
+		}
+
+		cs.ingest(resp, zname, qname)
+
+		switch {
+		case resp.RCode == dnswire.RCodeNXDomain:
+			cs.negativeStore(qname, qtype, dnswire.RCodeNXDomain)
+			return &Result{RCode: dnswire.RCodeNXDomain}, resp, nil
+
+		case resp.RCode != dnswire.RCodeNoError:
+			// Lame or broken server; treat the zone as unusable.
+			lastErr = fmt.Errorf("core: %s from %s", resp.RCode, zname)
+			if zname.IsRoot() {
+				return nil, nil, fmt.Errorf("%w: %v", ErrResolutionFailed, lastErr)
+			}
+			cs.cache.Evict(zname, dnswire.TypeNS)
+			continue
+
+		case answersQuestion(resp, qname, qtype):
+			if validate && cs.validator != nil {
+				if err := cs.validateAnswer(ctx, zname, resp, depth); err != nil {
+					return nil, nil, fmt.Errorf("%w: %v", ErrResolutionFailed, err)
+				}
+			}
+			return &Result{RCode: dnswire.RCodeNoError, Answer: relevantAnswers(resp, qname, qtype)}, resp, nil
+
+		case isReferral(resp, zname):
+			cs.stats.Referrals++
+			cs.resolveMissingGlue(ctx, referralChild(resp, zname), depth)
+			continue // deepestKnownZone now finds the child's IRRs
+
+		default:
+			// Authoritative empty answer: NODATA.
+			cs.negativeStore(qname, qtype, dnswire.RCodeNoError)
+			return &Result{RCode: dnswire.RCodeNoError}, resp, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("referral limit exceeded")
+	}
+	return nil, nil, fmt.Errorf("%w: %s %s: %v", ErrResolutionFailed, qname, qtype, lastErr)
+}
+
+// deepestKnownZone returns the deepest ancestor zone of qname whose IRRs
+// (NS plus at least one server address) are cached, falling back to the
+// root hints.
+func (cs *CachingServer) deepestKnownZone(qname dnswire.Name, qtype dnswire.Type, stale bool) (dnswire.Name, []transport.Addr) {
+	now := cs.cfg.Clock.Now()
+	get := func(name dnswire.Name, t dnswire.Type) *cache.Entry {
+		if e := cs.cache.Get(name, t); e != nil {
+			return e
+		}
+		if stale {
+			return cs.cache.GetStale(name, t)
+		}
+		return nil
+	}
+	for _, anc := range qname.Ancestors() {
+		if anc.IsRoot() {
+			break
+		}
+		if qtype == dnswire.TypeDS && anc == qname {
+			// The parent side is authoritative for the DS RRset at a
+			// delegation; never ask the child about its own DS.
+			continue
+		}
+		e := get(anc, dnswire.TypeNS)
+		if e == nil {
+			continue
+		}
+		if iv := cs.cfg.ParentRecheckInterval; iv > 0 && !stale {
+			if seen, ok := cs.parentSeen[anc]; !ok || now.Sub(seen) > iv {
+				// The delegation is overdue for confirmation: pretend the
+				// IRRs are unknown so resolution re-visits the parent.
+				continue
+			}
+		}
+		var addrs []transport.Addr
+		for _, rr := range e.RRs {
+			host := rr.Data.(dnswire.NS).Host
+			if ae := get(host, dnswire.TypeA); ae != nil {
+				for _, arr := range ae.RRs {
+					addrs = append(addrs, cs.cfg.AddrMapper(arr.Data.(dnswire.A).Addr))
+				}
+			}
+		}
+		if len(addrs) > 0 {
+			return anc, addrs
+		}
+	}
+	addrs := make([]transport.Addr, 0, len(cs.cfg.RootHints))
+	for _, h := range cs.cfg.RootHints {
+		addrs = append(addrs, h.Addr)
+	}
+	return dnswire.Root, addrs
+}
+
+// queryZone sends (qname, qtype) to the zone's servers, trying each until
+// one answers. A successful exchange updates the zone's renewal credit.
+func (cs *CachingServer) queryZone(ctx context.Context, zname dnswire.Name, servers []transport.Addr, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("%w: no addresses for zone %s", transport.ErrServerUnreachable, zname)
+	}
+	cs.updateCredit(zname)
+
+	cs.qid++
+	q := dnswire.NewQuery(cs.qid, qname, qtype)
+	if cs.cfg.AdvertiseEDNS0 {
+		q.SetEDNS0(dnswire.DefaultEDNS0PayloadSize)
+	}
+	start := cs.rotate
+	cs.rotate++
+	var lastErr error
+	for i := 0; i < len(servers); i++ {
+		addr := servers[(start+uint64(i))%uint64(len(servers))]
+		cs.stats.QueriesOut++
+		resp, err := cs.cfg.Transport.Exchange(ctx, addr, q)
+		if err != nil {
+			cs.stats.QueriesOutFailed++
+			lastErr = err
+			continue
+		}
+		if resp.ID != q.ID {
+			cs.stats.QueriesOutFailed++
+			lastErr = fmt.Errorf("core: mismatched response ID from %s", addr)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// updateCredit applies the renewal policy on a query to zname.
+func (cs *CachingServer) updateCredit(zname dnswire.Name) {
+	if cs.cfg.Renewal == nil || zname.IsRoot() {
+		return
+	}
+	ttl := cache.DefaultMaxTTL
+	if e := cs.cache.Peek(zname, dnswire.TypeNS); e != nil {
+		ttl = e.OrigTTL
+	}
+	cs.credits[zname] = cs.cfg.Renewal.Update(cs.credits[zname], ttl)
+}
+
+// answersQuestion reports whether resp's answer section covers (qname,
+// qtype), directly or through a CNAME.
+func answersQuestion(resp *dnswire.Message, qname dnswire.Name, qtype dnswire.Type) bool {
+	for _, rr := range resp.Answer {
+		if rr.Name == qname && (rr.Type() == qtype || rr.Type() == dnswire.TypeCNAME) {
+			return true
+		}
+	}
+	return false
+}
+
+// relevantAnswers extracts the answer-section records that belong to the
+// question's CNAME chain.
+func relevantAnswers(resp *dnswire.Message, qname dnswire.Name, qtype dnswire.Type) []dnswire.RR {
+	var out []dnswire.RR
+	cur := qname
+	for hops := 0; hops <= len(resp.Answer); hops++ {
+		matched := false
+		for _, rr := range resp.Answer {
+			if rr.Name != cur {
+				continue
+			}
+			if rr.Type() == qtype {
+				out = append(out, rr)
+				matched = true
+			}
+		}
+		if matched {
+			return out
+		}
+		// Follow one CNAME link.
+		advanced := false
+		for _, rr := range resp.Answer {
+			if rr.Name == cur && rr.Type() == dnswire.TypeCNAME {
+				out = append(out, rr)
+				cur = rr.Data.(dnswire.CNAME).Target
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return out
+		}
+	}
+	return out
+}
+
+// referralChild returns the child zone a referral from zname points at.
+func referralChild(resp *dnswire.Message, zname dnswire.Name) dnswire.Name {
+	for _, rr := range resp.Authority {
+		if rr.Type() == dnswire.TypeNS && rr.Name != zname && rr.Name.IsSubdomainOf(zname) {
+			return rr.Name
+		}
+	}
+	return ""
+}
+
+// resolveMissingGlue resolves address records for the child zone's name
+// servers when the referral carried no usable glue (out-of-bailiwick
+// servers). Failures are tolerated: iterate detects lack of progress.
+func (cs *CachingServer) resolveMissingGlue(ctx context.Context, child dnswire.Name, depth int) {
+	if child == "" || depth >= maxGlueDepth {
+		return
+	}
+	e := cs.cache.Peek(child, dnswire.TypeNS)
+	if e == nil {
+		return
+	}
+	// Any live cached address already makes the zone usable. Get (not
+	// Peek) so that an expired glue record does not masquerade as usable.
+	for _, rr := range e.RRs {
+		host := rr.Data.(dnswire.NS).Host
+		if cs.cache.Get(host, dnswire.TypeA) != nil {
+			return
+		}
+	}
+	for _, rr := range e.RRs {
+		host := rr.Data.(dnswire.NS).Host
+		if host.IsSubdomainOf(child) {
+			// In-bailiwick without glue: unresolvable without the child
+			// zone itself; skip.
+			continue
+		}
+		if _, err := cs.resolveOne(ctx, host, dnswire.TypeA, depth+1); err == nil {
+			return
+		}
+	}
+}
+
+// isReferral reports whether resp is a downward referral from zname.
+func isReferral(resp *dnswire.Message, zname dnswire.Name) bool {
+	if len(resp.Answer) != 0 || resp.Flags.Authoritative {
+		return false
+	}
+	for _, rr := range resp.Authority {
+		if rr.Type() == dnswire.TypeNS && rr.Name != zname && rr.Name.IsSubdomainOf(zname) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"resilientdns/internal/attack"
+	"resilientdns/internal/dnswire"
+)
+
+func TestServeStaleAnswersAfterFailure(t *testing.T) {
+	f := newFixture(t, Config{ServeStale: 7 * 24 * time.Hour})
+	f.resolveA(t, "www.ucla.edu.") // warm
+	// Everything goes dark: root, TLDs, and the leaf zone too.
+	f.net.SetAttack(attack.Schedule{attack.NewWindow(f.clock.Now(), 24*time.Hour,
+		dnswire.Root, dnswire.MustName("edu."), dnswire.MustName("com."),
+		dnswire.MustName("ucla.edu."))})
+	f.clock.Advance(2 * time.Hour) // the A record (300s) and ucla IRR (1h) expired
+
+	res := f.resolveA(t, "www.ucla.edu.")
+	if !res.FromCache || len(res.Answer) != 1 {
+		t.Fatalf("stale answer = %+v", res)
+	}
+	if res.Answer[0].Data.String() != "10.9.9.9" {
+		t.Errorf("stale data = %v", res.Answer[0].Data)
+	}
+	if res.Answer[0].TTL != 30 {
+		t.Errorf("stale TTL = %d, want 30", res.Answer[0].TTL)
+	}
+	if st := f.cs.Stats(); st.StaleAnswers != 1 {
+		t.Errorf("StaleAnswers = %d, want 1", st.StaleAnswers)
+	}
+}
+
+func TestServeStaleUsesStaleIRRs(t *testing.T) {
+	// Root+TLDs dark but the leaf zone alive: stale IRRs must route the
+	// query to the living ucla servers and return FRESH data.
+	f := newFixture(t, Config{ServeStale: 7 * 24 * time.Hour})
+	f.resolveA(t, "www.ucla.edu.")
+	f.net.SetAttack(attack.RootAndTLDs(f.clock.Now(), 24*time.Hour, []dnswire.Name{
+		dnswire.Root, dnswire.MustName("edu."), dnswire.MustName("com."),
+	}))
+	f.clock.Advance(2 * time.Hour) // ucla IRR (1h) expired
+
+	res := f.resolveA(t, "www.ucla.edu.")
+	if len(res.Answer) != 1 {
+		t.Fatalf("answer = %+v", res)
+	}
+	// The answer came fresh from the ucla servers via stale IRRs, so the
+	// TTL is the authoritative 300, not the stale-serve 30.
+	if res.Answer[0].TTL != 300 {
+		t.Errorf("TTL = %d, want 300 (fresh data via stale IRRs)", res.Answer[0].TTL)
+	}
+}
+
+func TestServeStaleOffByDefault(t *testing.T) {
+	f := newFixture(t, Config{})
+	f.resolveA(t, "www.ucla.edu.")
+	f.net.SetAttack(attack.Schedule{attack.NewWindow(f.clock.Now(), 24*time.Hour,
+		dnswire.Root, dnswire.MustName("edu."), dnswire.MustName("com."),
+		dnswire.MustName("ucla.edu."))})
+	f.clock.Advance(2 * time.Hour)
+	if _, err := f.cs.Resolve(context.Background(), dnswire.MustName("www.ucla.edu."), dnswire.TypeA); err == nil {
+		t.Fatal("resolution succeeded without serve-stale while all servers are down")
+	}
+}
+
+func TestServeStaleWindowExpires(t *testing.T) {
+	f := newFixture(t, Config{ServeStale: time.Hour})
+	f.resolveA(t, "www.ucla.edu.")
+	f.net.SetAttack(attack.Schedule{attack.NewWindow(f.clock.Now(), 90*24*time.Hour,
+		dnswire.Root, dnswire.MustName("edu."), dnswire.MustName("com."),
+		dnswire.MustName("ucla.edu."))})
+	// Far past the stale window (records expired > 1h ago).
+	f.clock.Advance(6 * time.Hour)
+	if _, err := f.cs.Resolve(context.Background(), dnswire.MustName("www.ucla.edu."), dnswire.TypeA); err == nil {
+		t.Fatal("stale record served beyond the KeepStale window")
+	}
+}
+
+func TestPrefetchExtendsHotAnswer(t *testing.T) {
+	f := newFixture(t, Config{Prefetch: true})
+	f.resolveA(t, "www.ucla.edu.") // A record TTL 300s
+	// Query again at 95% of the TTL: prefetch fires and restarts it.
+	f.clock.Advance(290 * time.Second)
+	before := f.cs.Stats().PrefetchQueries
+	f.resolveA(t, "www.ucla.edu.")
+	if got := f.cs.Stats().PrefetchQueries - before; got != 1 {
+		t.Fatalf("PrefetchQueries delta = %d, want 1", got)
+	}
+	// Another 290s later the entry is still alive thanks to the prefetch.
+	f.clock.Advance(290 * time.Second)
+	res := f.resolveA(t, "www.ucla.edu.")
+	if !res.FromCache {
+		t.Error("record expired despite prefetch")
+	}
+}
+
+func TestPrefetchQuietWhenFresh(t *testing.T) {
+	f := newFixture(t, Config{Prefetch: true})
+	f.resolveA(t, "www.ucla.edu.")
+	f.clock.Advance(30 * time.Second) // only 10% of TTL elapsed
+	f.resolveA(t, "www.ucla.edu.")
+	if got := f.cs.Stats().PrefetchQueries; got != 0 {
+		t.Errorf("PrefetchQueries = %d, want 0 for a fresh entry", got)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"resilientdns/internal/dnswire"
+)
+
+// maxChainDepth bounds DS→DNSKEY chain walks.
+const maxChainDepth = 8
+
+// ErrBogus reports a DNSSEC validation failure: the zone chain is signed
+// but the data does not verify.
+var ErrBogus = errors.New("core: DNSSEC validation failed (bogus)")
+
+// ensureTrusted establishes the DS→DNSKEY chain from the trust anchors
+// down to zname. It returns whether the zone is securely delegated
+// (false = provably unsigned/insecure, which is acceptable) or an error
+// when the chain is bogus or unreachable.
+func (cs *CachingServer) ensureTrusted(ctx context.Context, zname dnswire.Name, depth int) (bool, error) {
+	if cs.validator == nil {
+		return false, nil
+	}
+	if len(cs.validator.TrustedKeys(zname)) > 0 {
+		return true, nil
+	}
+	if zname.IsRoot() {
+		// The root is only ever trusted via the configured anchors.
+		return false, nil
+	}
+	if cs.insecure[zname] {
+		return false, nil
+	}
+	if depth > maxChainDepth {
+		return false, fmt.Errorf("%w: trust chain deeper than %d at %s", ErrBogus, maxChainDepth, zname)
+	}
+
+	// 1. The DS set for zname, served authoritatively by the parent side.
+	dsSet, dsSig, err := cs.fetchRRSetWithSig(ctx, zname, dnswire.TypeDS, depth)
+	if err != nil {
+		return false, fmt.Errorf("fetching DS for %s: %w", zname, err)
+	}
+	if len(dsSet) == 0 {
+		// No DS: an insecure delegation. (Without NSEC we accept the
+		// parent's negative answer at face value.)
+		cs.insecure[zname] = true
+		return false, nil
+	}
+	sig, ok := dsSig.Data.(dnswire.RRSIG)
+	if !ok {
+		return false, fmt.Errorf("%w: DS set for %s carries no signature", ErrBogus, zname)
+	}
+
+	// 2. The signer (the parent zone) must itself be trusted.
+	parentSecure, err := cs.ensureTrusted(ctx, sig.SignerName, depth+1)
+	if err != nil {
+		return false, err
+	}
+	if !parentSecure {
+		cs.insecure[zname] = true
+		return false, nil
+	}
+
+	// 3. The child's self-signed DNSKEY set must match the DS.
+	keySet, keySig, err := cs.fetchRRSetWithSig(ctx, zname, dnswire.TypeDNSKEY, depth)
+	if err != nil {
+		return false, fmt.Errorf("fetching DNSKEY for %s: %w", zname, err)
+	}
+	if len(keySet) == 0 {
+		return false, fmt.Errorf("%w: signed delegation %s publishes no DNSKEY", ErrBogus, zname)
+	}
+	now := cs.cfg.Clock.Now()
+	if err := cs.validator.ValidateDelegation(sig.SignerName, zname, dsSet, dsSig, keySet, keySig, now); err != nil {
+		return false, fmt.Errorf("%w: %v", ErrBogus, err)
+	}
+	return true, nil
+}
+
+// fetchRRSetWithSig resolves (qname, qtype) over the network and returns
+// the RRset together with its covering RRSIG from the same response. An
+// authoritative negative answer returns an empty set and no error.
+func (cs *CachingServer) fetchRRSetWithSig(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, depth int) ([]dnswire.RR, dnswire.RR, error) {
+	res, raw, err := cs.iterate(ctx, qname, qtype, depth+1, false, false)
+	if err != nil {
+		return nil, dnswire.RR{}, err
+	}
+	if res.RCode != dnswire.RCodeNoError || raw == nil {
+		return nil, dnswire.RR{}, nil // negative: insecure/absent
+	}
+	var set []dnswire.RR
+	var sig dnswire.RR
+	for _, rr := range raw.Answer {
+		if rr.Name != qname {
+			continue
+		}
+		if rr.Type() == qtype {
+			set = append(set, rr)
+		}
+		if s, ok := rr.Data.(dnswire.RRSIG); ok && s.TypeCovered == qtype {
+			sig = rr
+		}
+	}
+	return set, sig, nil
+}
+
+// validateAnswer verifies the RRSIGs over every answer RRset in resp,
+// walking the trust chain as needed. Insecure (unsigned) zones pass
+// unvalidated, matching standard resolver behaviour.
+func (cs *CachingServer) validateAnswer(ctx context.Context, zname dnswire.Name, resp *dnswire.Message, depth int) error {
+	secure, err := cs.ensureTrusted(ctx, zname, depth)
+	if err != nil {
+		return err
+	}
+	if !secure {
+		return nil
+	}
+	now := cs.cfg.Clock.Now()
+	for _, set := range groupRRSets(resp.Answer) {
+		if set[0].Type() == dnswire.TypeRRSIG {
+			continue
+		}
+		sigRR, ok := findSig(resp.Answer, set[0].Name, set[0].Type())
+		if !ok {
+			return fmt.Errorf("%w: no RRSIG over %s %s from secure zone %s",
+				ErrBogus, set[0].Name, set[0].Type(), zname)
+		}
+		signer := sigRR.Data.(dnswire.RRSIG).SignerName
+		signerSecure, err := cs.ensureTrusted(ctx, signer, depth)
+		if err != nil {
+			return err
+		}
+		if !signerSecure {
+			continue // cross-zone CNAME target in an unsigned zone
+		}
+		if err := cs.validator.ValidateRRSet(signer, sigRR, set, now); err != nil {
+			return fmt.Errorf("%w: %s %s: %v", ErrBogus, set[0].Name, set[0].Type(), err)
+		}
+	}
+	return nil
+}
+
+// findSig locates the RRSIG covering (owner, t) in a section.
+func findSig(rrs []dnswire.RR, owner dnswire.Name, t dnswire.Type) (dnswire.RR, bool) {
+	for _, rr := range rrs {
+		if rr.Name != owner {
+			continue
+		}
+		if s, ok := rr.Data.(dnswire.RRSIG); ok && s.TypeCovered == t {
+			return rr, true
+		}
+	}
+	return dnswire.RR{}, false
+}
+
+// SecureZone reports whether zname currently has a validated key chain
+// (true), is known insecure (false), with ok=false when undetermined.
+func (cs *CachingServer) SecureZone(zname dnswire.Name) (secure, known bool) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.validator == nil {
+		return false, false
+	}
+	if len(cs.validator.TrustedKeys(zname)) > 0 {
+		return true, true
+	}
+	if cs.insecure[zname] {
+		return false, true
+	}
+	return false, false
+}

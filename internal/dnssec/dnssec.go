@@ -1,0 +1,261 @@
+// Package dnssec implements DNSSEC signing and validation with the
+// Ed25519 algorithm (RFC 8080, algorithm 15): DNSKEY/DS/RRSIG generation,
+// canonical RRset encoding (RFC 4034 §6), RRset signature verification,
+// whole-zone signing, and DS-chain validation.
+//
+// The paper's §6 observes that DNSSEC introduces new infrastructure
+// resource records — the DS set at the parent and the DNSKEY set at the
+// child — and that the refresh/renewal/long-TTL techniques extend to
+// them. This package provides the substrate that makes that extension
+// concrete: signed zones whose DS/DNSKEY records flow through the same
+// caching machinery as NS/glue.
+package dnssec
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"resilientdns/internal/dnswire"
+)
+
+// AlgEd25519 is the DNSSEC algorithm number for Ed25519 (RFC 8080).
+const AlgEd25519 = 15
+
+// DigestSHA256 is the DS digest type for SHA-256 (RFC 4509).
+const DigestSHA256 = 2
+
+// protocolDNSSEC is the fixed DNSKEY protocol octet (RFC 4034 §2.1.2).
+const protocolDNSSEC = 3
+
+// Signer holds a zone's signing key.
+type Signer struct {
+	// Zone is the apex the key signs for.
+	Zone dnswire.Name
+	// Key is the public key record (owner = Zone).
+	Key dnswire.DNSKEY
+	// KeyTTL is the TTL used for the DNSKEY RRset.
+	KeyTTL uint32
+
+	priv ed25519.PrivateKey
+}
+
+// GenerateSigner creates an Ed25519 zone-signing key for zone. rand may
+// be nil to use crypto/rand; tests pass a deterministic reader.
+func GenerateSigner(zone dnswire.Name, keyTTL uint32, rand io.Reader) (*Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("dnssec: generating key for %s: %w", zone, err)
+	}
+	return &Signer{
+		Zone: zone,
+		Key: dnswire.DNSKEY{
+			Flags:     dnswire.DNSKEYFlagZone | dnswire.DNSKEYFlagSEP,
+			Protocol:  protocolDNSSEC,
+			Algorithm: AlgEd25519,
+			PublicKey: append([]byte(nil), pub...),
+		},
+		KeyTTL: keyTTL,
+		priv:   priv,
+	}, nil
+}
+
+// KeyRR returns the signer's DNSKEY resource record.
+func (s *Signer) KeyRR() dnswire.RR {
+	return dnswire.RR{Name: s.Zone, Class: dnswire.ClassIN, TTL: s.KeyTTL, Data: s.Key}
+}
+
+// KeyTag computes the RFC 4034 Appendix B key tag of a DNSKEY.
+func KeyTag(k dnswire.DNSKEY) (uint16, error) {
+	rdata, err := dnswire.CanonicalRDataWire(k)
+	if err != nil {
+		return 0, err
+	}
+	var acc uint32
+	for i, b := range rdata {
+		if i&1 == 0 {
+			acc += uint32(b) << 8
+		} else {
+			acc += uint32(b)
+		}
+	}
+	acc += (acc >> 16) & 0xFFFF
+	return uint16(acc & 0xFFFF), nil
+}
+
+// DSFromKey builds the parent-side DS record for a zone's DNSKEY.
+func DSFromKey(zone dnswire.Name, k dnswire.DNSKEY, ttl uint32) (dnswire.RR, error) {
+	tag, err := KeyTag(k)
+	if err != nil {
+		return dnswire.RR{}, err
+	}
+	ownerWire, err := dnswire.CanonicalNameWire(zone)
+	if err != nil {
+		return dnswire.RR{}, err
+	}
+	rdata, err := dnswire.CanonicalRDataWire(k)
+	if err != nil {
+		return dnswire.RR{}, err
+	}
+	h := sha256.New()
+	h.Write(ownerWire)
+	h.Write(rdata)
+	return dnswire.RR{
+		Name: zone, Class: dnswire.ClassIN, TTL: ttl,
+		Data: dnswire.DS{
+			KeyTag:     tag,
+			Algorithm:  AlgEd25519,
+			DigestType: DigestSHA256,
+			Digest:     h.Sum(nil),
+		},
+	}, nil
+}
+
+// VerifyDS checks that a DS record matches a DNSKEY.
+func VerifyDS(ds dnswire.DS, zone dnswire.Name, k dnswire.DNSKEY) error {
+	want, err := DSFromKey(zone, k, 0)
+	if err != nil {
+		return err
+	}
+	wantDS := want.Data.(dnswire.DS)
+	if ds.KeyTag != wantDS.KeyTag || ds.Algorithm != wantDS.Algorithm ||
+		ds.DigestType != wantDS.DigestType || !bytes.Equal(ds.Digest, wantDS.Digest) {
+		return fmt.Errorf("dnssec: DS does not match DNSKEY for %s", zone)
+	}
+	return nil
+}
+
+// signatureInput builds the RFC 4034 §3.1.8.1 signed data: the RRSIG
+// RDATA minus the signature, followed by the canonical RRset.
+func signatureInput(sig dnswire.RRSIG, rrs []dnswire.RR) ([]byte, error) {
+	if len(rrs) == 0 {
+		return nil, errors.New("dnssec: empty RRset")
+	}
+	var buf bytes.Buffer
+	// RRSIG RDATA with empty signature field.
+	head := sig
+	head.Signature = nil
+	headWire, err := dnswire.CanonicalRDataWire(head)
+	if err != nil {
+		return nil, err
+	}
+	buf.Write(headWire)
+
+	// Canonical RRs: owner lowercase, original TTL, sorted by RDATA wire.
+	type wireRR struct {
+		rdata []byte
+		rr    dnswire.RR
+	}
+	wires := make([]wireRR, 0, len(rrs))
+	for _, rr := range rrs {
+		rd, err := dnswire.CanonicalRDataWire(rr.Data)
+		if err != nil {
+			return nil, err
+		}
+		wires = append(wires, wireRR{rdata: rd, rr: rr})
+	}
+	sort.Slice(wires, func(i, j int) bool {
+		return bytes.Compare(wires[i].rdata, wires[j].rdata) < 0
+	})
+	ownerWire, err := dnswire.CanonicalNameWire(rrs[0].Name)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range wires {
+		buf.Write(ownerWire)
+		var fixed [10]byte
+		binary.BigEndian.PutUint16(fixed[0:], uint16(w.rr.Type()))
+		binary.BigEndian.PutUint16(fixed[2:], uint16(w.rr.Class))
+		binary.BigEndian.PutUint32(fixed[4:], sig.OrigTTL)
+		binary.BigEndian.PutUint16(fixed[8:], uint16(len(w.rdata)))
+		buf.Write(fixed[:])
+		buf.Write(w.rdata)
+	}
+	return buf.Bytes(), nil
+}
+
+// SignRRSet signs one RRset, valid over [inception, expiration].
+func (s *Signer) SignRRSet(rrs []dnswire.RR, inception, expiration time.Time) (dnswire.RR, error) {
+	if len(rrs) == 0 {
+		return dnswire.RR{}, errors.New("dnssec: empty RRset")
+	}
+	owner := rrs[0].Name
+	for _, rr := range rrs[1:] {
+		if rr.Name != owner || rr.Type() != rrs[0].Type() {
+			return dnswire.RR{}, errors.New("dnssec: mixed RRset")
+		}
+	}
+	if !owner.IsSubdomainOf(s.Zone) {
+		return dnswire.RR{}, fmt.Errorf("dnssec: %s outside zone %s", owner, s.Zone)
+	}
+	tag, err := KeyTag(s.Key)
+	if err != nil {
+		return dnswire.RR{}, err
+	}
+	sig := dnswire.RRSIG{
+		TypeCovered: rrs[0].Type(),
+		Algorithm:   AlgEd25519,
+		Labels:      uint8(owner.LabelCount()),
+		OrigTTL:     rrs[0].TTL,
+		Expiration:  uint32(expiration.Unix()),
+		Inception:   uint32(inception.Unix()),
+		KeyTag:      tag,
+		SignerName:  s.Zone,
+	}
+	input, err := signatureInput(sig, rrs)
+	if err != nil {
+		return dnswire.RR{}, err
+	}
+	sig.Signature = ed25519.Sign(s.priv, input)
+	return dnswire.RR{Name: owner, Class: dnswire.ClassIN, TTL: rrs[0].TTL, Data: sig}, nil
+}
+
+// VerifyRRSet checks an RRset signature against a DNSKEY at time now.
+func VerifyRRSet(key dnswire.DNSKEY, sigRR dnswire.RR, rrs []dnswire.RR, now time.Time) error {
+	sig, ok := sigRR.Data.(dnswire.RRSIG)
+	if !ok {
+		return errors.New("dnssec: not an RRSIG record")
+	}
+	if key.Algorithm != AlgEd25519 || sig.Algorithm != AlgEd25519 {
+		return fmt.Errorf("dnssec: unsupported algorithm %d/%d", key.Algorithm, sig.Algorithm)
+	}
+	if len(rrs) == 0 {
+		return errors.New("dnssec: empty RRset")
+	}
+	if sig.TypeCovered != rrs[0].Type() {
+		return fmt.Errorf("dnssec: RRSIG covers %s, RRset is %s", sig.TypeCovered, rrs[0].Type())
+	}
+	ts := uint32(now.Unix())
+	if ts < sig.Inception || ts > sig.Expiration {
+		return fmt.Errorf("dnssec: signature outside validity window")
+	}
+	tag, err := KeyTag(key)
+	if err != nil {
+		return err
+	}
+	if tag != sig.KeyTag {
+		return fmt.Errorf("dnssec: key tag mismatch (%d vs %d)", tag, sig.KeyTag)
+	}
+	// Verification uses the RRset with the original TTL, so caches that
+	// decremented TTLs must restore OrigTTL first; our callers pass the
+	// cached copies which keep original TTLs.
+	norm := make([]dnswire.RR, len(rrs))
+	copy(norm, rrs)
+	for i := range norm {
+		norm[i].TTL = sig.OrigTTL
+	}
+	input, err := signatureInput(sig, norm)
+	if err != nil {
+		return err
+	}
+	if !ed25519.Verify(ed25519.PublicKey(key.PublicKey), input, sig.Signature) {
+		return errors.New("dnssec: signature verification failed")
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package dnssec
+
+import (
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/zone"
+)
+
+var (
+	now        = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	inception  = now.Add(-time.Hour)
+	expiration = now.Add(30 * 24 * time.Hour)
+)
+
+// detRand is a deterministic reader for reproducible keys in tests.
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func testSigner(t *testing.T, zoneName string, seed int64) *Signer {
+	t.Helper()
+	s, err := GenerateSigner(dnswire.MustName(zoneName), 3600, detRand{rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatalf("GenerateSigner: %v", err)
+	}
+	return s
+}
+
+func rrA(name string, ttl uint32, ip string) dnswire.RR {
+	return dnswire.RR{
+		Name: dnswire.MustName(name), Class: dnswire.ClassIN, TTL: ttl,
+		Data: dnswire.A{Addr: netip.MustParseAddr(ip)},
+	}
+}
+
+func rrNS(name string, ttl uint32, host string) dnswire.RR {
+	return dnswire.RR{
+		Name: dnswire.MustName(name), Class: dnswire.ClassIN, TTL: ttl,
+		Data: dnswire.NS{Host: dnswire.MustName(host)},
+	}
+}
+
+func TestSignAndVerifyRRSet(t *testing.T) {
+	s := testSigner(t, "example.", 1)
+	set := []dnswire.RR{
+		rrA("www.example.", 300, "192.0.2.1"),
+		rrA("www.example.", 300, "192.0.2.2"),
+	}
+	sig, err := s.SignRRSet(set, inception, expiration)
+	if err != nil {
+		t.Fatalf("SignRRSet: %v", err)
+	}
+	if err := VerifyRRSet(s.Key, sig, set, now); err != nil {
+		t.Errorf("VerifyRRSet: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedData(t *testing.T) {
+	s := testSigner(t, "example.", 1)
+	set := []dnswire.RR{rrA("www.example.", 300, "192.0.2.1")}
+	sig, err := s.SignRRSet(set, inception, expiration)
+	if err != nil {
+		t.Fatalf("SignRRSet: %v", err)
+	}
+	forged := []dnswire.RR{rrA("www.example.", 300, "192.0.2.99")}
+	if err := VerifyRRSet(s.Key, sig, forged, now); err == nil {
+		t.Error("tampered RRset verified")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	s1 := testSigner(t, "example.", 1)
+	s2 := testSigner(t, "example.", 2)
+	set := []dnswire.RR{rrA("www.example.", 300, "192.0.2.1")}
+	sig, err := s1.SignRRSet(set, inception, expiration)
+	if err != nil {
+		t.Fatalf("SignRRSet: %v", err)
+	}
+	if err := VerifyRRSet(s2.Key, sig, set, now); err == nil {
+		t.Error("signature verified with the wrong key")
+	}
+}
+
+func TestVerifyRespectsValidityWindow(t *testing.T) {
+	s := testSigner(t, "example.", 1)
+	set := []dnswire.RR{rrA("www.example.", 300, "192.0.2.1")}
+	sig, err := s.SignRRSet(set, inception, expiration)
+	if err != nil {
+		t.Fatalf("SignRRSet: %v", err)
+	}
+	if err := VerifyRRSet(s.Key, sig, set, inception.Add(-time.Hour)); err == nil {
+		t.Error("signature verified before inception")
+	}
+	if err := VerifyRRSet(s.Key, sig, set, expiration.Add(time.Hour)); err == nil {
+		t.Error("signature verified after expiration")
+	}
+}
+
+func TestVerifyIgnoresRRsetOrderAndTTL(t *testing.T) {
+	s := testSigner(t, "example.", 1)
+	set := []dnswire.RR{
+		rrA("www.example.", 300, "192.0.2.2"),
+		rrA("www.example.", 300, "192.0.2.1"),
+	}
+	sig, err := s.SignRRSet(set, inception, expiration)
+	if err != nil {
+		t.Fatalf("SignRRSet: %v", err)
+	}
+	reordered := []dnswire.RR{set[1], set[0]}
+	reordered[0].TTL = 17 // decremented cached TTL must not break verification
+	reordered[1].TTL = 17
+	if err := VerifyRRSet(s.Key, sig, reordered, now); err != nil {
+		t.Errorf("VerifyRRSet with reordered/decremented set: %v", err)
+	}
+}
+
+func TestKeyTagStable(t *testing.T) {
+	s := testSigner(t, "example.", 1)
+	a, err := KeyTag(s.Key)
+	if err != nil {
+		t.Fatalf("KeyTag: %v", err)
+	}
+	b, err := KeyTag(s.Key)
+	if err != nil {
+		t.Fatalf("KeyTag: %v", err)
+	}
+	if a != b {
+		t.Errorf("key tag unstable: %d vs %d", a, b)
+	}
+	other := testSigner(t, "example.", 2)
+	c, _ := KeyTag(other.Key)
+	if a == c {
+		t.Error("different keys produced the same tag (unlikely)")
+	}
+}
+
+func TestDSMatchesKey(t *testing.T) {
+	s := testSigner(t, "example.", 1)
+	dsRR, err := DSFromKey(s.Zone, s.Key, 3600)
+	if err != nil {
+		t.Fatalf("DSFromKey: %v", err)
+	}
+	ds := dsRR.Data.(dnswire.DS)
+	if err := VerifyDS(ds, s.Zone, s.Key); err != nil {
+		t.Errorf("VerifyDS: %v", err)
+	}
+	other := testSigner(t, "example.", 2)
+	if err := VerifyDS(ds, s.Zone, other.Key); err == nil {
+		t.Error("DS verified against the wrong key")
+	}
+}
+
+func TestDNSSECRecordsWireRoundTrip(t *testing.T) {
+	s := testSigner(t, "example.", 1)
+	set := []dnswire.RR{rrA("www.example.", 300, "192.0.2.1")}
+	sig, err := s.SignRRSet(set, inception, expiration)
+	if err != nil {
+		t.Fatalf("SignRRSet: %v", err)
+	}
+	dsRR, err := DSFromKey(s.Zone, s.Key, 3600)
+	if err != nil {
+		t.Fatalf("DSFromKey: %v", err)
+	}
+	m := &dnswire.Message{ID: 1, Answer: []dnswire.RR{s.KeyRR(), sig, dsRR}}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	got, err := dnswire.Unpack(wire)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	// The round-tripped signature must still verify.
+	gotSig := got.Answer[1]
+	gotKey := got.Answer[0].Data.(dnswire.DNSKEY)
+	if err := VerifyRRSet(gotKey, gotSig, set, now); err != nil {
+		t.Errorf("round-tripped signature failed: %v", err)
+	}
+	gotDS := got.Answer[2].Data.(dnswire.DS)
+	if err := VerifyDS(gotDS, s.Zone, gotKey); err != nil {
+		t.Errorf("round-tripped DS failed: %v", err)
+	}
+}
+
+func TestSignZone(t *testing.T) {
+	z := zone.New(dnswire.MustName("example."))
+	z.MustAdd(rrNS("example.", 3600, "ns1.example."))
+	z.MustAdd(rrA("ns1.example.", 3600, "192.0.2.1"))
+	z.MustAdd(rrA("www.example.", 300, "192.0.2.80"))
+	// A delegation whose records must NOT be signed.
+	z.MustAdd(rrNS("child.example.", 3600, "ns1.child.example."))
+	z.MustAdd(rrA("ns1.child.example.", 3600, "192.0.2.9"))
+
+	s := testSigner(t, "example.", 3)
+	dsRR, err := SignZone(z, s, inception, expiration)
+	if err != nil {
+		t.Fatalf("SignZone: %v", err)
+	}
+	if dsRR.Type() != dnswire.TypeDS {
+		t.Errorf("SignZone returned %s, want DS", dsRR.Type())
+	}
+
+	// The apex DNSKEY is published and signed.
+	if set := z.RRSet(dnswire.MustName("example."), dnswire.TypeDNSKEY); len(set) != 1 {
+		t.Fatalf("DNSKEY set = %v", set)
+	}
+	sigs := 0
+	for _, rr := range z.Records() {
+		if sig, ok := rr.Data.(dnswire.RRSIG); ok {
+			sigs++
+			if strings.HasSuffix(string(rr.Name), "child.example.") {
+				t.Errorf("delegation data signed: %v", rr)
+			}
+			// Every signature must verify against the zone key.
+			covered := z.RRSet(rr.Name, sig.TypeCovered)
+			if err := VerifyRRSet(s.Key, rr, covered, now); err != nil {
+				t.Errorf("signature over %s %s invalid: %v", rr.Name, sig.TypeCovered, err)
+			}
+		}
+	}
+	// Apex NS, apex DNSKEY, ns1 A, www A — four signed RRsets.
+	if sigs != 4 {
+		t.Errorf("zone has %d RRSIGs, want 4", sigs)
+	}
+}
+
+func TestValidatorChain(t *testing.T) {
+	// Root signs a DS for child; child's keys become trusted; a child
+	// answer validates.
+	rootSigner := testSigner(t, ".", 10)
+	childSigner := testSigner(t, "example.", 11)
+
+	dsRR, err := DSFromKey(childSigner.Zone, childSigner.Key, 3600)
+	if err != nil {
+		t.Fatalf("DSFromKey: %v", err)
+	}
+	dsSet := []dnswire.RR{dsRR}
+	dsSig, err := rootSigner.SignRRSet(dsSet, inception, expiration)
+	if err != nil {
+		t.Fatalf("sign DS: %v", err)
+	}
+	keySet := []dnswire.RR{childSigner.KeyRR()}
+	keySig, err := childSigner.SignRRSet(keySet, inception, expiration)
+	if err != nil {
+		t.Fatalf("sign DNSKEY: %v", err)
+	}
+
+	v := NewValidator(rootSigner.KeyRR())
+	if err := v.ValidateDelegation(dnswire.Root, childSigner.Zone, dsSet, dsSig, keySet, keySig, now); err != nil {
+		t.Fatalf("ValidateDelegation: %v", err)
+	}
+
+	answer := []dnswire.RR{rrA("www.example.", 300, "192.0.2.1")}
+	answerSig, err := childSigner.SignRRSet(answer, inception, expiration)
+	if err != nil {
+		t.Fatalf("sign answer: %v", err)
+	}
+	if err := v.ValidateRRSet(childSigner.Zone, answerSig, answer, now); err != nil {
+		t.Errorf("ValidateRRSet: %v", err)
+	}
+}
+
+func TestValidatorRejectsForgedDelegation(t *testing.T) {
+	rootSigner := testSigner(t, ".", 10)
+	childSigner := testSigner(t, "example.", 11)
+	attacker := testSigner(t, "example.", 12)
+
+	// DS points at the legitimate child key, but the attacker presents
+	// their own key set.
+	dsRR, _ := DSFromKey(childSigner.Zone, childSigner.Key, 3600)
+	dsSet := []dnswire.RR{dsRR}
+	dsSig, _ := rootSigner.SignRRSet(dsSet, inception, expiration)
+	forgedKeys := []dnswire.RR{attacker.KeyRR()}
+	forgedSig, _ := attacker.SignRRSet(forgedKeys, inception, expiration)
+
+	v := NewValidator(rootSigner.KeyRR())
+	if err := v.ValidateDelegation(dnswire.Root, childSigner.Zone, dsSet, dsSig, forgedKeys, forgedSig, now); err == nil {
+		t.Error("forged delegation validated")
+	}
+}
+
+func TestValidatorNoAnchor(t *testing.T) {
+	v := NewValidator()
+	s := testSigner(t, "example.", 1)
+	set := []dnswire.RR{rrA("www.example.", 300, "192.0.2.1")}
+	sig, _ := s.SignRRSet(set, inception, expiration)
+	if err := v.ValidateRRSet(s.Zone, sig, set, now); err == nil {
+		t.Error("validation succeeded without a trust anchor")
+	}
+}
+
+func TestSignRRSetRejectsMixedSet(t *testing.T) {
+	s := testSigner(t, "example.", 1)
+	mixed := []dnswire.RR{
+		rrA("www.example.", 300, "192.0.2.1"),
+		rrA("ftp.example.", 300, "192.0.2.2"),
+	}
+	if _, err := s.SignRRSet(mixed, inception, expiration); err == nil {
+		t.Error("mixed RRset signed")
+	}
+}
+
+func TestSignRRSetRejectsOutOfZone(t *testing.T) {
+	s := testSigner(t, "example.", 1)
+	out := []dnswire.RR{rrA("www.other.", 300, "192.0.2.1")}
+	if _, err := s.SignRRSet(out, inception, expiration); err == nil {
+		t.Error("out-of-zone RRset signed")
+	}
+}
+
+func TestSignedZoneStringRoundTrip(t *testing.T) {
+	// A zone signed in-memory serialises to master-file format and
+	// re-parses losslessly, signatures included.
+	z, err := zone.ParseString(`
+@	3600	IN	NS	ns.example.
+ns	3600	IN	A	192.0.2.1
+www	300	IN	A	192.0.2.80
+`, dnswire.MustName("example."))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s := testSigner(t, "example.", 77)
+	if _, err := SignZone(z, s, inception, expiration); err != nil {
+		t.Fatalf("SignZone: %v", err)
+	}
+	z2, err := zone.ParseString(z.String(), z.Origin())
+	if err != nil {
+		t.Fatalf("reparse signed zone: %v", err)
+	}
+	if z2.RecordCount() != z.RecordCount() {
+		t.Errorf("record count %d after round trip, want %d", z2.RecordCount(), z.RecordCount())
+	}
+	// Signatures still verify after the textual round trip.
+	sigs := z2.RRSet(dnswire.MustName("www.example."), dnswire.TypeRRSIG)
+	if len(sigs) != 1 {
+		t.Fatalf("RRSIG = %v", sigs)
+	}
+	set := z2.RRSet(dnswire.MustName("www.example."), dnswire.TypeA)
+	if err := VerifyRRSet(s.Key, sigs[0], set, now); err != nil {
+		t.Errorf("round-tripped signature invalid: %v", err)
+	}
+}

@@ -1,0 +1,41 @@
+package dnssec_test
+
+import (
+	"fmt"
+	"time"
+
+	"resilientdns/internal/dnssec"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/zone"
+)
+
+// Example signs a zone and verifies one of its RRsets.
+func Example() {
+	z, err := zone.ParseString(`
+@	3600	IN	NS	ns1.example.
+ns1	3600	IN	A	192.0.2.1
+www	300	IN	A	192.0.2.80
+`, dnswire.MustName("example."))
+	if err != nil {
+		panic(err)
+	}
+
+	signer, err := dnssec.GenerateSigner(dnswire.MustName("example."), 3600, nil)
+	if err != nil {
+		panic(err)
+	}
+	now := time.Now()
+	ds, err := dnssec.SignZone(z, signer, now.Add(-time.Hour), now.Add(24*time.Hour))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("DS type for the parent:", ds.Type())
+
+	set := z.RRSet(dnswire.MustName("www.example."), dnswire.TypeA)
+	sigs := z.RRSet(dnswire.MustName("www.example."), dnswire.TypeRRSIG)
+	err = dnssec.VerifyRRSet(signer.Key, sigs[0], set, now)
+	fmt.Println("signature valid:", err == nil)
+	// Output:
+	// DS type for the parent: DS
+	// signature valid: true
+}

@@ -1,0 +1,158 @@
+package dnssec
+
+import (
+	"fmt"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/zone"
+)
+
+// SignZone signs every authoritative RRset in z with the signer: it adds
+// the DNSKEY RRset at the apex, an RRSIG per RRset, and returns the DS
+// record the parent zone should publish. Delegation NS sets and glue
+// below zone cuts are not signed (they are the child's data, per RFC
+// 4035 §2.2); the DS for each child must be added by the caller if the
+// children are signed too.
+func SignZone(z *zone.Zone, s *Signer, inception, expiration time.Time) (dnswire.RR, error) {
+	if z.Origin() != s.Zone {
+		return dnswire.RR{}, fmt.Errorf("dnssec: signer for %s cannot sign zone %s", s.Zone, z.Origin())
+	}
+	// Publish the DNSKEY first so it is signed along with everything else.
+	if err := z.Add(s.KeyRR()); err != nil {
+		return dnswire.RR{}, err
+	}
+
+	cuts := make(map[dnswire.Name]bool)
+	for _, c := range z.Delegations() {
+		cuts[c] = true
+	}
+	below := func(n dnswire.Name) bool {
+		for c := range cuts {
+			if n.IsSubdomainOf(c) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Group records into RRsets.
+	type key struct {
+		name dnswire.Name
+		typ  dnswire.Type
+	}
+	sets := make(map[key][]dnswire.RR)
+	for _, rr := range z.Records() {
+		if rr.Type() == dnswire.TypeRRSIG {
+			continue // do not sign signatures
+		}
+		// Delegation NS and glue are the child's data and stay unsigned,
+		// but the DS RRset at the cut is the parent's own (RFC 4035).
+		if below(rr.Name) && !(rr.Type() == dnswire.TypeDS && cuts[rr.Name]) {
+			continue
+		}
+		k := key{name: rr.Name, typ: rr.Type()}
+		sets[k] = append(sets[k], rr)
+	}
+	for _, set := range sets {
+		sigRR, err := s.SignRRSet(set, inception, expiration)
+		if err != nil {
+			return dnswire.RR{}, fmt.Errorf("dnssec: signing %s %s: %w", set[0].Name, set[0].Type(), err)
+		}
+		if err := z.Add(sigRR); err != nil {
+			return dnswire.RR{}, err
+		}
+	}
+	return DSFromKey(s.Zone, s.Key, s.KeyTTL)
+}
+
+// Validator verifies DS→DNSKEY→RRset chains from a set of trust anchors.
+// It is a pure verifier: the caller supplies the records (typically from
+// a resolver's cache); the validator never performs lookups itself.
+type Validator struct {
+	// anchors maps a zone to its trusted DNSKEY set.
+	anchors map[dnswire.Name][]dnswire.DNSKEY
+}
+
+// NewValidator builds a validator trusting the given DNSKEY RRs (usually
+// the root's).
+func NewValidator(anchorKeys ...dnswire.RR) *Validator {
+	v := &Validator{anchors: make(map[dnswire.Name][]dnswire.DNSKEY)}
+	for _, rr := range anchorKeys {
+		if k, ok := rr.Data.(dnswire.DNSKEY); ok {
+			v.anchors[rr.Name] = append(v.anchors[rr.Name], k)
+		}
+	}
+	return v
+}
+
+// TrustKey marks a zone's DNSKEY as validated, extending the chain.
+func (v *Validator) TrustKey(zone dnswire.Name, k dnswire.DNSKEY) {
+	v.anchors[zone] = append(v.anchors[zone], k)
+}
+
+// TrustedKeys returns the validated keys for a zone.
+func (v *Validator) TrustedKeys(zone dnswire.Name) []dnswire.DNSKEY {
+	return v.anchors[zone]
+}
+
+// ValidateRRSet verifies an RRset signed by signerZone using any of the
+// zone's trusted keys.
+func (v *Validator) ValidateRRSet(signerZone dnswire.Name, sigRR dnswire.RR, rrs []dnswire.RR, now time.Time) error {
+	keys := v.anchors[signerZone]
+	if len(keys) == 0 {
+		return fmt.Errorf("dnssec: no trusted key for %s", signerZone)
+	}
+	var lastErr error
+	for _, k := range keys {
+		if err := VerifyRRSet(k, sigRR, rrs, now); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// ValidateDelegation extends trust from a parent to a child: the DS RRset
+// (signed by the parent) must match the child's DNSKEY, and the child's
+// DNSKEY RRset must be self-signed. On success the child key becomes
+// trusted.
+func (v *Validator) ValidateDelegation(
+	parent, child dnswire.Name,
+	dsSet []dnswire.RR, dsSig dnswire.RR,
+	keySet []dnswire.RR, keySig dnswire.RR,
+	now time.Time,
+) error {
+	if err := v.ValidateRRSet(parent, dsSig, dsSet, now); err != nil {
+		return fmt.Errorf("dnssec: DS set for %s not validated by %s: %w", child, parent, err)
+	}
+	// Find a child key matching any validated DS, then check the key
+	// set's self-signature with it.
+	for _, dsRR := range dsSet {
+		ds, ok := dsRR.Data.(dnswire.DS)
+		if !ok {
+			continue
+		}
+		for _, keyRR := range keySet {
+			k, ok := keyRR.Data.(dnswire.DNSKEY)
+			if !ok {
+				continue
+			}
+			if VerifyDS(ds, child, k) != nil {
+				continue
+			}
+			if err := VerifyRRSet(k, keySig, keySet, now); err != nil {
+				return fmt.Errorf("dnssec: DNSKEY set of %s not self-signed: %w", child, err)
+			}
+			// Trust every key in the now-validated set.
+			for _, rr := range keySet {
+				if kk, ok := rr.Data.(dnswire.DNSKEY); ok {
+					v.TrustKey(child, kk)
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("dnssec: no DNSKEY of %s matches its DS set", child)
+}

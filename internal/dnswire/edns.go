@@ -1,0 +1,36 @@
+package dnswire
+
+// EDNS0 support (RFC 6891), minimal: the OPT pseudo-record advertises the
+// sender's maximum UDP payload size in its CLASS field. Options are
+// carried opaquely by the OPT RData.
+
+// DefaultEDNS0PayloadSize is the payload size this stack advertises.
+const DefaultEDNS0PayloadSize = 4096
+
+// SetEDNS0 attaches (or replaces) an OPT pseudo-record advertising the
+// given UDP payload size.
+func (m *Message) SetEDNS0(payloadSize uint16) {
+	// Remove any existing OPT record first.
+	kept := m.Additional[:0]
+	for _, rr := range m.Additional {
+		if rr.Type() != TypeOPT {
+			kept = append(kept, rr)
+		}
+	}
+	m.Additional = append(kept, RR{
+		Name:  Root,
+		Class: Class(payloadSize), // OPT overloads CLASS as payload size
+		Data:  OPT{},
+	})
+}
+
+// EDNS0PayloadSize returns the UDP payload size advertised by the
+// message's OPT record, or (0, false) when there is none.
+func (m *Message) EDNS0PayloadSize() (uint16, bool) {
+	for _, rr := range m.Additional {
+		if rr.Type() == TypeOPT {
+			return uint16(rr.Class), true
+		}
+	}
+	return 0, false
+}

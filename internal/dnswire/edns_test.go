@@ -1,0 +1,50 @@
+package dnswire
+
+import "testing"
+
+func TestSetEDNS0AndReadBack(t *testing.T) {
+	m := NewQuery(1, MustName("www.example.com."), TypeA)
+	if _, ok := m.EDNS0PayloadSize(); ok {
+		t.Fatal("fresh query claims EDNS0")
+	}
+	m.SetEDNS0(4096)
+	size, ok := m.EDNS0PayloadSize()
+	if !ok || size != 4096 {
+		t.Fatalf("EDNS0PayloadSize = %d, %v", size, ok)
+	}
+}
+
+func TestSetEDNS0Replaces(t *testing.T) {
+	m := NewQuery(1, MustName("x."), TypeA)
+	m.SetEDNS0(1232)
+	m.SetEDNS0(4096)
+	optCount := 0
+	for _, rr := range m.Additional {
+		if rr.Type() == TypeOPT {
+			optCount++
+		}
+	}
+	if optCount != 1 {
+		t.Errorf("found %d OPT records, want 1", optCount)
+	}
+	if size, _ := m.EDNS0PayloadSize(); size != 4096 {
+		t.Errorf("size = %d, want 4096", size)
+	}
+}
+
+func TestEDNS0SurvivesWireRoundTrip(t *testing.T) {
+	m := NewQuery(1, MustName("x."), TypeA)
+	m.SetEDNS0(1232)
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	size, ok := got.EDNS0PayloadSize()
+	if !ok || size != 1232 {
+		t.Errorf("round-trip EDNS0 size = %d, %v", size, ok)
+	}
+}

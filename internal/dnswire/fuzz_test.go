@@ -1,0 +1,73 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnpack exercises the wire decoder with arbitrary bytes: it must
+// never panic, and any message it accepts must re-pack and re-parse to an
+// equivalent wire form (decode/encode stability).
+func FuzzUnpack(f *testing.F) {
+	// Seeds: a real query, a real response, a truncated header, and junk.
+	q := NewQuery(7, MustName("www.example.com."), TypeA)
+	qw, _ := q.Pack()
+	f.Add(qw)
+	r := q.Reply()
+	r.Answer = []RR{{Name: MustName("www.example.com."), Class: ClassIN, TTL: 300,
+		Data: CNAME{Target: MustName("web.example.com.")}}}
+	rw, _ := r.Pack()
+	f.Add(rw)
+	f.Add(rw[:8])
+	f.Add([]byte{0xC0, 0x0C, 0xC0, 0x0C})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			// Some decoded messages cannot be re-encoded (e.g. a TXT
+			// that decoded to zero strings); they must error, not panic.
+			return
+		}
+		m2, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("re-unpack of repacked message failed: %v", err)
+		}
+		w2, err := m2.Pack()
+		if err != nil {
+			t.Fatalf("re-pack failed: %v", err)
+		}
+		if !bytes.Equal(wire, w2) {
+			t.Fatalf("pack not stable:\n%x\n%x", wire, w2)
+		}
+	})
+}
+
+// FuzzCanonicalName checks that name canonicalisation never panics and
+// that accepted names survive wire round trips.
+func FuzzCanonicalName(f *testing.F) {
+	for _, s := range []string{"", ".", "www.example.com", "a..b", "UPPER.Case.", "xn--bcher-kva.example"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := CanonicalName(s)
+		if err != nil {
+			return
+		}
+		wire, err := appendName(nil, n)
+		if err != nil {
+			t.Fatalf("accepted name %q does not encode: %v", n, err)
+		}
+		got, _, err := decodeName(wire, 0)
+		if err != nil {
+			t.Fatalf("accepted name %q does not decode: %v", n, err)
+		}
+		if got != n {
+			t.Fatalf("name round trip: %q -> %q", n, got)
+		}
+	})
+}

@@ -1,0 +1,621 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Message is a complete DNS message: header flags plus the four sections.
+type Message struct {
+	ID     uint16
+	Flags  Flags
+	RCode  RCode
+	Opcode Opcode
+
+	Question   []Question
+	Answer     []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Flags holds the single-bit header flags of a DNS message.
+type Flags struct {
+	Response           bool // QR
+	Authoritative      bool // AA
+	Truncated          bool // TC
+	RecursionDesired   bool // RD
+	RecursionAvailable bool // RA
+	AuthenticData      bool // AD
+	CheckingDisabled   bool // CD
+}
+
+// MaxUDPPayload is the classic maximum DNS-over-UDP message size.
+const MaxUDPPayload = 512
+
+// headerLen is the fixed size of a DNS message header.
+const headerLen = 12
+
+var (
+	// ErrTruncatedMessage reports a message shorter than its header claims.
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	// ErrCompressionLoop reports a compression-pointer cycle.
+	ErrCompressionLoop = errors.New("dnswire: compression pointer loop")
+	// ErrTrailingBytes reports unconsumed bytes after the last section.
+	ErrTrailingBytes = errors.New("dnswire: trailing bytes after message")
+)
+
+// NewQuery builds a standard query message for one question.
+func NewQuery(id uint16, name Name, qtype Type) *Message {
+	return &Message{
+		ID:       id,
+		Question: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+}
+
+// Reply builds a skeleton response to q, echoing its ID and question and
+// setting the QR bit.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		ID:     m.ID,
+		Opcode: m.Opcode,
+		Flags: Flags{
+			Response:         true,
+			RecursionDesired: m.Flags.RecursionDesired,
+		},
+	}
+	r.Question = append(r.Question, m.Question...)
+	return r
+}
+
+// String renders the message in a dig-like textual form, for logs and
+// examples.
+func (m *Message) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ";; id=%d opcode=%s rcode=%s", m.ID, m.Opcode, m.RCode)
+	if m.Flags.Response {
+		b.WriteString(" qr")
+	}
+	if m.Flags.Authoritative {
+		b.WriteString(" aa")
+	}
+	if m.Flags.Truncated {
+		b.WriteString(" tc")
+	}
+	if m.Flags.RecursionDesired {
+		b.WriteString(" rd")
+	}
+	if m.Flags.RecursionAvailable {
+		b.WriteString(" ra")
+	}
+	b.WriteString("\n")
+	for _, q := range m.Question {
+		fmt.Fprintf(&b, ";%s\n", q)
+	}
+	writeSection := func(label string, rrs []RR) {
+		if len(rrs) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, ";; %s:\n", label)
+		for _, rr := range rrs {
+			fmt.Fprintf(&b, "%s\n", rr)
+		}
+	}
+	writeSection("ANSWER", m.Answer)
+	writeSection("AUTHORITY", m.Authority)
+	writeSection("ADDITIONAL", m.Additional)
+	return b.String()
+}
+
+// TruncatedCopy returns a copy of the message with all record sections
+// dropped and the TC bit set, for serving over size-limited UDP (the
+// client retries over TCP).
+func (m *Message) TruncatedCopy() *Message {
+	t := &Message{
+		ID:     m.ID,
+		Flags:  m.Flags,
+		RCode:  m.RCode,
+		Opcode: m.Opcode,
+	}
+	t.Flags.Truncated = true
+	t.Question = append(t.Question, m.Question...)
+	return t
+}
+
+// packer accumulates the wire encoding of a message and tracks name
+// compression targets.
+type packer struct {
+	buf []byte
+	// ptr maps a canonical name to the offset of its first occurrence.
+	ptr map[Name]int
+	// noCompress disables pointer emission entirely (DNSSEC canonical
+	// form, RFC 4034 §6.2).
+	noCompress bool
+}
+
+func (p *packer) appendUint16(v uint16) {
+	p.buf = append(p.buf, byte(v>>8), byte(v))
+}
+
+func (p *packer) appendUint32(v uint32) {
+	p.buf = append(p.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// appendCompressedName appends n, using a compression pointer when a
+// suffix of n has already been written, and recording new suffixes.
+func (p *packer) appendCompressedName(n Name) error {
+	if n == "" {
+		return errors.New("dnswire: empty name")
+	}
+	if p.noCompress {
+		var err error
+		p.buf, err = appendName(p.buf, n)
+		return err
+	}
+	labels := n.Labels()
+	for i := range labels {
+		suffix := Name(strings.Join(labels[i:], ".") + ".")
+		if off, ok := p.ptr[suffix]; ok && off <= 0x3FFF {
+			// Emit the labels before the matched suffix, then the pointer.
+			for _, label := range labels[:i] {
+				if len(label) > MaxLabelLen {
+					return ErrLabelTooLong
+				}
+				p.buf = append(p.buf, byte(len(label)))
+				p.buf = append(p.buf, label...)
+			}
+			p.appendUint16(0xC000 | uint16(off))
+			return nil
+		}
+		// Record this suffix's offset for future pointers.
+		off := len(p.buf)
+		for _, label := range labels[:i] {
+			off += 1 + len(label)
+		}
+		if p.ptr == nil {
+			p.ptr = make(map[Name]int)
+		}
+		if _, ok := p.ptr[suffix]; !ok {
+			p.ptr[suffix] = off
+		}
+	}
+	var err error
+	p.buf, err = appendName(p.buf, n)
+	return err
+}
+
+// appendUncompressedName appends n without using or creating pointers
+// (required for RDATA of types not covered by RFC 1035 compression rules).
+func (p *packer) appendUncompressedName(n Name) error {
+	var err error
+	p.buf, err = appendName(p.buf, n)
+	return err
+}
+
+// Pack encodes the message into wire format with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	p := &packer{buf: make([]byte, 0, 512)}
+	p.appendUint16(m.ID)
+
+	var flags uint16
+	if m.Flags.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(m.Opcode&0xF) << 11
+	if m.Flags.Authoritative {
+		flags |= 1 << 10
+	}
+	if m.Flags.Truncated {
+		flags |= 1 << 9
+	}
+	if m.Flags.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if m.Flags.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	if m.Flags.AuthenticData {
+		flags |= 1 << 5
+	}
+	if m.Flags.CheckingDisabled {
+		flags |= 1 << 4
+	}
+	flags |= uint16(m.RCode & 0xF)
+	p.appendUint16(flags)
+
+	for _, n := range []int{len(m.Question), len(m.Answer), len(m.Authority), len(m.Additional)} {
+		if n > 0xFFFF {
+			return nil, errors.New("dnswire: section too large")
+		}
+		p.appendUint16(uint16(n))
+	}
+
+	for _, q := range m.Question {
+		if err := p.appendCompressedName(q.Name); err != nil {
+			return nil, fmt.Errorf("packing question %s: %w", q.Name, err)
+		}
+		p.appendUint16(uint16(q.Type))
+		p.appendUint16(uint16(q.Class))
+	}
+	for _, section := range [][]RR{m.Answer, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if err := p.appendRR(rr); err != nil {
+				return nil, fmt.Errorf("packing %s %s: %w", rr.Name, rr.Type(), err)
+			}
+		}
+	}
+	return p.buf, nil
+}
+
+func (p *packer) appendRR(rr RR) error {
+	if rr.Data == nil {
+		return errors.New("dnswire: RR with nil data")
+	}
+	if err := p.appendCompressedName(rr.Name); err != nil {
+		return err
+	}
+	p.appendUint16(uint16(rr.Type()))
+	p.appendUint16(uint16(rr.Class))
+	p.appendUint32(rr.TTL)
+	// Reserve RDLENGTH, fill after encoding RDATA.
+	lenOff := len(p.buf)
+	p.appendUint16(0)
+	if err := rr.Data.appendTo(p); err != nil {
+		return err
+	}
+	rdlen := len(p.buf) - lenOff - 2
+	if rdlen > 0xFFFF {
+		return errors.New("dnswire: RDATA too long")
+	}
+	p.buf[lenOff] = byte(rdlen >> 8)
+	p.buf[lenOff+1] = byte(rdlen)
+	return nil
+}
+
+// unpacker walks a wire-format message.
+type unpacker struct {
+	msg []byte
+	off int
+}
+
+func (u *unpacker) uint16() (uint16, error) {
+	if u.off+2 > len(u.msg) {
+		return 0, ErrTruncatedMessage
+	}
+	v := uint16(u.msg[u.off])<<8 | uint16(u.msg[u.off+1])
+	u.off += 2
+	return v, nil
+}
+
+func (u *unpacker) uint32() (uint32, error) {
+	if u.off+4 > len(u.msg) {
+		return 0, ErrTruncatedMessage
+	}
+	v := uint32(u.msg[u.off])<<24 | uint32(u.msg[u.off+1])<<16 |
+		uint32(u.msg[u.off+2])<<8 | uint32(u.msg[u.off+3])
+	u.off += 4
+	return v, nil
+}
+
+// name decodes a possibly-compressed name starting at the current offset.
+func (u *unpacker) name() (Name, error) {
+	n, newOff, err := decodeName(u.msg, u.off)
+	if err != nil {
+		return "", err
+	}
+	u.off = newOff
+	return n, nil
+}
+
+// decodeName decodes a name at off in msg, following compression pointers.
+// It returns the name and the offset just past the name's first encoding.
+func decodeName(msg []byte, off int) (Name, int, error) {
+	var sb strings.Builder
+	ptrBudget := len(msg) // any longer chain must contain a loop
+	end := -1             // offset after the name at the original position
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedMessage
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			if sb.Len() == 0 {
+				return Root, end, nil
+			}
+			n, err := CanonicalName(sb.String())
+			if err != nil {
+				return "", 0, err
+			}
+			return n, end, nil
+		case b&0xC0 == 0xC0:
+			if off+2 > len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			if end < 0 {
+				end = off + 2
+			}
+			target := int(b&0x3F)<<8 | int(msg[off+1])
+			if target >= off {
+				return "", 0, fmt.Errorf("%w: forward pointer", ErrCompressionLoop)
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrCompressionLoop
+			}
+			off = target
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type 0x%02x", b&0xC0)
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			sb.Write(msg[off+1 : off+1+l])
+			sb.WriteByte('.')
+			off += 1 + l
+			if sb.Len() > MaxNameWireLen*4 {
+				return "", 0, ErrNameTooLong
+			}
+		}
+	}
+}
+
+// Unpack decodes a wire-format DNS message.
+func Unpack(b []byte) (*Message, error) {
+	u := &unpacker{msg: b}
+	m := &Message{}
+
+	var err error
+	if m.ID, err = u.uint16(); err != nil {
+		return nil, err
+	}
+	flags, err := u.uint16()
+	if err != nil {
+		return nil, err
+	}
+	m.Flags.Response = flags&(1<<15) != 0
+	m.Opcode = Opcode(flags >> 11 & 0xF)
+	m.Flags.Authoritative = flags&(1<<10) != 0
+	m.Flags.Truncated = flags&(1<<9) != 0
+	m.Flags.RecursionDesired = flags&(1<<8) != 0
+	m.Flags.RecursionAvailable = flags&(1<<7) != 0
+	m.Flags.AuthenticData = flags&(1<<5) != 0
+	m.Flags.CheckingDisabled = flags&(1<<4) != 0
+	m.RCode = RCode(flags & 0xF)
+
+	var counts [4]uint16
+	for i := range counts {
+		if counts[i], err = u.uint16(); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < int(counts[0]); i++ {
+		var q Question
+		if q.Name, err = u.name(); err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		t, err := u.uint16()
+		if err != nil {
+			return nil, err
+		}
+		c, err := u.uint16()
+		if err != nil {
+			return nil, err
+		}
+		q.Type, q.Class = Type(t), Class(c)
+		m.Question = append(m.Question, q)
+	}
+
+	sections := []*[]RR{&m.Answer, &m.Authority, &m.Additional}
+	for si, dst := range sections {
+		for i := 0; i < int(counts[si+1]); i++ {
+			rr, err := u.rr()
+			if err != nil {
+				return nil, fmt.Errorf("section %d record %d: %w", si+1, i, err)
+			}
+			*dst = append(*dst, rr)
+		}
+	}
+	if u.off != len(b) {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTrailingBytes, len(b)-u.off)
+	}
+	return m, nil
+}
+
+func (u *unpacker) rr() (RR, error) {
+	var rr RR
+	name, err := u.name()
+	if err != nil {
+		return rr, err
+	}
+	rr.Name = name
+	t, err := u.uint16()
+	if err != nil {
+		return rr, err
+	}
+	c, err := u.uint16()
+	if err != nil {
+		return rr, err
+	}
+	rr.Class = Class(c)
+	ttl, err := u.uint32()
+	if err != nil {
+		return rr, err
+	}
+	rr.TTL = ttl
+	rdlen, err := u.uint16()
+	if err != nil {
+		return rr, err
+	}
+	if u.off+int(rdlen) > len(u.msg) {
+		return rr, ErrTruncatedMessage
+	}
+	rdEnd := u.off + int(rdlen)
+	rr.Data, err = u.rdata(Type(t), rdEnd)
+	if err != nil {
+		return rr, err
+	}
+	if u.off != rdEnd {
+		return rr, fmt.Errorf("dnswire: RDATA length mismatch for %s", Type(t))
+	}
+	return rr, nil
+}
+
+func (u *unpacker) rdata(t Type, rdEnd int) (RData, error) {
+	switch t {
+	case TypeA:
+		if rdEnd-u.off != 4 {
+			return nil, fmt.Errorf("dnswire: A RDATA of length %d", rdEnd-u.off)
+		}
+		var v4 [4]byte
+		copy(v4[:], u.msg[u.off:rdEnd])
+		u.off = rdEnd
+		return A{Addr: netip.AddrFrom4(v4)}, nil
+	case TypeAAAA:
+		if rdEnd-u.off != 16 {
+			return nil, fmt.Errorf("dnswire: AAAA RDATA of length %d", rdEnd-u.off)
+		}
+		var v6 [16]byte
+		copy(v6[:], u.msg[u.off:rdEnd])
+		u.off = rdEnd
+		return AAAA{Addr: netip.AddrFrom16(v6)}, nil
+	case TypeNS:
+		n, err := u.name()
+		return NS{Host: n}, err
+	case TypeCNAME:
+		n, err := u.name()
+		return CNAME{Target: n}, err
+	case TypePTR:
+		n, err := u.name()
+		return PTR{Target: n}, err
+	case TypeSOA:
+		var s SOA
+		var err error
+		if s.MName, err = u.name(); err != nil {
+			return nil, err
+		}
+		if s.RName, err = u.name(); err != nil {
+			return nil, err
+		}
+		for _, dst := range []*uint32{&s.Serial, &s.Refresh, &s.Retry, &s.Expire, &s.Minimum} {
+			if *dst, err = u.uint32(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case TypeMX:
+		pref, err := u.uint16()
+		if err != nil {
+			return nil, err
+		}
+		host, err := u.name()
+		if err != nil {
+			return nil, err
+		}
+		return MX{Preference: pref, Host: host}, nil
+	case TypeTXT:
+		var t TXT
+		for u.off < rdEnd {
+			l := int(u.msg[u.off])
+			if u.off+1+l > rdEnd {
+				return nil, ErrTruncatedMessage
+			}
+			t.Strings = append(t.Strings, string(u.msg[u.off+1:u.off+1+l]))
+			u.off += 1 + l
+		}
+		if len(t.Strings) == 0 {
+			return nil, errors.New("dnswire: empty TXT RDATA")
+		}
+		return t, nil
+	case TypeSRV:
+		var s SRV
+		var err error
+		if s.Priority, err = u.uint16(); err != nil {
+			return nil, err
+		}
+		if s.Weight, err = u.uint16(); err != nil {
+			return nil, err
+		}
+		if s.Port, err = u.uint16(); err != nil {
+			return nil, err
+		}
+		if s.Target, err = u.name(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case TypeOPT:
+		o := OPT{Options: append([]byte(nil), u.msg[u.off:rdEnd]...)}
+		u.off = rdEnd
+		return o, nil
+	case TypeDNSKEY:
+		var k DNSKEY
+		var err error
+		if k.Flags, err = u.uint16(); err != nil {
+			return nil, err
+		}
+		if u.off+2 > rdEnd {
+			return nil, ErrTruncatedMessage
+		}
+		k.Protocol = u.msg[u.off]
+		k.Algorithm = u.msg[u.off+1]
+		u.off += 2
+		k.PublicKey = append([]byte(nil), u.msg[u.off:rdEnd]...)
+		u.off = rdEnd
+		return k, nil
+	case TypeDS:
+		var d DS
+		var err error
+		if d.KeyTag, err = u.uint16(); err != nil {
+			return nil, err
+		}
+		if u.off+2 > rdEnd {
+			return nil, ErrTruncatedMessage
+		}
+		d.Algorithm = u.msg[u.off]
+		d.DigestType = u.msg[u.off+1]
+		u.off += 2
+		d.Digest = append([]byte(nil), u.msg[u.off:rdEnd]...)
+		u.off = rdEnd
+		return d, nil
+	case TypeRRSIG:
+		var s RRSIG
+		tc, err := u.uint16()
+		if err != nil {
+			return nil, err
+		}
+		s.TypeCovered = Type(tc)
+		if u.off+2 > rdEnd {
+			return nil, ErrTruncatedMessage
+		}
+		s.Algorithm = u.msg[u.off]
+		s.Labels = u.msg[u.off+1]
+		u.off += 2
+		for _, dst := range []*uint32{&s.OrigTTL, &s.Expiration, &s.Inception} {
+			if *dst, err = u.uint32(); err != nil {
+				return nil, err
+			}
+		}
+		if s.KeyTag, err = u.uint16(); err != nil {
+			return nil, err
+		}
+		if s.SignerName, err = u.name(); err != nil {
+			return nil, err
+		}
+		if u.off > rdEnd {
+			return nil, ErrTruncatedMessage
+		}
+		s.Signature = append([]byte(nil), u.msg[u.off:rdEnd]...)
+		u.off = rdEnd
+		return s, nil
+	default:
+		raw := Unknown{TypeCode: t, Raw: append([]byte(nil), u.msg[u.off:rdEnd]...)}
+		u.off = rdEnd
+		return raw, nil
+	}
+}

@@ -1,0 +1,266 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// RData is the typed payload of a resource record. Implementations are
+// immutable value types; copying an RR copies its RData.
+type RData interface {
+	// Type returns the RR type this payload belongs to.
+	Type() Type
+	// String renders the payload in master-file presentation format.
+	String() string
+
+	// appendTo appends the wire encoding of the payload (without the
+	// RDLENGTH prefix) to the packer. Names inside RDATA that RFC 3597
+	// allows to be compressed (NS, CNAME, SOA, PTR, MX) are compressed.
+	appendTo(p *packer) error
+}
+
+// RR is a single DNS resource record.
+type RR struct {
+	Name  Name
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// Type returns the record type, derived from the payload.
+func (r RR) Type() Type {
+	if r.Data == nil {
+		return TypeNone
+	}
+	return r.Data.Type()
+}
+
+// String renders the record in master-file presentation format.
+func (r RR) String() string {
+	return fmt.Sprintf("%s\t%d\t%s\t%s\t%s", r.Name, r.TTL, r.Class, r.Type(), r.Data)
+}
+
+// A is an IPv4 address record payload.
+type A struct {
+	Addr netip.Addr
+}
+
+// Type implements RData.
+func (A) Type() Type { return TypeA }
+
+// String implements RData.
+func (a A) String() string { return a.Addr.String() }
+
+func (a A) appendTo(p *packer) error {
+	if !a.Addr.Is4() {
+		return fmt.Errorf("dnswire: A record with non-IPv4 address %v", a.Addr)
+	}
+	v4 := a.Addr.As4()
+	p.buf = append(p.buf, v4[:]...)
+	return nil
+}
+
+// AAAA is an IPv6 address record payload.
+type AAAA struct {
+	Addr netip.Addr
+}
+
+// Type implements RData.
+func (AAAA) Type() Type { return TypeAAAA }
+
+// String implements RData.
+func (a AAAA) String() string { return a.Addr.String() }
+
+func (a AAAA) appendTo(p *packer) error {
+	if !a.Addr.Is6() || a.Addr.Is4In6() {
+		return fmt.Errorf("dnswire: AAAA record with non-IPv6 address %v", a.Addr)
+	}
+	v6 := a.Addr.As16()
+	p.buf = append(p.buf, v6[:]...)
+	return nil
+}
+
+// NS is a name-server record payload. It points at the host name of an
+// authoritative server; together with that host's A records it forms the
+// zone's infrastructure resource records (IRRs).
+type NS struct {
+	Host Name
+}
+
+// Type implements RData.
+func (NS) Type() Type { return TypeNS }
+
+// String implements RData.
+func (n NS) String() string { return n.Host.String() }
+
+func (n NS) appendTo(p *packer) error { return p.appendCompressedName(n.Host) }
+
+// CNAME is a canonical-name alias record payload.
+type CNAME struct {
+	Target Name
+}
+
+// Type implements RData.
+func (CNAME) Type() Type { return TypeCNAME }
+
+// String implements RData.
+func (c CNAME) String() string { return c.Target.String() }
+
+func (c CNAME) appendTo(p *packer) error { return p.appendCompressedName(c.Target) }
+
+// PTR is a pointer record payload.
+type PTR struct {
+	Target Name
+}
+
+// Type implements RData.
+func (PTR) Type() Type { return TypePTR }
+
+// String implements RData.
+func (r PTR) String() string { return r.Target.String() }
+
+func (r PTR) appendTo(p *packer) error { return p.appendCompressedName(r.Target) }
+
+// SOA is a start-of-authority record payload.
+type SOA struct {
+	MName   Name
+	RName   Name
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Type implements RData.
+func (SOA) Type() Type { return TypeSOA }
+
+// String implements RData.
+func (s SOA) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		s.MName, s.RName, s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum)
+}
+
+func (s SOA) appendTo(p *packer) error {
+	if err := p.appendCompressedName(s.MName); err != nil {
+		return err
+	}
+	if err := p.appendCompressedName(s.RName); err != nil {
+		return err
+	}
+	p.appendUint32(s.Serial)
+	p.appendUint32(s.Refresh)
+	p.appendUint32(s.Retry)
+	p.appendUint32(s.Expire)
+	p.appendUint32(s.Minimum)
+	return nil
+}
+
+// MX is a mail-exchanger record payload.
+type MX struct {
+	Preference uint16
+	Host       Name
+}
+
+// Type implements RData.
+func (MX) Type() Type { return TypeMX }
+
+// String implements RData.
+func (m MX) String() string { return fmt.Sprintf("%d %s", m.Preference, m.Host) }
+
+func (m MX) appendTo(p *packer) error {
+	p.appendUint16(m.Preference)
+	return p.appendCompressedName(m.Host)
+}
+
+// TXT is a text record payload holding one or more character strings.
+type TXT struct {
+	Strings []string
+}
+
+// Type implements RData.
+func (TXT) Type() Type { return TypeTXT }
+
+// String implements RData.
+func (t TXT) String() string {
+	parts := make([]string, len(t.Strings))
+	for i, s := range t.Strings {
+		parts[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (t TXT) appendTo(p *packer) error {
+	if len(t.Strings) == 0 {
+		return errors.New("dnswire: TXT record with no strings")
+	}
+	for _, s := range t.Strings {
+		if len(s) > 255 {
+			return fmt.Errorf("dnswire: TXT string longer than 255 bytes (%d)", len(s))
+		}
+		p.buf = append(p.buf, byte(len(s)))
+		p.buf = append(p.buf, s...)
+	}
+	return nil
+}
+
+// SRV is a service-locator record payload (RFC 2782). Its target name is
+// never compressed.
+type SRV struct {
+	Priority uint16
+	Weight   uint16
+	Port     uint16
+	Target   Name
+}
+
+// Type implements RData.
+func (SRV) Type() Type { return TypeSRV }
+
+// String implements RData.
+func (s SRV) String() string {
+	return fmt.Sprintf("%d %d %d %s", s.Priority, s.Weight, s.Port, s.Target)
+}
+
+func (s SRV) appendTo(p *packer) error {
+	p.appendUint16(s.Priority)
+	p.appendUint16(s.Weight)
+	p.appendUint16(s.Port)
+	return p.appendUncompressedName(s.Target)
+}
+
+// OPT is a minimal EDNS0 pseudo-record payload (RFC 6891). Only the UDP
+// payload size advertisement is modelled; options are carried opaquely.
+type OPT struct {
+	Options []byte
+}
+
+// Type implements RData.
+func (OPT) Type() Type { return TypeOPT }
+
+// String implements RData.
+func (o OPT) String() string { return fmt.Sprintf("OPT %d bytes of options", len(o.Options)) }
+
+func (o OPT) appendTo(p *packer) error {
+	p.buf = append(p.buf, o.Options...)
+	return nil
+}
+
+// Unknown carries the raw RDATA of a record type this package does not
+// decode (RFC 3597 treatment).
+type Unknown struct {
+	TypeCode Type
+	Raw      []byte
+}
+
+// Type implements RData.
+func (u Unknown) Type() Type { return u.TypeCode }
+
+// String implements RData.
+func (u Unknown) String() string { return fmt.Sprintf("\\# %d %x", len(u.Raw), u.Raw) }
+
+func (u Unknown) appendTo(p *packer) error {
+	p.buf = append(p.buf, u.Raw...)
+	return nil
+}

@@ -1,0 +1,135 @@
+package dnswire
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+)
+
+// DNSSEC record types (RFC 4034). The paper's §6 notes that DNSSEC
+// introduces new infrastructure resource records (DS, DNSKEY) and that the
+// refresh/renewal/long-TTL techniques extend to them; these types make
+// that extension implementable.
+const (
+	TypeDS     Type = 43
+	TypeRRSIG  Type = 46
+	TypeDNSKEY Type = 48
+)
+
+// DNSKEY flags.
+const (
+	// DNSKEYFlagZone marks a zone key (bit 7).
+	DNSKEYFlagZone uint16 = 0x0100
+	// DNSKEYFlagSEP marks a secure entry point / key-signing key (bit 15).
+	DNSKEYFlagSEP uint16 = 0x0001
+)
+
+// DNSKEY is a zone public key (RFC 4034 §2).
+type DNSKEY struct {
+	Flags     uint16
+	Protocol  uint8
+	Algorithm uint8
+	PublicKey []byte
+}
+
+// Type implements RData.
+func (DNSKEY) Type() Type { return TypeDNSKEY }
+
+// String implements RData.
+func (k DNSKEY) String() string {
+	return fmt.Sprintf("%d %d %d %s", k.Flags, k.Protocol, k.Algorithm,
+		base64.StdEncoding.EncodeToString(k.PublicKey))
+}
+
+func (k DNSKEY) appendTo(p *packer) error {
+	p.appendUint16(k.Flags)
+	p.buf = append(p.buf, k.Protocol, k.Algorithm)
+	p.buf = append(p.buf, k.PublicKey...)
+	return nil
+}
+
+// DS is a delegation signer record (RFC 4034 §5): the parent-side hash of
+// a child zone's key-signing DNSKEY. Like NS+glue, it is infrastructure
+// data stored at the parent.
+type DS struct {
+	KeyTag     uint16
+	Algorithm  uint8
+	DigestType uint8
+	Digest     []byte
+}
+
+// Type implements RData.
+func (DS) Type() Type { return TypeDS }
+
+// String implements RData.
+func (d DS) String() string {
+	return fmt.Sprintf("%d %d %d %s", d.KeyTag, d.Algorithm, d.DigestType,
+		hex.EncodeToString(d.Digest))
+}
+
+func (d DS) appendTo(p *packer) error {
+	p.appendUint16(d.KeyTag)
+	p.buf = append(p.buf, d.Algorithm, d.DigestType)
+	p.buf = append(p.buf, d.Digest...)
+	return nil
+}
+
+// RRSIG is an RRset signature (RFC 4034 §3). The signer name is never
+// compressed.
+type RRSIG struct {
+	TypeCovered Type
+	Algorithm   uint8
+	Labels      uint8
+	OrigTTL     uint32
+	Expiration  uint32 // seconds since the Unix epoch
+	Inception   uint32
+	KeyTag      uint16
+	SignerName  Name
+	Signature   []byte
+}
+
+// Type implements RData.
+func (RRSIG) Type() Type { return TypeRRSIG }
+
+// String implements RData.
+func (s RRSIG) String() string {
+	return fmt.Sprintf("%s %d %d %d %d %d %d %s %s",
+		s.TypeCovered, s.Algorithm, s.Labels, s.OrigTTL,
+		s.Expiration, s.Inception, s.KeyTag, s.SignerName,
+		base64.StdEncoding.EncodeToString(s.Signature))
+}
+
+func (s RRSIG) appendTo(p *packer) error {
+	p.appendUint16(uint16(s.TypeCovered))
+	p.buf = append(p.buf, s.Algorithm, s.Labels)
+	p.appendUint32(s.OrigTTL)
+	p.appendUint32(s.Expiration)
+	p.appendUint32(s.Inception)
+	p.appendUint16(s.KeyTag)
+	if err := p.appendUncompressedName(s.SignerName); err != nil {
+		return err
+	}
+	p.buf = append(p.buf, s.Signature...)
+	return nil
+}
+
+// rdataWire returns the uncompressed wire encoding of an RDATA payload,
+// used by DNSSEC key tags, digests, and signature input.
+func rdataWire(d RData) ([]byte, error) {
+	// Canonical form (RFC 4034 §6.2) requires uncompressed names in RDATA.
+	p := &packer{noCompress: true}
+	if err := d.appendTo(p); err != nil {
+		return nil, err
+	}
+	return p.buf, nil
+}
+
+// CanonicalRDataWire exposes the canonical (uncompressed) RDATA encoding
+// for DNSSEC processing.
+func CanonicalRDataWire(d RData) ([]byte, error) { return rdataWire(d) }
+
+// CanonicalNameWire returns the canonical wire form of a name (lower-case,
+// uncompressed).
+func CanonicalNameWire(n Name) ([]byte, error) {
+	return appendName(nil, n)
+}

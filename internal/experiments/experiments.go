@@ -1,0 +1,272 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§5): Table 1 (trace statistics), Fig. 3 (IRR expiry gap
+// CDFs), Figs. 4–11 (failed-query percentages under root+TLD DDoS for
+// vanilla DNS, TTL refresh, the four renewal policies, long TTL, and the
+// combined scheme), Table 2 (message and memory overhead), and Fig. 12
+// (cache occupancy over a month), plus the ablations DESIGN.md calls out.
+//
+// Everything is deterministic given Config.Seed. Results are memoised per
+// (tree, trace, scheme, attack) so figures that share runs do not repeat
+// them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"resilientdns/internal/attack"
+	"resilientdns/internal/sim"
+	"resilientdns/internal/topology"
+	"resilientdns/internal/workload"
+)
+
+// Config scales the evaluation. The defaults run the full set of
+// experiments in minutes on a laptop while preserving the paper's shapes.
+type Config struct {
+	Seed int64
+	// Epoch anchors all traces.
+	Epoch time.Time
+	// NumTLDs / SLDsPerTLD size the synthetic hierarchy.
+	NumTLDs    int
+	SLDsPerTLD int
+	// TraceClients / TraceQueries size each of the five 7-day traces.
+	TraceClients int
+	TraceQueries int
+	// MonthClients / MonthQueries size the 30-day trace (TRC6).
+	MonthClients int
+	MonthQueries int
+}
+
+// DefaultConfig returns the standard evaluation scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Epoch:        time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC),
+		NumTLDs:      12,
+		SLDsPerTLD:   70,
+		TraceClients: 300,
+		TraceQueries: 50000,
+		MonthClients: 300,
+		MonthQueries: 215000,
+	}
+}
+
+// QuickConfig returns a much smaller scale for tests.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.NumTLDs = 6
+	c.SLDsPerTLD = 25
+	c.TraceClients = 80
+	c.TraceQueries = 9000
+	c.MonthClients = 80
+	c.MonthQueries = 36000
+	return c
+}
+
+// attackDurations are the paper's attack lengths.
+var attackDurations = []time.Duration{3 * time.Hour, 6 * time.Hour, 12 * time.Hour, 24 * time.Hour}
+
+// longTTLValues are the paper's long-TTL settings.
+var longTTLValues = []time.Duration{24 * time.Hour, 3 * 24 * time.Hour, 5 * 24 * time.Hour, 7 * 24 * time.Hour}
+
+// renewalCredits are the paper's credit values.
+var renewalCredits = []float64{1, 3, 5}
+
+// Suite holds the shared topology, traces, and memoised runs.
+type Suite struct {
+	cfg       Config
+	baseTree  *topology.Tree
+	longTrees map[time.Duration]*topology.Tree
+	signed    *topology.Tree
+	traces    []workload.Trace // TRC1..TRC5, 7 days each
+	month     workload.Trace   // TRC6, 30 days
+	memo      map[string]*sim.Results
+}
+
+// NewSuite generates the shared topology and traces.
+func NewSuite(cfg Config) (*Suite, error) {
+	tp := topology.DefaultParams(cfg.Seed)
+	tp.NumTLDs = cfg.NumTLDs
+	tp.SLDsPerTLD = cfg.SLDsPerTLD
+	tree, err := topology.Generate(tp)
+	if err != nil {
+		return nil, err
+	}
+	s := &Suite{
+		cfg:       cfg,
+		baseTree:  tree,
+		longTrees: make(map[time.Duration]*topology.Tree),
+		memo:      make(map[string]*sim.Results),
+	}
+	names := tree.QueryableNames()
+	for i := 1; i <= 5; i++ {
+		gp := workload.DefaultGenParams(fmt.Sprintf("TRC%d", i), cfg.Seed+int64(i)*1000, cfg.Epoch)
+		gp.Clients = cfg.TraceClients
+		gp.TotalQueries = cfg.TraceQueries
+		// Vary per-trace character the way different organisations do.
+		gp.ZipfS = 1.2 + 0.1*float64(i)
+		gp.RepeatProb = 0.3 + 0.05*float64(i)
+		gp.ClientLocalProb = 0.3
+		s.traces = append(s.traces, workload.Generate(gp, names))
+	}
+	gm := workload.DefaultGenParams("TRC6", cfg.Seed+6000, cfg.Epoch)
+	gm.Duration = 30 * 24 * time.Hour
+	gm.Clients = cfg.MonthClients
+	gm.TotalQueries = cfg.MonthQueries
+	s.month = workload.Generate(gm, names)
+	return s, nil
+}
+
+// Tree returns the shared base topology.
+func (s *Suite) Tree() *topology.Tree { return s.baseTree }
+
+// Traces returns the five 7-day traces.
+func (s *Suite) Traces() []workload.Trace { return s.traces }
+
+// MonthTrace returns the 30-day trace (TRC6).
+func (s *Suite) MonthTrace() workload.Trace { return s.month }
+
+// longTree returns (generating on demand) the hierarchy with every zone's
+// IRR TTL forced to ttl — the long-TTL scheme as deployed by operators.
+func (s *Suite) longTree(ttl time.Duration) (*topology.Tree, error) {
+	if t, ok := s.longTrees[ttl]; ok {
+		return t, nil
+	}
+	tp := topology.DefaultParams(s.cfg.Seed)
+	tp.NumTLDs = s.cfg.NumTLDs
+	tp.SLDsPerTLD = s.cfg.SLDsPerTLD
+	tp.IRRTTLOverride = ttl
+	t, err := topology.Generate(tp)
+	if err != nil {
+		return nil, err
+	}
+	s.longTrees[ttl] = t
+	return t, nil
+}
+
+// attackFor builds the paper's root+TLD blackout starting on day seven.
+func (s *Suite) attackFor(tree *topology.Tree, dur time.Duration) attack.Schedule {
+	if dur <= 0 {
+		return nil
+	}
+	start := s.cfg.Epoch.Add(6 * 24 * time.Hour)
+	return attack.RootAndTLDs(start, dur, tree.AllZoneNames())
+}
+
+// runKey builds the memoisation key.
+func runKey(treeTag string, trace string, scheme sim.Scheme, dur, sample time.Duration, noChild bool) string {
+	return fmt.Sprintf("%s|%s|%s|%v|%v|%v", treeTag, trace, scheme.Name, dur, sample, noChild)
+}
+
+// run executes (or recalls) one simulation.
+func (s *Suite) run(tree *topology.Tree, treeTag string, tr workload.Trace, scheme sim.Scheme, dur, sample time.Duration, noChild bool) (*sim.Results, error) {
+	key := runKey(treeTag, tr.Label, scheme, dur, sample, noChild)
+	if r, ok := s.memo[key]; ok {
+		return r, nil
+	}
+	r, err := sim.Run(sim.Scenario{
+		Tree:        tree,
+		Trace:       tr,
+		Attack:      s.attackFor(tree, dur),
+		Scheme:      scheme,
+		SampleEvery: sample,
+		Seed:        s.cfg.Seed,
+		NoChildIRRs: noChild,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", key, err)
+	}
+	s.memo[key] = r
+	return r, nil
+}
+
+// runBase is run over the shared base tree.
+func (s *Suite) runBase(tr workload.Trace, scheme sim.Scheme, dur time.Duration) (*sim.Results, error) {
+	return s.run(s.baseTree, "base", tr, scheme, dur, 0, false)
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries the paper-shape expectations checked in EXPERIMENTS.md.
+	Notes []string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// pct renders a fraction as a percentage cell.
+func pct(frac float64) string { return fmt.Sprintf("%.2f%%", 100*frac) }
+
+// Registry maps experiment ids to their runners.
+func (s *Suite) Registry() map[string]func() (*Table, error) {
+	return map[string]func() (*Table, error){
+		"table1":            s.Table1,
+		"fig3":              s.Fig3,
+		"fig4":              s.Fig4,
+		"fig5":              s.Fig5,
+		"fig6":              s.Fig6,
+		"fig7":              s.Fig7,
+		"fig8":              s.Fig8,
+		"fig9":              s.Fig9,
+		"fig10":             s.Fig10,
+		"fig11":             s.Fig11,
+		"table2":            s.Table2,
+		"fig12":             s.Fig12,
+		"ablation-childirr": s.AblationChildIRRs,
+		"ablation-refresh":  s.AblationRenewalWithoutRefresh,
+		"ablation-negcache": s.AblationNegativeCache,
+		"maxdamage":         s.MaxDamage,
+		"dnssec":            s.DNSSECExtension,
+		"partition":         s.Partition,
+		"servestale":        s.ServeStaleBaseline,
+	}
+}
+
+// ExperimentIDs lists the registered experiments in canonical order.
+func ExperimentIDs() []string {
+	ids := []string{
+		"table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "table2", "fig12",
+		"ablation-childirr", "ablation-refresh", "ablation-negcache", "maxdamage",
+		"dnssec", "partition", "servestale",
+	}
+	return ids
+}
+
+// Run executes one experiment by id.
+func (s *Suite) Run(id string) (*Table, error) {
+	fn, ok := s.Registry()[id]
+	if !ok {
+		known := ExperimentIDs()
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+	}
+	return fn()
+}

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"resilientdns/internal/sim"
+)
+
+// testConfig is smaller than QuickConfig so the whole test file runs in a
+// few seconds.
+func testConfig() Config {
+	c := QuickConfig()
+	c.NumTLDs = 5
+	c.SLDsPerTLD = 15
+	c.TraceClients = 50
+	c.TraceQueries = 5000
+	c.MonthQueries = 12000
+	return c
+}
+
+// suite is shared across tests; memoisation makes later tests cheap.
+var sharedSuite *Suite
+
+func getSuite(t *testing.T) *Suite {
+	t.Helper()
+	if sharedSuite == nil {
+		s, err := NewSuite(testConfig())
+		if err != nil {
+			t.Fatalf("NewSuite: %v", err)
+		}
+		sharedSuite = s
+	}
+	return sharedSuite
+}
+
+func TestRegistryCoversAllIDs(t *testing.T) {
+	s := getSuite(t)
+	reg := s.Registry()
+	for _, id := range ExperimentIDs() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %q not in registry", id)
+		}
+	}
+	if len(reg) != len(ExperimentIDs()) {
+		t.Errorf("registry has %d entries, ids list %d", len(reg), len(ExperimentIDs()))
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	s := getSuite(t)
+	if _, err := s.Run("fig99"); err == nil {
+		t.Error("Run(fig99) succeeded")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Table1()
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("Table1 rows = %d, want 6 (TRC1-TRC6)", len(tbl.Rows))
+	}
+	if tbl.Rows[5][0] != "TRC6" || tbl.Rows[5][1] != "30 days" {
+		t.Errorf("TRC6 row = %v", tbl.Rows[5])
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "Requests In") {
+		t.Errorf("rendered table missing header: %q", out)
+	}
+}
+
+func TestFig3GapMostlyUnderFiveDays(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Fig3()
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	// Find the "gap (days) 5.00" row: the paper's headline observation is
+	// that almost all gaps are under five days.
+	for _, row := range tbl.Rows {
+		if row[0] == "gap (days)" && row[1] == "5.00" {
+			val := strings.TrimSuffix(row[2], "%")
+			if !strings.HasPrefix(val, "9") {
+				t.Errorf("P(gap <= 5d) = %s%%, want > 90%%", val)
+			}
+			return
+		}
+	}
+	t.Fatal("5-day row not found")
+}
+
+// parsePct converts a "12.34%" cell back to a fraction.
+func parsePct(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percent cell %q: %v", cell, err)
+	}
+	return v / 100
+}
+
+// sscanFloat parses a numeric cell that may carry a trailing "%".
+func sscanFloat(cell string, v *float64) (int, error) {
+	f, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(cell), "%"), 64)
+	*v = f
+	return 1, err
+}
+
+func TestFig4FailureGrowsWithDuration(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Fig4()
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("Fig4 rows = %d, want 5", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		sr3 := parsePct(t, row[1])
+		sr24 := parsePct(t, row[4])
+		if sr24 <= sr3 {
+			t.Errorf("%s: SR failures did not grow with duration (%v -> %v)", row[0], sr3, sr24)
+		}
+		cs6 := parsePct(t, row[6])
+		sr6 := parsePct(t, row[2])
+		if cs6 <= sr6 {
+			t.Errorf("%s: CS rate %v not above SR rate %v", row[0], cs6, sr6)
+		}
+	}
+}
+
+func TestFig5RefreshBeatsVanilla(t *testing.T) {
+	s := getSuite(t)
+	fig4, err := s.Fig4()
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	fig5, err := s.Fig5()
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	better := 0
+	for i := range fig4.Rows {
+		for col := 1; col <= 8; col++ {
+			v4 := parsePct(t, fig4.Rows[i][col])
+			v5 := parsePct(t, fig5.Rows[i][col])
+			if v5 < v4 {
+				better++
+			}
+		}
+	}
+	// Refresh must win in the vast majority of (trace, duration) cells.
+	if better < 30 {
+		t.Errorf("refresh better in only %d/40 cells", better)
+	}
+}
+
+func TestFig9OrderOfMagnitude(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Fig9()
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	for _, row := range tbl.Rows {
+		dns := parsePct(t, row[1])
+		alfu5 := parsePct(t, row[7]) // c=5 SR
+		if alfu5 > dns/3 {
+			t.Errorf("%s: A-LFU(5) SR %.4f not well below DNS %.4f", row[0], alfu5, dns)
+		}
+	}
+}
+
+func TestFig10LongTTLSaturates(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Fig10()
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	for _, row := range tbl.Rows {
+		d5 := parsePct(t, row[7]) // 5d SR
+		d7 := parsePct(t, row[9]) // 7d SR
+		if d7 > d5+0.02 {
+			t.Errorf("%s: 7d (%v) much worse than 5d (%v)?", row[0], d7, d5)
+		}
+		dns := parsePct(t, row[1])
+		if d7 > dns/2 {
+			t.Errorf("%s: long-TTL 7d (%v) not well below DNS (%v)", row[0], d7, dns)
+		}
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Table2()
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	cells := map[string][]string{}
+	for _, row := range tbl.Rows {
+		cells[row[0]] = row
+	}
+	// Refresh reduces messages.
+	if !strings.HasPrefix(cells["Refresh"][1], "-") {
+		t.Errorf("Refresh ΔMessages = %s, want negative", cells["Refresh"][1])
+	}
+	// Long-TTL reduces messages.
+	if !strings.HasPrefix(cells["Long-TTL(7d)+Refresh"][1], "-") {
+		t.Errorf("Long-TTL ΔMessages = %s, want negative", cells["Long-TTL(7d)+Refresh"][1])
+	}
+	// Combination reduces messages.
+	if !strings.HasPrefix(cells["Combination(3d+A-LFU5)"][1], "-") {
+		t.Errorf("Combination ΔMessages = %s, want negative", cells["Combination(3d+A-LFU5)"][1])
+	}
+	// Adaptive policies cost more than non-adaptive.
+	var lru, alru float64
+	if _, err := sscanFloat(strings.TrimPrefix(cells["Refresh+LRU(5)"][1], "+"), &lru); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(strings.TrimPrefix(cells["Refresh+A-LRU(5)"][1], "+"), &alru); err != nil {
+		t.Fatal(err)
+	}
+	if alru <= lru {
+		t.Errorf("A-LRU overhead %v not above LRU %v", alru, lru)
+	}
+}
+
+func TestFig12OccupancyMultiplier(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Fig12()
+	if err != nil {
+		t.Fatalf("Fig12: %v", err)
+	}
+	var dnsZones, alfuZones float64
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "DNS":
+			if _, err := sscanFloat(row[1], &dnsZones); err != nil {
+				t.Fatal(err)
+			}
+		case "Refresh+A-LFU(5)":
+			if _, err := sscanFloat(row[1], &alfuZones); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if dnsZones == 0 || alfuZones == 0 {
+		t.Fatalf("rows missing: %v", tbl.Rows)
+	}
+	mult := alfuZones / dnsZones
+	if mult < 1.2 || mult > 5 {
+		t.Errorf("occupancy multiplier = %.2f, want ~2-3x", mult)
+	}
+}
+
+func TestAblationChildIRR(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.AblationChildIRRs()
+	if err != nil {
+		t.Fatalf("AblationChildIRRs: %v", err)
+	}
+	worse := 0
+	for _, row := range tbl.Rows {
+		with := parsePct(t, row[1])
+		without := parsePct(t, row[2])
+		if without > with {
+			worse++
+		}
+	}
+	if worse < 4 {
+		t.Errorf("disabling child IRRs hurt only %d/5 traces", worse)
+	}
+}
+
+func TestMemoisationReturnsSameResults(t *testing.T) {
+	s := getSuite(t)
+	a, err := s.runBase(s.traces[0], sim.Vanilla(), 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.runBase(s.traces[0], sim.Vanilla(), 6*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("memoisation did not return the cached result pointer")
+	}
+}
+
+func TestDNSSECExperimentShape(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.DNSSECExtension()
+	if err != nil {
+		t.Fatalf("DNSSECExtension: %v", err)
+	}
+	for _, row := range tbl.Rows {
+		signedDNS := parsePct(t, row[2])
+		signedALFU := parsePct(t, row[4])
+		if signedALFU > signedDNS/2 {
+			t.Errorf("%s: signed A-LFU %.3f not well below signed DNS %.3f",
+				row[0], signedALFU, signedDNS)
+		}
+	}
+}
+
+func TestPartitionExperimentShape(t *testing.T) {
+	s := getSuite(t)
+	tbl, err := s.Partition()
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	for _, row := range tbl.Rows {
+		var m1, m8 float64
+		if _, err := sscanFloat(row[2], &m1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscanFloat(row[8], &m8); err != nil {
+			t.Fatal(err)
+		}
+		if m8 <= m1 {
+			t.Errorf("%s: 8-way split sent %v messages vs %v shared", row[0], m8, m1)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package simclock provides a clock abstraction so that the same caching
+// server and resolver code can run against the wall clock in production and
+// against a deterministic virtual clock in trace-driven simulation.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real is a Clock backed by the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Virtual is a deterministic discrete-event clock. Time only moves when
+// Advance or AdvanceTo is called; scheduled events fire in timestamp order
+// (ties broken by scheduling order) as time passes them.
+//
+// The zero value starts at the zero time; use NewVirtual to pick an epoch.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	events eventQueue
+	seq    uint64
+}
+
+// NewVirtual returns a virtual clock whose current time is epoch.
+func NewVirtual(epoch time.Time) *Virtual {
+	return &Virtual{now: epoch}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Schedule registers fn to run when the clock reaches at. Events scheduled
+// for a time not after Now fire on the next Advance call (with zero
+// duration allowed). fn runs synchronously inside Advance, without the
+// clock lock held, and may schedule further events.
+func (v *Virtual) Schedule(at time.Time, fn func(now time.Time)) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.seq++
+	heap.Push(&v.events, &event{at: at, seq: v.seq, fn: fn})
+}
+
+// Advance moves the clock forward by d, firing due events in order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.AdvanceTo(v.Now().Add(d))
+}
+
+// AdvanceTo moves the clock forward to t (no-op if t is in the past),
+// firing every event whose deadline is ≤ t in timestamp order.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	for {
+		v.mu.Lock()
+		if len(v.events) == 0 || v.events[0].at.After(t) {
+			if t.After(v.now) {
+				v.now = t
+			}
+			v.mu.Unlock()
+			return
+		}
+		ev := heap.Pop(&v.events).(*event)
+		if ev.at.After(v.now) {
+			v.now = ev.at
+		}
+		now := v.now
+		v.mu.Unlock()
+		ev.fn(now)
+	}
+}
+
+// PendingEvents returns the number of scheduled events not yet fired.
+func (v *Virtual) PendingEvents() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.events)
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func(now time.Time)
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

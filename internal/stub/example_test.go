@@ -1,0 +1,44 @@
+package stub_test
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/stub"
+	"resilientdns/internal/transport"
+)
+
+// Example resolves a host through a caching server (faked here by a local
+// UDP handler) the way an application would use /etc/resolv.conf entries.
+func Example() {
+	srv := &transport.UDPServer{Handler: transport.HandlerFunc(
+		func(q *dnswire.Message) *dnswire.Message {
+			r := q.Reply()
+			r.Flags.RecursionAvailable = true
+			r.Answer = []dnswire.RR{{
+				Name: q.Question[0].Name, Class: dnswire.ClassIN, TTL: 300,
+				Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.80")},
+			}}
+			return r
+		})}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	client := &stub.Client{
+		Servers: []transport.Addr{transport.Addr(addr)},
+		Timeout: time.Second,
+	}
+	addrs, err := client.LookupHost(context.Background(), "www.example.com")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(addrs[0])
+	// Output:
+	// 192.0.2.80
+}

@@ -1,0 +1,194 @@
+// Package stub implements the stub-resolver (SR) side of the paper's
+// Figure 1: a small client that sends recursion-desired queries to one or
+// more caching servers. Configuring stubs with several caching servers is
+// the paper's §6 answer to attacks on the caching servers themselves —
+// the client fails over to the next server.
+package stub
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+)
+
+// Client is a stub resolver. The zero value is not usable; set Servers.
+type Client struct {
+	// Servers are the caching servers, tried in order on failure.
+	Servers []transport.Addr
+	// Transport defaults to UDP with TCP fallback on truncation.
+	Transport transport.Transport
+	// Retries is the number of attempts per server (default 2).
+	Retries int
+	// Timeout bounds each attempt (default 3s).
+	Timeout time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// ErrNoServers reports a client with no configured servers.
+var ErrNoServers = errors.New("stub: no servers configured")
+
+// ErrAllServersFailed reports that every server and retry failed.
+var ErrAllServersFailed = errors.New("stub: all servers failed")
+
+// NXDomainError reports an authoritative "name does not exist" answer.
+type NXDomainError struct {
+	Name dnswire.Name
+}
+
+// Error implements error.
+func (e *NXDomainError) Error() string { return fmt.Sprintf("stub: no such domain %s", e.Name) }
+
+func (c *Client) transportOrDefault() transport.Transport {
+	if c.Transport != nil {
+		return c.Transport
+	}
+	return &transport.UDPWithTCPFallback{
+		UDP: transport.UDP{Timeout: c.timeout()},
+		TCP: transport.TCP{Timeout: c.timeout()},
+	}
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 3 * time.Second
+}
+
+func (c *Client) nextID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return uint16(c.rng.Intn(1 << 16))
+}
+
+// Exchange sends one recursion-desired query, failing over across servers
+// and retries, and returns the raw response message.
+func (c *Client) Exchange(ctx context.Context, name dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	if len(c.Servers) == 0 {
+		return nil, ErrNoServers
+	}
+	tr := c.transportOrDefault()
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 2
+	}
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		for _, server := range c.Servers {
+			q := dnswire.NewQuery(c.nextID(), name, qtype)
+			q.Flags.RecursionDesired = true
+			resp, err := tr.Exchange(ctx, server, q)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if resp.RCode == dnswire.RCodeServFail {
+				lastErr = fmt.Errorf("stub: SERVFAIL from %s", server)
+				continue
+			}
+			return resp, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrAllServersFailed
+	}
+	return nil, fmt.Errorf("%w: %v", ErrAllServersFailed, lastErr)
+}
+
+// Lookup resolves (name, qtype) and returns the answer records.
+// NXDOMAIN is reported as *NXDomainError.
+func (c *Client) Lookup(ctx context.Context, name dnswire.Name, qtype dnswire.Type) ([]dnswire.RR, error) {
+	resp, err := c.Exchange(ctx, name, qtype)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.RCode {
+	case dnswire.RCodeNoError:
+		return resp.Answer, nil
+	case dnswire.RCodeNXDomain:
+		return nil, &NXDomainError{Name: name}
+	default:
+		return nil, fmt.Errorf("stub: %s for %s %s", resp.RCode, name, qtype)
+	}
+}
+
+// LookupHost resolves a host name to its IPv4 and IPv6 addresses,
+// following CNAME chains in the answer.
+func (c *Client) LookupHost(ctx context.Context, host string) ([]netip.Addr, error) {
+	name, err := dnswire.CanonicalName(host)
+	if err != nil {
+		return nil, err
+	}
+	var addrs []netip.Addr
+	rrs, err := c.Lookup(ctx, name, dnswire.TypeA)
+	if err != nil {
+		return nil, err
+	}
+	for _, rr := range rrs {
+		switch d := rr.Data.(type) {
+		case dnswire.A:
+			addrs = append(addrs, d.Addr)
+		case dnswire.AAAA:
+			addrs = append(addrs, d.Addr)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("stub: no addresses for %s", host)
+	}
+	return addrs, nil
+}
+
+// LookupTXT resolves TXT strings for a name.
+func (c *Client) LookupTXT(ctx context.Context, host string) ([]string, error) {
+	name, err := dnswire.CanonicalName(host)
+	if err != nil {
+		return nil, err
+	}
+	rrs, err := c.Lookup(ctx, name, dnswire.TypeTXT)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rr := range rrs {
+		if txt, ok := rr.Data.(dnswire.TXT); ok {
+			out = append(out, txt.Strings...)
+		}
+	}
+	return out, nil
+}
+
+// LookupMX resolves mail exchangers, sorted by preference.
+func (c *Client) LookupMX(ctx context.Context, domain string) ([]dnswire.MX, error) {
+	name, err := dnswire.CanonicalName(domain)
+	if err != nil {
+		return nil, err
+	}
+	rrs, err := c.Lookup(ctx, name, dnswire.TypeMX)
+	if err != nil {
+		return nil, err
+	}
+	var out []dnswire.MX
+	for _, rr := range rrs {
+		if mx, ok := rr.Data.(dnswire.MX); ok {
+			out = append(out, mx)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Preference < out[j-1].Preference; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package stub
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+)
+
+// fakeCS answers like a caching server for a fixed name set.
+func fakeCS() transport.Handler {
+	return transport.HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		r := q.Reply()
+		r.Flags.RecursionAvailable = true
+		name := q.Question[0].Name
+		switch {
+		case name == "www.example.com." && q.Question[0].Type == dnswire.TypeA:
+			r.Answer = []dnswire.RR{{
+				Name: name, Class: dnswire.ClassIN, TTL: 300,
+				Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.80")},
+			}}
+		case name == "www.example.com." && q.Question[0].Type == dnswire.TypeTXT:
+			r.Answer = []dnswire.RR{{
+				Name: name, Class: dnswire.ClassIN, TTL: 300,
+				Data: dnswire.TXT{Strings: []string{"hello"}},
+			}}
+		case name == "example.com." && q.Question[0].Type == dnswire.TypeMX:
+			r.Answer = []dnswire.RR{
+				{Name: name, Class: dnswire.ClassIN, TTL: 300,
+					Data: dnswire.MX{Preference: 20, Host: dnswire.MustName("mx2.example.com.")}},
+				{Name: name, Class: dnswire.ClassIN, TTL: 300,
+					Data: dnswire.MX{Preference: 10, Host: dnswire.MustName("mx1.example.com.")}},
+			}
+		case name == "broken.example.com.":
+			r.RCode = dnswire.RCodeServFail
+		default:
+			r.RCode = dnswire.RCodeNXDomain
+		}
+		return r
+	})
+}
+
+func newClient(t *testing.T) (*Client, func()) {
+	t.Helper()
+	srv := &transport.UDPServer{Handler: fakeCS()}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	c := &Client{
+		Servers: []transport.Addr{transport.Addr(addr)},
+		Timeout: time.Second,
+	}
+	return c, func() { srv.Close() }
+}
+
+func TestLookupHost(t *testing.T) {
+	c, done := newClient(t)
+	defer done()
+	addrs, err := c.LookupHost(context.Background(), "www.example.com")
+	if err != nil {
+		t.Fatalf("LookupHost: %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != netip.MustParseAddr("192.0.2.80") {
+		t.Errorf("addrs = %v", addrs)
+	}
+}
+
+func TestLookupTXT(t *testing.T) {
+	c, done := newClient(t)
+	defer done()
+	strs, err := c.LookupTXT(context.Background(), "www.example.com")
+	if err != nil {
+		t.Fatalf("LookupTXT: %v", err)
+	}
+	if len(strs) != 1 || strs[0] != "hello" {
+		t.Errorf("strs = %v", strs)
+	}
+}
+
+func TestLookupMXSorted(t *testing.T) {
+	c, done := newClient(t)
+	defer done()
+	mx, err := c.LookupMX(context.Background(), "example.com")
+	if err != nil {
+		t.Fatalf("LookupMX: %v", err)
+	}
+	if len(mx) != 2 || mx[0].Preference != 10 || mx[1].Preference != 20 {
+		t.Errorf("mx = %v", mx)
+	}
+}
+
+func TestNXDomain(t *testing.T) {
+	c, done := newClient(t)
+	defer done()
+	_, err := c.Lookup(context.Background(), dnswire.MustName("missing.example.com."), dnswire.TypeA)
+	var nx *NXDomainError
+	if !errors.As(err, &nx) {
+		t.Fatalf("err = %v, want NXDomainError", err)
+	}
+	if nx.Name != "missing.example.com." {
+		t.Errorf("NXDomainError.Name = %s", nx.Name)
+	}
+}
+
+func TestNoServers(t *testing.T) {
+	c := &Client{}
+	if _, err := c.Exchange(context.Background(), "x.", dnswire.TypeA); !errors.Is(err, ErrNoServers) {
+		t.Errorf("err = %v, want ErrNoServers", err)
+	}
+}
+
+func TestFailoverToSecondServer(t *testing.T) {
+	// First server is a black hole (no response), second answers. §6:
+	// configuring stub resolvers with many caching servers defends
+	// against attacks on the caching servers themselves.
+	dead := &transport.UDPServer{Handler: transport.HandlerFunc(
+		func(*dnswire.Message) *dnswire.Message { return nil })}
+	deadAddr, err := dead.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer dead.Close()
+	live := &transport.UDPServer{Handler: fakeCS()}
+	liveAddr, err := live.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer live.Close()
+
+	c := &Client{
+		Servers: []transport.Addr{transport.Addr(deadAddr), transport.Addr(liveAddr)},
+		Timeout: 200 * time.Millisecond,
+	}
+	addrs, err := c.LookupHost(context.Background(), "www.example.com")
+	if err != nil {
+		t.Fatalf("LookupHost with failover: %v", err)
+	}
+	if len(addrs) != 1 {
+		t.Errorf("addrs = %v", addrs)
+	}
+}
+
+func TestSkipsServFailServer(t *testing.T) {
+	c, done := newClient(t)
+	defer done()
+	_, err := c.Lookup(context.Background(), dnswire.MustName("broken.example.com."), dnswire.TypeA)
+	if err == nil || !errors.Is(err, ErrAllServersFailed) {
+		t.Errorf("err = %v, want ErrAllServersFailed", err)
+	}
+}
+
+func TestAllServersFailed(t *testing.T) {
+	c := &Client{
+		Servers: []transport.Addr{"127.0.0.1:1"},
+		Timeout: 100 * time.Millisecond,
+		Retries: 1,
+	}
+	_, err := c.Exchange(context.Background(), dnswire.MustName("x."), dnswire.TypeA)
+	if !errors.Is(err, ErrAllServersFailed) {
+		t.Errorf("err = %v, want ErrAllServersFailed", err)
+	}
+}

@@ -1,0 +1,540 @@
+// Package topology generates the synthetic DNS hierarchy the simulations
+// run against. The paper probed the real DNS for the part of the tree its
+// traces touched; that snapshot is proprietary to the 2006 measurement, so
+// this package substitutes a parameterised generator that reproduces the
+// properties the paper's results depend on: tree depth and fan-out, the
+// infrastructure-record TTL distribution ("from some minutes to some days,
+// most zones ≤ 12 hours", §4), 2–3 name servers per zone (§3.1), in- and
+// out-of-bailiwick server placement, and short end-host TTLs.
+package topology
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"resilientdns/internal/authserver"
+	"resilientdns/internal/core"
+	"resilientdns/internal/dnssec"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/simnet"
+	"resilientdns/internal/transport"
+	"resilientdns/internal/zone"
+)
+
+// TTLChoice is one weighted option in a TTL distribution.
+type TTLChoice struct {
+	TTL    time.Duration
+	Weight float64
+}
+
+// DefaultIRRTTLs is the infrastructure-record TTL distribution: minutes to
+// days with most mass at or below 12 hours, matching §4's characterisation
+// of measured zones.
+var DefaultIRRTTLs = []TTLChoice{
+	{TTL: 5 * time.Minute, Weight: 5},
+	{TTL: 30 * time.Minute, Weight: 10},
+	{TTL: time.Hour, Weight: 20},
+	{TTL: 4 * time.Hour, Weight: 15},
+	{TTL: 12 * time.Hour, Weight: 25},
+	{TTL: 24 * time.Hour, Weight: 15},
+	{TTL: 48 * time.Hour, Weight: 10},
+}
+
+// DefaultHostTTLs is the end-host (data) record TTL distribution, skewed
+// short the way CDN and load-balanced names are.
+var DefaultHostTTLs = []TTLChoice{
+	{TTL: time.Minute, Weight: 5},
+	{TTL: 5 * time.Minute, Weight: 10},
+	{TTL: 30 * time.Minute, Weight: 15},
+	{TTL: time.Hour, Weight: 25},
+	{TTL: 4 * time.Hour, Weight: 30},
+	{TTL: 24 * time.Hour, Weight: 15},
+}
+
+// Params controls generation. The zero value is not useful; start from
+// DefaultParams.
+type Params struct {
+	Seed int64
+	// NumTLDs is the number of top-level domains.
+	NumTLDs int
+	// SLDsPerTLD is the mean number of second-level zones per TLD.
+	SLDsPerTLD int
+	// SubZoneFrac is the fraction of SLDs delegating a third-level zone.
+	SubZoneFrac float64
+	// SubSubZoneFrac is the fraction of third-level zones delegating a
+	// fourth level.
+	SubSubZoneFrac float64
+	// MinNS and MaxNS bound the per-zone server count.
+	MinNS, MaxNS int
+	// MaxHostNames bounds queryable names per leaf zone (Pareto-ish).
+	MaxHostNames int
+	// OutOfBailiwickFrac is the fraction of zones whose servers live
+	// under a different TLD (no glue at the parent).
+	OutOfBailiwickFrac float64
+	// CNAMEFrac is the fraction of host names that alias another name.
+	CNAMEFrac float64
+	// IRRTTLs is the IRR TTL distribution for SLD-and-below zones.
+	IRRTTLs []TTLChoice
+	// HostTTLs is the data-record TTL distribution.
+	HostTTLs []TTLChoice
+	// IRRTTLOverride, when non-zero, forces every zone's IRR TTL — the
+	// paper's long-TTL scheme, applied by zone operators.
+	IRRTTLOverride time.Duration
+	// TLDIRRTTL is the IRR TTL of the root and TLD delegations (long in
+	// practice; 2 days by default).
+	TLDIRRTTL time.Duration
+	// Signed, when true, DNSSEC-signs every zone (Ed25519) and links the
+	// DS chain from the leaves to the root; Tree.TrustAnchors then holds
+	// the root's DNSKEY.
+	Signed bool
+}
+
+// DefaultParams returns a laptop-scale hierarchy: ~15 TLDs, ~2000 zones.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:               seed,
+		NumTLDs:            15,
+		SLDsPerTLD:         130,
+		SubZoneFrac:        0.15,
+		SubSubZoneFrac:     0.10,
+		MinNS:              2,
+		MaxNS:              3,
+		MaxHostNames:       12,
+		OutOfBailiwickFrac: 0.05,
+		CNAMEFrac:          0.05,
+		IRRTTLs:            DefaultIRRTTLs,
+		HostTTLs:           DefaultHostTTLs,
+		TLDIRRTTL:          48 * time.Hour,
+	}
+}
+
+// ZoneInfo is one generated zone.
+type ZoneInfo struct {
+	Name   dnswire.Name
+	Parent dnswire.Name
+	Depth  int
+	// IRRTTL is the TTL of this zone's NS/glue records at the parent and
+	// at the zone itself.
+	IRRTTL time.Duration
+	// Servers lists the zone's authoritative server hosts and addresses.
+	Servers []core.ServerRef
+	// Hosts are the queryable names defined inside the zone.
+	Hosts []dnswire.Name
+	// Zone is the authoritative data (including child delegations).
+	Zone *zone.Zone
+}
+
+// Tree is a generated hierarchy.
+type Tree struct {
+	Zones map[dnswire.Name]*ZoneInfo
+	// Order lists zone names parent-before-child, deterministically.
+	Order []dnswire.Name
+	// RootHints are the root server references for caching servers.
+	RootHints []core.ServerRef
+	// TrustAnchors holds the root DNSKEY RRs when the tree is signed.
+	TrustAnchors []dnswire.RR
+}
+
+// Root returns the root zone info.
+func (t *Tree) Root() *ZoneInfo { return t.Zones[dnswire.Root] }
+
+// AllZoneNames returns every zone name in deterministic order.
+func (t *Tree) AllZoneNames() []dnswire.Name {
+	return append([]dnswire.Name(nil), t.Order...)
+}
+
+// QueryableNames returns every host name with its enclosing zone, in
+// deterministic order, for workload generation.
+func (t *Tree) QueryableNames() []TargetName {
+	var out []TargetName
+	for _, zn := range t.Order {
+		zi := t.Zones[zn]
+		for _, h := range zi.Hosts {
+			out = append(out, TargetName{Name: h, Zone: zn})
+		}
+	}
+	return out
+}
+
+// TargetName pairs a queryable name with its enclosing zone.
+type TargetName struct {
+	Name dnswire.Name
+	Zone dnswire.Name
+}
+
+// Install registers one simulated host per authoritative server address.
+func (t *Tree) Install(net *simnet.Network) {
+	t.InstallOpt(net, true)
+}
+
+// InstallOpt registers the tree's servers. attachApexNS controls whether
+// authoritative answers carry the zone's own IRRs (the behaviour the
+// paper's TTL-refresh scheme relies on); disabling it is used by the
+// ablation experiments.
+func (t *Tree) InstallOpt(net *simnet.Network, attachApexNS bool) {
+	for _, zn := range t.Order {
+		zi := t.Zones[zn]
+		srv := authserver.New(zi.Zone)
+		srv.AttachApexNS = attachApexNS
+		for _, ref := range zi.Servers {
+			net.Register(&simnet.Host{Addr: ref.Addr, Zone: zn, Handler: srv})
+		}
+	}
+}
+
+// generator carries generation state.
+type generator struct {
+	p       Params
+	rng     *rand.Rand
+	nextIP  uint32
+	tree    *Tree
+	counter int
+	// hosting lists the zones that host out-of-bailiwick server names.
+	hosting []dnswire.Name
+}
+
+// Generate builds a hierarchy from params.
+func Generate(p Params) (*Tree, error) {
+	if p.NumTLDs <= 0 || p.SLDsPerTLD <= 0 {
+		return nil, fmt.Errorf("topology: NumTLDs and SLDsPerTLD must be positive")
+	}
+	if p.MinNS <= 0 || p.MaxNS < p.MinNS {
+		return nil, fmt.Errorf("topology: bad NS bounds [%d, %d]", p.MinNS, p.MaxNS)
+	}
+	if len(p.IRRTTLs) == 0 {
+		p.IRRTTLs = DefaultIRRTTLs
+	}
+	if len(p.HostTTLs) == 0 {
+		p.HostTTLs = DefaultHostTTLs
+	}
+	if p.TLDIRRTTL == 0 {
+		p.TLDIRRTTL = 48 * time.Hour
+	}
+	g := &generator{
+		p:      p,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		nextIP: 1,
+		tree:   &Tree{Zones: make(map[dnswire.Name]*ZoneInfo)},
+	}
+	g.buildRoot()
+	tldNames := g.buildTLDs()
+	// Hosting zones give out-of-bailiwick name servers a resolvable home:
+	// a zone served by ns1.hosting3.<tld>. needs that host's A record to
+	// exist somewhere in the tree.
+	nHosting := p.NumTLDs / 4
+	if nHosting < 2 {
+		nHosting = 2
+	}
+	for i := 0; i < nHosting; i++ {
+		hz, err := tldNames[0].Child(fmt.Sprintf("hosting%d", i))
+		if err != nil {
+			return nil, err
+		}
+		g.hosting = append(g.hosting, g.newZone(hz, tldNames[0], 2))
+	}
+	var slds []dnswire.Name
+	for _, tld := range tldNames {
+		n := g.poissonish(p.SLDsPerTLD)
+		for i := 0; i < n; i++ {
+			slds = append(slds, g.buildZone(tld, 2))
+		}
+	}
+	var thirds []dnswire.Name
+	for _, sld := range slds {
+		if g.rng.Float64() < p.SubZoneFrac {
+			thirds = append(thirds, g.buildZone(sld, 3))
+		}
+	}
+	for _, z3 := range thirds {
+		if g.rng.Float64() < p.SubSubZoneFrac {
+			g.buildZone(z3, 4)
+		}
+	}
+	g.linkDelegations()
+	if p.Signed {
+		if err := g.signTree(); err != nil {
+			return nil, err
+		}
+	}
+	for _, zn := range g.tree.Order {
+		if err := g.tree.Zones[zn].Zone.Validate(); err != nil {
+			return nil, fmt.Errorf("topology: generated invalid zone: %w", err)
+		}
+	}
+	return g.tree, nil
+}
+
+// signTree signs every zone bottom-up, installing each child's DS in its
+// parent before the parent is signed, and records the root trust anchor.
+func (g *generator) signTree() error {
+	inception := time.Date(2025, 12, 1, 0, 0, 0, 0, time.UTC)
+	expiration := inception.Add(5 * 365 * 24 * time.Hour)
+	// Children first (Order is parent-before-child, so walk backwards).
+	dsByParent := make(map[dnswire.Name][]dnswire.RR)
+	for i := len(g.tree.Order) - 1; i >= 0; i-- {
+		zi := g.tree.Zones[g.tree.Order[i]]
+		for _, ds := range dsByParent[zi.Name] {
+			if err := zi.Zone.Add(ds); err != nil {
+				return fmt.Errorf("topology: adding DS to %s: %w", zi.Name, err)
+			}
+		}
+		signer, err := dnssec.GenerateSigner(zi.Name, uint32(zi.IRRTTL/time.Second), g.keyRand())
+		if err != nil {
+			return err
+		}
+		ds, err := dnssec.SignZone(zi.Zone, signer, inception, expiration)
+		if err != nil {
+			return fmt.Errorf("topology: signing %s: %w", zi.Name, err)
+		}
+		if zi.Name.IsRoot() {
+			g.tree.TrustAnchors = append(g.tree.TrustAnchors, signer.KeyRR())
+		} else {
+			dsByParent[zi.Parent] = append(dsByParent[zi.Parent], ds)
+		}
+	}
+	return nil
+}
+
+// keyRand adapts the generator's seeded RNG for deterministic key
+// generation.
+func (g *generator) keyRand() io.Reader { return rngReader{g.rng} }
+
+type rngReader struct{ r *rand.Rand }
+
+func (rr rngReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(rr.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+// addr allocates the next synthetic server address.
+func (g *generator) addr() transport.Addr {
+	ip := g.nextIP
+	g.nextIP++
+	a := netip.AddrFrom4([4]byte{10, byte(ip >> 16), byte(ip >> 8), byte(ip)})
+	return transport.Addr(a.String())
+}
+
+// poissonish returns a positive integer around mean.
+func (g *generator) poissonish(mean int) int {
+	if mean <= 1 {
+		return 1
+	}
+	v := int(g.rng.NormFloat64()*float64(mean)/4) + mean
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (g *generator) pickTTL(choices []TTLChoice) time.Duration {
+	total := 0.0
+	for _, c := range choices {
+		total += c.Weight
+	}
+	x := g.rng.Float64() * total
+	for _, c := range choices {
+		x -= c.Weight
+		if x <= 0 {
+			return c.TTL
+		}
+	}
+	return choices[len(choices)-1].TTL
+}
+
+func (g *generator) irrTTL(depth int) time.Duration {
+	var ttl time.Duration
+	if depth <= 1 {
+		ttl = g.p.TLDIRRTTL
+	} else {
+		// Always draw, even under an override, so that the RNG stream —
+		// and with it the generated structure and name set — is identical
+		// between a base tree and its long-TTL variants.
+		ttl = g.pickTTL(g.p.IRRTTLs)
+	}
+	if g.p.IRRTTLOverride > 0 {
+		return g.p.IRRTTLOverride
+	}
+	return ttl
+}
+
+func (g *generator) buildRoot() {
+	name := dnswire.Root
+	zi := &ZoneInfo{Name: name, Parent: name, Depth: 0, IRRTTL: g.irrTTL(0), Zone: zone.New(name)}
+	for i := 0; i < 3; i++ {
+		host := dnswire.MustName(fmt.Sprintf("%c.root-servers.net.", 'a'+i))
+		addr := g.addr()
+		zi.Servers = append(zi.Servers, core.ServerRef{Host: host, Addr: addr})
+	}
+	g.installApex(zi)
+	g.tree.Zones[name] = zi
+	g.tree.Order = append(g.tree.Order, name)
+	g.tree.RootHints = append(g.tree.RootHints, zi.Servers...)
+}
+
+func (g *generator) buildTLDs() []dnswire.Name {
+	base := []string{"com", "net", "org", "edu", "gov", "mil", "uk", "de", "cn", "jp",
+		"fr", "nl", "br", "au", "ca", "it", "es", "se", "ch", "kr"}
+	var names []dnswire.Name
+	for i := 0; i < g.p.NumTLDs; i++ {
+		var label string
+		if i < len(base) {
+			label = base[i]
+		} else {
+			label = fmt.Sprintf("tld%d", i)
+		}
+		names = append(names, g.newZone(dnswire.MustName(label+"."), dnswire.Root, 1))
+	}
+	return names
+}
+
+// buildZone creates a child zone of parent at the given depth.
+func (g *generator) buildZone(parent dnswire.Name, depth int) dnswire.Name {
+	g.counter++
+	label := fmt.Sprintf("z%d", g.counter)
+	name, err := parent.Child(label)
+	if err != nil {
+		panic(err) // generated labels are always valid
+	}
+	return g.newZone(name, parent, depth)
+}
+
+func (g *generator) newZone(name, parent dnswire.Name, depth int) dnswire.Name {
+	zi := &ZoneInfo{
+		Name:   name,
+		Parent: parent,
+		Depth:  depth,
+		IRRTTL: g.irrTTL(depth),
+		Zone:   zone.New(name),
+	}
+	nns := g.p.MinNS + g.rng.Intn(g.p.MaxNS-g.p.MinNS+1)
+	outOfBailiwick := depth >= 2 && len(g.hosting) > 0 &&
+		g.rng.Float64() < g.p.OutOfBailiwickFrac
+	for i := 0; i < nns; i++ {
+		addr := g.addr()
+		var host dnswire.Name
+		if outOfBailiwick {
+			hz := g.tree.Zones[g.hosting[g.rng.Intn(len(g.hosting))]]
+			h, err := hz.Name.Child(fmt.Sprintf("ns%d-z%d", i+1, g.counter))
+			if err != nil {
+				panic(err)
+			}
+			host = h
+			// The host's address record lives in the hosting zone.
+			hz.Zone.MustAdd(dnswire.RR{
+				Name: host, Class: dnswire.ClassIN, TTL: uint32(hz.IRRTTL / time.Second),
+				Data: dnswire.A{Addr: netip.MustParseAddr(string(addr))},
+			})
+		} else {
+			h, err := name.Child(fmt.Sprintf("ns%d", i+1))
+			if err != nil {
+				panic(err)
+			}
+			host = h
+		}
+		zi.Servers = append(zi.Servers, core.ServerRef{Host: host, Addr: addr})
+	}
+	g.installApex(zi)
+	if depth >= 2 {
+		g.installHosts(zi)
+	}
+	g.tree.Zones[name] = zi
+	g.tree.Order = append(g.tree.Order, name)
+	return name
+}
+
+// installApex adds SOA, apex NS, and in-zone glue to the zone data.
+func (g *generator) installApex(zi *ZoneInfo) {
+	z := zi.Zone
+	ttl := uint32(zi.IRRTTL / time.Second)
+	soaHost := zi.Servers[0].Host
+	z.MustAdd(dnswire.RR{
+		Name: zi.Name, Class: dnswire.ClassIN, TTL: ttl,
+		Data: dnswire.SOA{
+			MName: soaHost, RName: dnswire.MustName("hostmaster." + trimRoot(zi.Name)),
+			Serial: 2026070400, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300,
+		},
+	})
+	for _, ref := range zi.Servers {
+		z.MustAdd(dnswire.RR{
+			Name: zi.Name, Class: dnswire.ClassIN, TTL: ttl,
+			Data: dnswire.NS{Host: ref.Host},
+		})
+		if ref.Host.IsSubdomainOf(zi.Name) {
+			z.MustAdd(dnswire.RR{
+				Name: ref.Host, Class: dnswire.ClassIN, TTL: ttl,
+				Data: dnswire.A{Addr: netip.MustParseAddr(string(ref.Addr))},
+			})
+		}
+	}
+}
+
+// trimRoot renders a name suitable for concatenation under another name.
+func trimRoot(n dnswire.Name) string {
+	if n.IsRoot() {
+		return ""
+	}
+	return string(n)
+}
+
+// installHosts populates a zone with queryable host names.
+func (g *generator) installHosts(zi *ZoneInfo) {
+	max := g.p.MaxHostNames
+	if max < 1 {
+		max = 1
+	}
+	// Pareto-ish: most zones have 1-3 names, a few have many.
+	n := 1 + int(float64(max)*g.rng.Float64()*g.rng.Float64())
+	labels := []string{"www", "mail", "ftp", "vpn", "ns-ext", "web", "api", "db", "m", "img", "cdn", "dev"}
+	for i := 0; i < n && i < len(labels); i++ {
+		host, err := zi.Name.Child(labels[i])
+		if err != nil {
+			panic(err)
+		}
+		ttl := uint32(g.pickTTL(g.p.HostTTLs) / time.Second)
+		if i > 0 && g.rng.Float64() < g.p.CNAMEFrac {
+			// Alias to the zone's first host.
+			zi.Zone.MustAdd(dnswire.RR{
+				Name: host, Class: dnswire.ClassIN, TTL: ttl,
+				Data: dnswire.CNAME{Target: zi.Hosts[0]},
+			})
+		} else {
+			zi.Zone.MustAdd(dnswire.RR{
+				Name: host, Class: dnswire.ClassIN, TTL: ttl,
+				Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{
+					192, byte(g.rng.Intn(256)), byte(g.rng.Intn(256)), byte(1 + g.rng.Intn(254)),
+				})},
+			})
+		}
+		zi.Hosts = append(zi.Hosts, host)
+	}
+}
+
+// linkDelegations adds each child's NS records (and in-bailiwick glue) to
+// its parent zone.
+func (g *generator) linkDelegations() {
+	for _, zn := range g.tree.Order {
+		zi := g.tree.Zones[zn]
+		if zn.IsRoot() {
+			continue
+		}
+		parent := g.tree.Zones[zi.Parent]
+		ttl := uint32(zi.IRRTTL / time.Second)
+		for _, ref := range zi.Servers {
+			parent.Zone.MustAdd(dnswire.RR{
+				Name: zi.Name, Class: dnswire.ClassIN, TTL: ttl,
+				Data: dnswire.NS{Host: ref.Host},
+			})
+			if ref.Host.IsSubdomainOf(zi.Name) {
+				parent.Zone.MustAdd(dnswire.RR{
+					Name: ref.Host, Class: dnswire.ClassIN, TTL: ttl,
+					Data: dnswire.A{Addr: netip.MustParseAddr(string(ref.Addr))},
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"resilientdns/internal/dnswire"
+)
+
+// TCP is a Transport over DNS-over-TCP (RFC 1035 §4.2.2: two-byte length
+// prefix). Used as the fallback when a UDP response arrives truncated.
+type TCP struct {
+	// Timeout bounds each exchange when the context has no deadline.
+	Timeout time.Duration
+}
+
+// Exchange implements Transport.
+func (t *TCP) Exchange(ctx context.Context, server Addr, query *dnswire.Message) (*dnswire.Message, error) {
+	timeout := t.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+
+	conn, err := net.Dial("tcp", string(server))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrServerUnreachable, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+
+	if err := WriteTCPMessage(conn, query); err != nil {
+		return nil, err
+	}
+	resp, err := ReadTCPMessage(conn)
+	if err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			return nil, fmt.Errorf("%w: %s", ErrTimeout, server)
+		}
+		return nil, err
+	}
+	if resp.ID != query.ID {
+		return nil, fmt.Errorf("transport: mismatched TCP response ID from %s", server)
+	}
+	return resp, nil
+}
+
+// WriteTCPMessage writes one length-prefixed DNS message.
+func WriteTCPMessage(w io.Writer, m *dnswire.Message) error {
+	wire, err := m.Pack()
+	if err != nil {
+		return err
+	}
+	if len(wire) > 0xFFFF {
+		return errors.New("transport: message exceeds TCP length prefix")
+	}
+	var prefix [2]byte
+	binary.BigEndian.PutUint16(prefix[:], uint16(len(wire)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(wire)
+	return err
+}
+
+// ReadTCPMessage reads one length-prefixed DNS message.
+func ReadTCPMessage(r io.Reader) (*dnswire.Message, error) {
+	var prefix [2]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(prefix[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return dnswire.Unpack(buf)
+}
+
+// TCPServer serves DNS over TCP using a Handler.
+type TCPServer struct {
+	Handler Handler
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// Listen binds and serves in background goroutines, returning the bound
+// address.
+func (s *TCPServer) Listen(addr string) (string, error) {
+	if s.Handler == nil {
+		return "", errors.New("transport: TCPServer without Handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.serve(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *TCPServer) serve(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles queries on one connection until EOF or error;
+// multiple queries per connection are supported.
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+			return
+		}
+		query, err := ReadTCPMessage(conn)
+		if err != nil {
+			return
+		}
+		if query.Flags.Response {
+			continue
+		}
+		resp := s.Handler.HandleQuery(query)
+		if resp == nil {
+			return
+		}
+		if err := WriteTCPMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for its goroutines.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	err := ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// UDPWithTCPFallback sends over UDP and retries over TCP when the
+// response arrives truncated (TC bit), the standard resolver behaviour.
+type UDPWithTCPFallback struct {
+	UDP UDP
+	TCP TCP
+}
+
+// Exchange implements Transport.
+func (u *UDPWithTCPFallback) Exchange(ctx context.Context, server Addr, query *dnswire.Message) (*dnswire.Message, error) {
+	resp, err := u.UDP.Exchange(ctx, server, query)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Flags.Truncated {
+		return resp, nil
+	}
+	return u.TCP.Exchange(ctx, server, query)
+}

@@ -1,0 +1,59 @@
+// Package transport abstracts how DNS messages travel between a resolver
+// and authoritative servers. The same resolver code runs over the real
+// network (UDP) in production and over an in-memory deterministic network
+// (package simnet) in trace-driven simulation.
+package transport
+
+import (
+	"context"
+	"errors"
+
+	"resilientdns/internal/dnswire"
+)
+
+// Addr identifies a DNS server endpoint. Over UDP it is "host:port"; in
+// the simulated network it is the server's synthetic IP address.
+type Addr string
+
+// ErrTimeout reports that a server did not answer within the deadline.
+// Implementations wrap it so callers can match with errors.Is.
+var ErrTimeout = errors.New("transport: query timed out")
+
+// ErrServerUnreachable reports that the server could not be contacted at
+// all (simulated blackout or connection refusal).
+var ErrServerUnreachable = errors.New("transport: server unreachable")
+
+// Transport sends one query to one server and returns its response.
+type Transport interface {
+	Exchange(ctx context.Context, server Addr, query *dnswire.Message) (*dnswire.Message, error)
+}
+
+// Handler answers DNS queries; authoritative server engines implement it.
+type Handler interface {
+	HandleQuery(q *dnswire.Message) *dnswire.Message
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(q *dnswire.Message) *dnswire.Message
+
+// HandleQuery implements Handler.
+func (f HandlerFunc) HandleQuery(q *dnswire.Message) *dnswire.Message { return f(q) }
+
+// Pipe is a Transport that delivers queries directly to in-process
+// handlers, with no latency or failures. It is intended for unit tests.
+type Pipe struct {
+	Handlers map[Addr]Handler
+}
+
+// Exchange implements Transport.
+func (p *Pipe) Exchange(_ context.Context, server Addr, query *dnswire.Message) (*dnswire.Message, error) {
+	h, ok := p.Handlers[server]
+	if !ok {
+		return nil, ErrServerUnreachable
+	}
+	resp := h.HandleQuery(query)
+	if resp == nil {
+		return nil, ErrTimeout
+	}
+	return resp, nil
+}

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"resilientdns/internal/dnswire"
+)
+
+// UDP is a Transport over real UDP sockets. The zero value is ready to
+// use; Timeout defaults to 3 seconds when unset.
+type UDP struct {
+	// Timeout bounds each exchange when the context has no deadline.
+	Timeout time.Duration
+}
+
+// Exchange implements Transport: it sends the query over a fresh UDP
+// socket and waits for a response with a matching ID.
+func (u *UDP) Exchange(ctx context.Context, server Addr, query *dnswire.Message) (*dnswire.Message, error) {
+	timeout := u.Timeout
+	if timeout == 0 {
+		timeout = 3 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+
+	conn, err := net.Dial("udp", string(server))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrServerUnreachable, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(wire); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrServerUnreachable, err)
+	}
+
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				return nil, fmt.Errorf("%w: %s", ErrTimeout, server)
+			}
+			return nil, err
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue // garbled datagram; keep waiting until the deadline
+		}
+		if resp.ID != query.ID {
+			continue // stale response to an earlier query
+		}
+		return resp, nil
+	}
+}
+
+// UDPServer serves DNS queries over a UDP socket using a Handler.
+type UDPServer struct {
+	Handler Handler
+	// MaxPayload truncates responses larger than this many bytes (TC bit
+	// set, sections dropped); defaults to the classic 512.
+	MaxPayload int
+
+	mu   sync.Mutex
+	conn net.PacketConn
+	wg   sync.WaitGroup
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:5300") and starts
+// serving in background goroutines. It returns the bound address, which is
+// useful when addr requests an ephemeral port.
+func (s *UDPServer) Listen(addr string) (string, error) {
+	if s.Handler == nil {
+		return "", errors.New("transport: UDPServer without Handler")
+	}
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.serve(conn)
+	return conn.LocalAddr().String(), nil
+}
+
+func (s *UDPServer) serve(conn net.PacketConn) {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		query, err := dnswire.Unpack(buf[:n])
+		if err != nil || query.Flags.Response {
+			continue
+		}
+		resp := s.Handler.HandleQuery(query)
+		if resp == nil {
+			continue
+		}
+		wire, err := resp.Pack()
+		if err != nil {
+			continue
+		}
+		limit := s.MaxPayload
+		if limit == 0 {
+			limit = dnswire.MaxUDPPayload
+		}
+		// Honour the client's EDNS0 payload advertisement.
+		if adv, ok := query.EDNS0PayloadSize(); ok && int(adv) > limit {
+			limit = int(adv)
+		}
+		if len(wire) > limit {
+			wire, err = resp.TruncatedCopy().Pack()
+			if err != nil {
+				continue
+			}
+		}
+		if _, err := conn.WriteTo(wire, from); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for its goroutines to exit.
+func (s *UDPServer) Close() error {
+	s.mu.Lock()
+	conn := s.conn
+	s.conn = nil
+	s.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	err := conn.Close()
+	s.wg.Wait()
+	return err
+}

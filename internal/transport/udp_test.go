@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"resilientdns/internal/dnswire"
+)
+
+func echoHandler() Handler {
+	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		r := q.Reply()
+		r.Answer = []dnswire.RR{{
+			Name:  q.Question[0].Name,
+			Class: dnswire.ClassIN,
+			TTL:   60,
+			Data:  dnswire.A{Addr: netip.MustParseAddr("192.0.2.1")},
+		}}
+		return r
+	})
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	srv := &UDPServer{Handler: echoHandler()}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	u := &UDP{Timeout: 2 * time.Second}
+	q := dnswire.NewQuery(7, dnswire.MustName("www.example.com"), dnswire.TypeA)
+	resp, err := u.Exchange(context.Background(), Addr(addr), q)
+	if err != nil {
+		t.Fatalf("Exchange: %v", err)
+	}
+	if resp.ID != 7 || len(resp.Answer) != 1 {
+		t.Errorf("resp = %v", resp)
+	}
+}
+
+func TestUDPTimeout(t *testing.T) {
+	// A handler that returns nil never responds.
+	srv := &UDPServer{Handler: HandlerFunc(func(*dnswire.Message) *dnswire.Message { return nil })}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	u := &UDP{Timeout: 100 * time.Millisecond}
+	q := dnswire.NewQuery(7, dnswire.MustName("x."), dnswire.TypeA)
+	start := time.Now()
+	_, err = u.Exchange(context.Background(), Addr(addr), q)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+}
+
+func TestUDPContextDeadline(t *testing.T) {
+	srv := &UDPServer{Handler: HandlerFunc(func(*dnswire.Message) *dnswire.Message { return nil })}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	u := &UDP{Timeout: time.Hour}
+	q := dnswire.NewQuery(7, dnswire.MustName("x."), dnswire.TypeA)
+	_, err = u.Exchange(ctx, Addr(addr), q)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestUDPIgnoresMismatchedID(t *testing.T) {
+	// Handler answers with a wrong ID first; client must keep waiting and
+	// time out rather than accept it.
+	srv := &UDPServer{Handler: HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		r := q.Reply()
+		r.ID = q.ID + 1
+		return r
+	})}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	u := &UDP{Timeout: 150 * time.Millisecond}
+	q := dnswire.NewQuery(9, dnswire.MustName("x."), dnswire.TypeA)
+	_, err = u.Exchange(context.Background(), Addr(addr), q)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout (mismatched ID accepted?)", err)
+	}
+}
+
+func TestPipeTransport(t *testing.T) {
+	p := &Pipe{Handlers: map[Addr]Handler{"a": echoHandler()}}
+	q := dnswire.NewQuery(1, dnswire.MustName("x."), dnswire.TypeA)
+	if _, err := p.Exchange(context.Background(), "a", q); err != nil {
+		t.Errorf("Exchange(a): %v", err)
+	}
+	if _, err := p.Exchange(context.Background(), "missing", q); !errors.Is(err, ErrServerUnreachable) {
+		t.Errorf("Exchange(missing) = %v, want ErrServerUnreachable", err)
+	}
+}
+
+func TestUDPServerCloseIdempotent(t *testing.T) {
+	srv := &UDPServer{Handler: echoHandler()}
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

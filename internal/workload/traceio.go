@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"resilientdns/internal/dnswire"
+)
+
+// The trace text format is line-oriented:
+//
+//	# trace <label>
+//	# start <RFC3339>
+//	# duration <Go duration>
+//	# clients <n>
+//	<offset-ms> <client> <name> <type>
+//	...
+//
+// Offsets are milliseconds since the start time. Lines beginning with '#'
+// outside the header prefix are comments.
+
+// WriteTo serialises the trace in the text format.
+func (tr Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "# trace %s\n# start %s\n# duration %s\n# clients %d\n",
+		tr.Label, tr.Start.UTC().Format(time.RFC3339), tr.Duration, tr.Clients)); err != nil {
+		return n, err
+	}
+	for _, q := range tr.Queries {
+		off := q.At.Sub(tr.Start).Milliseconds()
+		if err := count(fmt.Fprintf(bw, "%d %d %s %s\n", off, q.Client, q.Name, q.Type)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTrace parses a trace in the text format.
+func ReadTrace(r io.Reader) (Trace, error) {
+	var tr Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := tr.parseHeader(text); err != nil {
+				return tr, fmt.Errorf("trace line %d: %w", line, err)
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return tr, fmt.Errorf("trace line %d: want 4 fields, got %d", line, len(fields))
+		}
+		offMS, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return tr, fmt.Errorf("trace line %d: bad offset: %w", line, err)
+		}
+		client, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return tr, fmt.Errorf("trace line %d: bad client: %w", line, err)
+		}
+		name, err := dnswire.CanonicalName(fields[2])
+		if err != nil {
+			return tr, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		qtype, err := dnswire.ParseType(fields[3])
+		if err != nil {
+			return tr, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		tr.Queries = append(tr.Queries, Query{
+			At:     tr.Start.Add(time.Duration(offMS) * time.Millisecond),
+			Client: client,
+			Name:   name,
+			Type:   qtype,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return tr, err
+	}
+	return tr, nil
+}
+
+func (tr *Trace) parseHeader(text string) error {
+	fields := strings.Fields(strings.TrimPrefix(text, "#"))
+	if len(fields) < 2 {
+		return nil // plain comment
+	}
+	switch fields[0] {
+	case "trace":
+		tr.Label = fields[1]
+	case "start":
+		t, err := time.Parse(time.RFC3339, fields[1])
+		if err != nil {
+			return fmt.Errorf("bad start time: %w", err)
+		}
+		tr.Start = t
+	case "duration":
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad duration: %w", err)
+		}
+		tr.Duration = d
+	case "clients":
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad clients: %w", err)
+		}
+		tr.Clients = n
+	}
+	return nil
+}

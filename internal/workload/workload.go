@@ -1,0 +1,285 @@
+// Package workload generates and manipulates stub-resolver query traces.
+// The paper's evaluation replays six proprietary university traces
+// (Table 1); this package substitutes a synthetic generator whose knobs
+// control the properties those results depend on: Zipf-skewed zone
+// popularity, per-client interest with overlap across clients, temporal
+// locality (repeat queries), a diurnal rate pattern, and sporadic queries
+// for non-existent names. It also reads and writes a plain-text trace
+// format and computes Table 1-style statistics.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/topology"
+)
+
+// Query is one stub-resolver query.
+type Query struct {
+	// At is the absolute query time.
+	At time.Time
+	// Client identifies the stub resolver issuing the query.
+	Client int
+	Name   dnswire.Name
+	Type   dnswire.Type
+}
+
+// Trace is a time-ordered query workload.
+type Trace struct {
+	// Label names the trace (e.g. "TRC1").
+	Label string
+	Start time.Time
+	// Duration covers the full trace horizon.
+	Duration time.Duration
+	// Clients is the number of distinct stub resolvers.
+	Clients int
+	Queries []Query
+}
+
+// GenParams controls synthetic trace generation.
+type GenParams struct {
+	Label string
+	Seed  int64
+	Start time.Time
+	// Duration is the trace horizon (the paper uses 7 days, one trace a
+	// month).
+	Duration time.Duration
+	// Clients is the stub-resolver population.
+	Clients int
+	// TotalQueries is the number of queries over the horizon.
+	TotalQueries int
+	// ZipfS > 1 skews zone popularity (higher = more skew).
+	ZipfS float64
+	// RepeatProb is the probability a client re-queries one of its
+	// recent names (temporal locality).
+	RepeatProb float64
+	// ClientLocalProb is the probability a query comes from the client's
+	// private interest set rather than the global popularity law.
+	ClientLocalProb float64
+	// NXFrac is the fraction of queries for names that do not exist.
+	NXFrac float64
+	// Diurnal modulates the arrival rate with a 24 h sine (day ≫ night).
+	Diurnal bool
+}
+
+// DefaultGenParams returns a 7-day workload in the spirit of the paper's
+// university traces, scaled to simulate quickly.
+func DefaultGenParams(label string, seed int64, start time.Time) GenParams {
+	return GenParams{
+		Label:           label,
+		Seed:            seed,
+		Start:           start,
+		Duration:        7 * 24 * time.Hour,
+		Clients:         400,
+		TotalQueries:    60000,
+		ZipfS:           1.3,
+		RepeatProb:      0.35,
+		ClientLocalProb: 0.25,
+		NXFrac:          0.03,
+		Diurnal:         true,
+	}
+}
+
+// queryTypeTable is the query-type mix (A-dominated, like real traces).
+var queryTypeTable = []struct {
+	t dnswire.Type
+	w float64
+}{
+	{dnswire.TypeA, 0.90},
+	{dnswire.TypeAAAA, 0.05},
+	{dnswire.TypeMX, 0.03},
+	{dnswire.TypeTXT, 0.02},
+}
+
+// Generate builds a synthetic trace over the given queryable names.
+func Generate(p GenParams, names []topology.TargetName) Trace {
+	if p.Clients <= 0 || p.TotalQueries <= 0 || len(names) == 0 {
+		return Trace{Label: p.Label, Start: p.Start, Duration: p.Duration, Clients: p.Clients}
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Zone popularity: Zipf over the distinct zones, with the name order
+	// shuffled so popularity is independent of generation order.
+	zoneNames, namesByZone := indexByZone(names)
+	perm := rng.Perm(len(zoneNames))
+	s := p.ZipfS
+	if s <= 1 {
+		s = 1.2
+	}
+	zipf := rand.NewZipf(rng, s, 1, uint64(len(zoneNames)-1))
+
+	// Private interest sets: each client prefers a handful of zones.
+	private := make([][]int, p.Clients)
+	for c := range private {
+		k := 3 + rng.Intn(8)
+		set := make([]int, k)
+		for i := range set {
+			set[i] = rng.Intn(len(zoneNames))
+		}
+		private[c] = set
+	}
+	recent := make([][]Query, p.Clients)
+
+	pickZone := func(client int) dnswire.Name {
+		if rng.Float64() < p.ClientLocalProb {
+			return zoneNames[private[client][rng.Intn(len(private[client]))]]
+		}
+		return zoneNames[perm[zipf.Uint64()]]
+	}
+	pickType := func() dnswire.Type {
+		x := rng.Float64()
+		for _, e := range queryTypeTable {
+			x -= e.w
+			if x <= 0 {
+				return e.t
+			}
+		}
+		return dnswire.TypeA
+	}
+
+	tr := Trace{Label: p.Label, Start: p.Start, Duration: p.Duration, Clients: p.Clients}
+	tr.Queries = make([]Query, 0, p.TotalQueries)
+	for i := 0; i < p.TotalQueries; i++ {
+		at := p.Start.Add(arrivalOffset(rng, p, i))
+		client := rng.Intn(p.Clients)
+
+		// Temporal locality: repeat a recent query.
+		if r := recent[client]; len(r) > 0 && rng.Float64() < p.RepeatProb {
+			q := r[rng.Intn(len(r))]
+			q.At = at
+			tr.Queries = append(tr.Queries, q)
+			continue
+		}
+
+		zn := pickZone(client)
+		inZone := namesByZone[zn]
+		var qname dnswire.Name
+		if rng.Float64() < p.NXFrac {
+			// A name that does not exist inside a real zone.
+			n, err := zn.Child(nxLabel(rng))
+			if err != nil {
+				n = inZone[0]
+			}
+			qname = n
+		} else {
+			// Names within a zone follow a skewed pick: the first name
+			// (typically "www") dominates.
+			idx := 0
+			if len(inZone) > 1 && rng.Float64() < 0.3 {
+				idx = rng.Intn(len(inZone))
+			}
+			qname = inZone[idx]
+		}
+		q := Query{At: at, Client: client, Name: qname, Type: pickType()}
+		tr.Queries = append(tr.Queries, q)
+		recent[client] = append(recent[client], q)
+		if len(recent[client]) > 32 {
+			recent[client] = recent[client][1:]
+		}
+	}
+	sort.SliceStable(tr.Queries, func(i, j int) bool { return tr.Queries[i].At.Before(tr.Queries[j].At) })
+	return tr
+}
+
+// arrivalOffset spreads query i over the horizon, optionally with a
+// diurnal rate pattern (more traffic during the day).
+func arrivalOffset(rng *rand.Rand, p GenParams, _ int) time.Duration {
+	for {
+		off := time.Duration(rng.Int63n(int64(p.Duration)))
+		if !p.Diurnal {
+			return off
+		}
+		// Thinning: accept with probability following a 24 h sine with a
+		// floor, peaking mid-day.
+		hour := off % (24 * time.Hour)
+		frac := float64(hour) / float64(24*time.Hour)
+		accept := 0.25 + 0.75*dayShape(frac)
+		if rng.Float64() < accept {
+			return off
+		}
+	}
+}
+
+// dayShape maps a fraction of the day to a [0,1] activity level peaking at
+// 14:00 and bottoming before dawn.
+func dayShape(frac float64) float64 {
+	// Piecewise triangle: low until 06:00, ramp to 14:00, ramp down to 24:00.
+	switch {
+	case frac < 0.25:
+		return 0.1
+	case frac < 0.58:
+		return 0.1 + 0.9*(frac-0.25)/0.33
+	default:
+		return 1.0 - 0.9*(frac-0.58)/0.42
+	}
+}
+
+// nxLabel builds a label that the generator never uses for real names.
+func nxLabel(rng *rand.Rand) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz"
+	b := make([]byte, 8)
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return "nx-" + string(b)
+}
+
+// indexByZone groups names by zone, preserving deterministic order.
+func indexByZone(names []topology.TargetName) ([]dnswire.Name, map[dnswire.Name][]dnswire.Name) {
+	var zones []dnswire.Name
+	byZone := make(map[dnswire.Name][]dnswire.Name)
+	for _, tn := range names {
+		if _, ok := byZone[tn.Zone]; !ok {
+			zones = append(zones, tn.Zone)
+		}
+		byZone[tn.Zone] = append(byZone[tn.Zone], tn.Name)
+	}
+	return zones, byZone
+}
+
+// Stats are Table 1-style trace statistics. RequestsOut is filled by the
+// simulator, not the trace itself.
+type Stats struct {
+	Label      string
+	Duration   time.Duration
+	Clients    int
+	RequestsIn int
+	// Names is the number of distinct query names.
+	Names int
+	// Zones is the number of distinct enclosing zones queried (counted
+	// by the name's parent; NX names still belong to a real zone).
+	Zones int
+}
+
+// ComputeStats derives Table 1 statistics from a trace.
+func ComputeStats(tr Trace) Stats {
+	names := make(map[dnswire.Name]bool)
+	zones := make(map[dnswire.Name]bool)
+	clients := make(map[int]bool)
+	for _, q := range tr.Queries {
+		names[q.Name] = true
+		zones[q.Name.Parent()] = true
+		clients[q.Client] = true
+	}
+	return Stats{
+		Label:      tr.Label,
+		Duration:   tr.Duration,
+		Clients:    len(clients),
+		RequestsIn: len(tr.Queries),
+		Names:      len(names),
+		Zones:      len(zones),
+	}
+}
+
+// ZoneQueryCounts tallies queries per enclosing zone, for the
+// maximum-damage attack heuristic.
+func ZoneQueryCounts(tr Trace) map[dnswire.Name]uint64 {
+	counts := make(map[dnswire.Name]uint64)
+	for _, q := range tr.Queries {
+		counts[q.Name.Parent()]++
+	}
+	return counts
+}

@@ -1,0 +1,178 @@
+// Package xfer implements DNS zone transfer (AXFR, RFC 5936) and
+// secondary-server zone maintenance: a client that pulls a whole zone
+// over TCP, and a Secondary that keeps a served copy fresh by polling the
+// primary's SOA serial and re-transferring on change.
+package xfer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilientdns/internal/authserver"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+	"resilientdns/internal/zone"
+)
+
+// ErrTransferFailed reports an unusable AXFR response.
+var ErrTransferFailed = errors.New("xfer: zone transfer failed")
+
+// AXFR pulls the full zone from the server using the given transport
+// (normally transport.TCP) and rebuilds it.
+func AXFR(ctx context.Context, tr transport.Transport, server transport.Addr, zoneName dnswire.Name) (*zone.Zone, error) {
+	q := dnswire.NewQuery(axfrID(), zoneName, dnswire.TypeAXFR)
+	resp, err := tr.Exchange(ctx, server, q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTransferFailed, err)
+	}
+	if resp.RCode != dnswire.RCodeNoError {
+		return nil, fmt.Errorf("%w: %s from %s", ErrTransferFailed, resp.RCode, server)
+	}
+	if resp.Flags.Truncated {
+		return nil, fmt.Errorf("%w: truncated response (use TCP)", ErrTransferFailed)
+	}
+	rrs := resp.Answer
+	if len(rrs) < 2 {
+		return nil, fmt.Errorf("%w: %d records", ErrTransferFailed, len(rrs))
+	}
+	first, okFirst := rrs[0].Data.(dnswire.SOA)
+	last, okLast := rrs[len(rrs)-1].Data.(dnswire.SOA)
+	if !okFirst || !okLast || first.Serial != last.Serial {
+		return nil, fmt.Errorf("%w: stream not SOA-delimited", ErrTransferFailed)
+	}
+	z := zone.New(zoneName)
+	for _, rr := range rrs[:len(rrs)-1] { // drop the trailing SOA copy
+		if err := z.Add(rr); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrTransferFailed, err)
+		}
+	}
+	return z, nil
+}
+
+// FetchSOASerial queries the zone's SOA and returns its serial.
+func FetchSOASerial(ctx context.Context, tr transport.Transport, server transport.Addr, zoneName dnswire.Name) (uint32, error) {
+	q := dnswire.NewQuery(axfrID(), zoneName, dnswire.TypeSOA)
+	resp, err := tr.Exchange(ctx, server, q)
+	if err != nil {
+		return 0, err
+	}
+	for _, rr := range resp.Answer {
+		if soa, ok := rr.Data.(dnswire.SOA); ok && rr.Name == zoneName {
+			return soa.Serial, nil
+		}
+	}
+	return 0, fmt.Errorf("xfer: no SOA in response for %s", zoneName)
+}
+
+var axfrSeq atomic.Uint32
+
+// axfrID yields distinct message IDs without global randomness.
+func axfrID() uint16 { return uint16(axfrSeq.Add(1)) }
+
+// Secondary serves a zone transferred from a primary, refreshing it when
+// the primary's SOA serial advances. It implements transport.Handler and
+// can be placed behind UDP/TCP servers like any authoritative engine.
+type Secondary struct {
+	// Zone is the origin to maintain.
+	Zone dnswire.Name
+	// Primary is the master server's address.
+	Primary transport.Addr
+	// Transport defaults to DNS-over-TCP.
+	Transport transport.Transport
+	// PollInterval overrides the SOA refresh interval (default: the
+	// zone's SOA refresh value, or a minute before the first transfer).
+	PollInterval time.Duration
+
+	mu      sync.Mutex
+	serial  uint32
+	loaded  bool
+	current atomic.Pointer[authserver.Server]
+	// transfers counts completed zone transfers, for tests and stats.
+	transfers atomic.Uint64
+}
+
+// Refresh checks the primary's serial and re-transfers when needed (or
+// when the secondary has never loaded the zone). It reports whether a
+// transfer happened.
+func (s *Secondary) Refresh(ctx context.Context) (bool, error) {
+	tr := s.Transport
+	if tr == nil {
+		tr = &transport.TCP{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.loaded {
+		serial, err := FetchSOASerial(ctx, tr, s.Primary, s.Zone)
+		if err != nil {
+			return false, err
+		}
+		if serial == s.serial {
+			return false, nil
+		}
+	}
+	z, err := AXFR(ctx, tr, s.Primary, s.Zone)
+	if err != nil {
+		return false, err
+	}
+	soa, ok := z.SOA()
+	if !ok {
+		return false, fmt.Errorf("%w: transferred zone has no SOA", ErrTransferFailed)
+	}
+	s.current.Store(authserver.New(z))
+	s.serial = soa.Data.(dnswire.SOA).Serial
+	s.loaded = true
+	s.transfers.Add(1)
+	return true, nil
+}
+
+// Serial returns the serial of the currently served copy (0 before the
+// first transfer).
+func (s *Secondary) Serial() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serial
+}
+
+// Transfers returns how many zone transfers have completed.
+func (s *Secondary) Transfers() uint64 { return s.transfers.Load() }
+
+// HandleQuery implements transport.Handler, serving the current copy.
+// Before the first successful transfer every query gets SERVFAIL.
+func (s *Secondary) HandleQuery(q *dnswire.Message) *dnswire.Message {
+	srv := s.current.Load()
+	if srv == nil {
+		resp := q.Reply()
+		resp.RCode = dnswire.RCodeServFail
+		return resp
+	}
+	return srv.HandleQuery(q)
+}
+
+// Run refreshes the zone until ctx is cancelled, polling at the SOA
+// refresh interval (or PollInterval when set). Transfer errors are
+// retried at the poll cadence.
+func (s *Secondary) Run(ctx context.Context) {
+	for {
+		_, _ = s.Refresh(ctx) //nolint:errcheck // retried next round
+		interval := s.PollInterval
+		if interval == 0 {
+			interval = time.Minute
+			if srv := s.current.Load(); srv != nil {
+				if soa, ok := srv.Zones()[0].SOA(); ok {
+					interval = time.Duration(soa.Data.(dnswire.SOA).Refresh) * time.Second
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+var _ transport.Handler = (*Secondary)(nil)

@@ -1,0 +1,240 @@
+package xfer
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resilientdns/internal/authserver"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+	"resilientdns/internal/zone"
+)
+
+func buildZone(t *testing.T, serial uint32, extra ...dnswire.RR) *zone.Zone {
+	t.Helper()
+	z := zone.New(dnswire.MustName("example."))
+	z.MustAdd(dnswire.RR{
+		Name: dnswire.MustName("example."), Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.SOA{
+			MName: dnswire.MustName("ns.example."), RName: dnswire.MustName("admin.example."),
+			Serial: serial, Refresh: 1, Retry: 1, Expire: 1000, Minimum: 60,
+		},
+	})
+	z.MustAdd(dnswire.RR{
+		Name: dnswire.MustName("example."), Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.NS{Host: dnswire.MustName("ns.example.")},
+	})
+	z.MustAdd(dnswire.RR{
+		Name: dnswire.MustName("ns.example."), Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.1")},
+	})
+	z.MustAdd(dnswire.RR{
+		Name: dnswire.MustName("www.example."), Class: dnswire.ClassIN, TTL: 300,
+		Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.80")},
+	})
+	for _, rr := range extra {
+		z.MustAdd(rr)
+	}
+	return z
+}
+
+// swappableHandler lets tests replace the served zone at runtime.
+type swappableHandler struct {
+	cur atomic.Pointer[authserver.Server]
+}
+
+func (h *swappableHandler) HandleQuery(q *dnswire.Message) *dnswire.Message {
+	return h.cur.Load().HandleQuery(q)
+}
+
+// startPrimary serves the handler over TCP and returns its address.
+func startPrimary(t *testing.T, h transport.Handler) string {
+	t.Helper()
+	srv := &transport.TCPServer{Handler: h}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+func TestAXFRTransfersWholeZone(t *testing.T) {
+	src := buildZone(t, 100)
+	addr := startPrimary(t, authserver.New(src))
+
+	got, err := AXFR(context.Background(), &transport.TCP{Timeout: time.Second},
+		transport.Addr(addr), dnswire.MustName("example."))
+	if err != nil {
+		t.Fatalf("AXFR: %v", err)
+	}
+	if got.RecordCount() != src.RecordCount() {
+		t.Errorf("transferred %d records, want %d", got.RecordCount(), src.RecordCount())
+	}
+	soa, ok := got.SOA()
+	if !ok || soa.Data.(dnswire.SOA).Serial != 100 {
+		t.Errorf("SOA = %v", soa)
+	}
+	// The transferred zone answers queries like the original.
+	res := got.Lookup(dnswire.MustName("www.example."), dnswire.TypeA)
+	if res.Type != zone.Answer {
+		t.Errorf("Lookup = %v", res.Type)
+	}
+}
+
+func TestAXFRRefusedForUnknownZone(t *testing.T) {
+	addr := startPrimary(t, authserver.New(buildZone(t, 1)))
+	_, err := AXFR(context.Background(), &transport.TCP{Timeout: time.Second},
+		transport.Addr(addr), dnswire.MustName("other."))
+	if err == nil {
+		t.Fatal("AXFR of unserved zone succeeded")
+	}
+}
+
+func TestFetchSOASerial(t *testing.T) {
+	addr := startPrimary(t, authserver.New(buildZone(t, 42)))
+	serial, err := FetchSOASerial(context.Background(), &transport.TCP{Timeout: time.Second},
+		transport.Addr(addr), dnswire.MustName("example."))
+	if err != nil {
+		t.Fatalf("FetchSOASerial: %v", err)
+	}
+	if serial != 42 {
+		t.Errorf("serial = %d, want 42", serial)
+	}
+}
+
+func TestSecondaryServesAfterRefresh(t *testing.T) {
+	addr := startPrimary(t, authserver.New(buildZone(t, 7)))
+	sec := &Secondary{
+		Zone:      dnswire.MustName("example."),
+		Primary:   transport.Addr(addr),
+		Transport: &transport.TCP{Timeout: time.Second},
+	}
+	// Before the first transfer: SERVFAIL.
+	q := dnswire.NewQuery(1, dnswire.MustName("www.example."), dnswire.TypeA)
+	if resp := sec.HandleQuery(q); resp.RCode != dnswire.RCodeServFail {
+		t.Errorf("pre-transfer rcode = %v, want SERVFAIL", resp.RCode)
+	}
+
+	changed, err := sec.Refresh(context.Background())
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if !changed || sec.Serial() != 7 {
+		t.Errorf("changed=%v serial=%d", changed, sec.Serial())
+	}
+	resp := sec.HandleQuery(q)
+	if resp.RCode != dnswire.RCodeNoError || len(resp.Answer) != 1 {
+		t.Errorf("post-transfer resp = %v", resp)
+	}
+}
+
+func TestSecondarySkipsUnchangedSerial(t *testing.T) {
+	addr := startPrimary(t, authserver.New(buildZone(t, 7)))
+	sec := &Secondary{
+		Zone:      dnswire.MustName("example."),
+		Primary:   transport.Addr(addr),
+		Transport: &transport.TCP{Timeout: time.Second},
+	}
+	if _, err := sec.Refresh(context.Background()); err != nil {
+		t.Fatalf("first Refresh: %v", err)
+	}
+	changed, err := sec.Refresh(context.Background())
+	if err != nil {
+		t.Fatalf("second Refresh: %v", err)
+	}
+	if changed {
+		t.Error("re-transferred despite unchanged serial")
+	}
+	if sec.Transfers() != 1 {
+		t.Errorf("Transfers = %d, want 1", sec.Transfers())
+	}
+}
+
+func TestSecondaryPicksUpSerialBump(t *testing.T) {
+	h := &swappableHandler{}
+	h.cur.Store(authserver.New(buildZone(t, 7)))
+	addr := startPrimary(t, h)
+	sec := &Secondary{
+		Zone:      dnswire.MustName("example."),
+		Primary:   transport.Addr(addr),
+		Transport: &transport.TCP{Timeout: time.Second},
+	}
+	if _, err := sec.Refresh(context.Background()); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+
+	// The primary publishes serial 8 with an extra record.
+	h.cur.Store(authserver.New(buildZone(t, 8, dnswire.RR{
+		Name: dnswire.MustName("new.example."), Class: dnswire.ClassIN, TTL: 300,
+		Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.99")},
+	})))
+	changed, err := sec.Refresh(context.Background())
+	if err != nil {
+		t.Fatalf("Refresh after bump: %v", err)
+	}
+	if !changed || sec.Serial() != 8 {
+		t.Errorf("changed=%v serial=%d, want transfer to serial 8", changed, sec.Serial())
+	}
+	q := dnswire.NewQuery(2, dnswire.MustName("new.example."), dnswire.TypeA)
+	if resp := sec.HandleQuery(q); len(resp.Answer) != 1 {
+		t.Errorf("new record not served after re-transfer: %v", resp)
+	}
+}
+
+func TestSecondaryRunLoop(t *testing.T) {
+	h := &swappableHandler{}
+	h.cur.Store(authserver.New(buildZone(t, 1)))
+	addr := startPrimary(t, h)
+	sec := &Secondary{
+		Zone:         dnswire.MustName("example."),
+		Primary:      transport.Addr(addr),
+		Transport:    &transport.TCP{Timeout: time.Second},
+		PollInterval: 20 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sec.Run(ctx)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for sec.Serial() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("initial transfer never happened")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.cur.Store(authserver.New(buildZone(t, 2)))
+	for sec.Serial() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("serial bump not picked up (serial=%d)", sec.Serial())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAXFROverUDPTruncates(t *testing.T) {
+	// Over UDP a large transfer is truncated; the client must reject it
+	// rather than build a partial zone.
+	var pad []dnswire.RR
+	for i := 0; i < 40; i++ {
+		pad = append(pad, dnswire.RR{
+			Name: dnswire.MustName("example."), Class: dnswire.ClassIN, TTL: 300,
+			Data: dnswire.TXT{Strings: []string{fmt.Sprintf("%02d-padding-padding-padding-padding", i)}},
+		})
+	}
+	srv := &transport.UDPServer{Handler: authserver.New(buildZone(t, 5, pad...))}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+	_, err = AXFR(context.Background(), &transport.UDP{Timeout: time.Second},
+		transport.Addr(addr), dnswire.MustName("example."))
+	if err == nil {
+		t.Fatal("truncated UDP transfer accepted")
+	}
+}

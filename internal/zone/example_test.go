@@ -1,0 +1,49 @@
+package zone_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/zone"
+)
+
+// ExampleParse loads a master file and resolves a name against it.
+func ExampleParse() {
+	z, err := zone.ParseString(`
+$TTL 3600
+@	IN	NS	ns1.example.com.
+ns1	IN	A	192.0.2.1
+www	300	IN	A	192.0.2.80
+`, dnswire.MustName("example.com."))
+	if err != nil {
+		panic(err)
+	}
+	res := z.Lookup(dnswire.MustName("www.example.com."), dnswire.TypeA)
+	fmt.Println(res.Type)
+	fmt.Println(res.Records[0])
+	// Output:
+	// Answer
+	// www.example.com.	300	IN	A	192.0.2.80
+}
+
+// ExampleZone_Lookup shows the delegation-aware outcomes.
+func ExampleZone_Lookup() {
+	z := zone.New(dnswire.MustName("edu."))
+	z.MustAdd(dnswire.RR{Name: dnswire.MustName("edu."), Class: dnswire.ClassIN, TTL: 86400,
+		Data: dnswire.NS{Host: dnswire.MustName("ns1.edu.")}})
+	z.MustAdd(dnswire.RR{Name: dnswire.MustName("ns1.edu."), Class: dnswire.ClassIN, TTL: 86400,
+		Data: dnswire.A{Addr: mustAddr("192.0.2.1")}})
+	z.MustAdd(dnswire.RR{Name: dnswire.MustName("ucla.edu."), Class: dnswire.ClassIN, TTL: 86400,
+		Data: dnswire.NS{Host: dnswire.MustName("ns1.ucla.edu.")}})
+	z.MustAdd(dnswire.RR{Name: dnswire.MustName("ns1.ucla.edu."), Class: dnswire.ClassIN, TTL: 86400,
+		Data: dnswire.A{Addr: mustAddr("198.51.100.1")}})
+
+	fmt.Println(z.Lookup(dnswire.MustName("www.ucla.edu."), dnswire.TypeA).Type)
+	fmt.Println(z.Lookup(dnswire.MustName("missing.edu."), dnswire.TypeA).Type)
+	// Output:
+	// Referral
+	// NXDOMAIN
+}
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }

@@ -1,0 +1,518 @@
+package zone
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+
+	"resilientdns/internal/dnswire"
+)
+
+// ParseError reports a master-file syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string { return fmt.Sprintf("zone parse: line %d: %s", e.Line, e.Msg) }
+
+// Parse reads a zone in RFC 1035 master-file format. origin is used for
+// relative names unless overridden by a $ORIGIN directive; it also becomes
+// the zone apex. Supported: $ORIGIN, $TTL, comments, parenthesised
+// multi-line records, "@", blank-owner continuation, optional class and
+// TTL fields, and the record types A, AAAA, NS, CNAME, SOA, MX, TXT, PTR,
+// and SRV.
+func Parse(r io.Reader, origin dnswire.Name) (*Zone, error) {
+	z := New(origin)
+	p := &parser{z: z, origin: origin, defaultTTL: 3600, lastOwner: origin}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	var pending []token
+	parens := 0
+	firstLine := 0
+	for sc.Scan() {
+		lineNo++
+		toks, opened, closed, err := tokenize(sc.Text())
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+		if parens == 0 {
+			firstLine = lineNo
+		}
+		parens += opened - closed
+		if parens < 0 {
+			return nil, &ParseError{Line: lineNo, Msg: "unbalanced ')'"}
+		}
+		pending = append(pending, toks...)
+		if parens > 0 {
+			continue
+		}
+		if len(pending) > 0 {
+			if err := p.record(pending, firstLine); err != nil {
+				return nil, err
+			}
+		}
+		pending = pending[:0]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("zone parse: %w", err)
+	}
+	if parens != 0 {
+		return nil, &ParseError{Line: lineNo, Msg: "unclosed '('"}
+	}
+	return z, nil
+}
+
+// ParseString is Parse over a string, for tests and embedded zones.
+func ParseString(s string, origin dnswire.Name) (*Zone, error) {
+	return Parse(strings.NewReader(s), origin)
+}
+
+// token is one master-file field, with a note of whether it appeared at
+// column zero (which marks an owner-name field).
+type token struct {
+	text    string
+	atStart bool
+	quoted  bool
+}
+
+// tokenize splits one master-file line into fields, stripping comments and
+// counting parentheses. Quoted strings keep their spaces.
+func tokenize(line string) (toks []token, opened, closed int, err error) {
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ';':
+			return toks, opened, closed, nil
+		case c == ' ' || c == '\t':
+			i++
+		case c == '(':
+			opened++
+			i++
+		case c == ')':
+			closed++
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(line) && line[j] != '"' {
+				j++
+			}
+			if j >= len(line) {
+				return nil, 0, 0, fmt.Errorf("unterminated quoted string")
+			}
+			toks = append(toks, token{text: line[i+1 : j], atStart: i == 0, quoted: true})
+			i = j + 1
+		default:
+			j := i
+			for j < len(line) && !strings.ContainsRune(" \t;()\"", rune(line[j])) {
+				j++
+			}
+			toks = append(toks, token{text: line[i:j], atStart: i == 0})
+			i = j
+		}
+	}
+	return toks, opened, closed, nil
+}
+
+type parser struct {
+	z          *Zone
+	origin     dnswire.Name
+	defaultTTL uint32
+	lastOwner  dnswire.Name
+	lastTTL    uint32
+}
+
+func (p *parser) record(toks []token, line int) error {
+	fail := func(format string, args ...any) error {
+		return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	// Directives.
+	if toks[0].text == "$ORIGIN" {
+		if len(toks) != 2 {
+			return fail("$ORIGIN needs one argument")
+		}
+		n, err := p.name(toks[1].text)
+		if err != nil {
+			return fail("$ORIGIN: %v", err)
+		}
+		p.origin = n
+		return nil
+	}
+	if toks[0].text == "$TTL" {
+		if len(toks) != 2 {
+			return fail("$TTL needs one argument")
+		}
+		ttl, err := parseTTL(toks[1].text)
+		if err != nil {
+			return fail("$TTL: %v", err)
+		}
+		p.defaultTTL = ttl
+		p.lastTTL = 0
+		return nil
+	}
+	if strings.HasPrefix(toks[0].text, "$") {
+		return fail("unsupported directive %s", toks[0].text)
+	}
+
+	// Owner name: present only when the line starts at column zero.
+	owner := p.lastOwner
+	if toks[0].atStart {
+		n, err := p.name(toks[0].text)
+		if err != nil {
+			return fail("owner: %v", err)
+		}
+		owner = n
+		toks = toks[1:]
+		if len(toks) == 0 {
+			return fail("record with owner only")
+		}
+	}
+	p.lastOwner = owner
+
+	// Optional TTL and class, in either order.
+	ttl := p.defaultTTL
+	if p.lastTTL != 0 {
+		ttl = p.lastTTL
+	}
+	for len(toks) > 0 {
+		t := toks[0].text
+		if v, err := parseTTL(t); err == nil && !toks[0].quoted {
+			ttl = v
+			p.lastTTL = v
+			toks = toks[1:]
+			continue
+		}
+		if t == "IN" || t == "CH" {
+			toks = toks[1:]
+			continue
+		}
+		break
+	}
+	if len(toks) == 0 {
+		return fail("record without type")
+	}
+
+	typ, err := dnswire.ParseType(toks[0].text)
+	if err != nil {
+		return fail("%v", err)
+	}
+	args := toks[1:]
+	data, err := p.rdata(typ, args)
+	if err != nil {
+		return fail("%s: %v", typ, err)
+	}
+	rr := dnswire.RR{Name: owner, Class: dnswire.ClassIN, TTL: ttl, Data: data}
+	if err := p.z.Add(rr); err != nil {
+		return fail("%v", err)
+	}
+	return nil
+}
+
+func (p *parser) rdata(typ dnswire.Type, args []token) (dnswire.RData, error) {
+	text := func(i int) (string, error) {
+		if i >= len(args) {
+			return "", fmt.Errorf("missing field %d", i+1)
+		}
+		return args[i].text, nil
+	}
+	name := func(i int) (dnswire.Name, error) {
+		s, err := text(i)
+		if err != nil {
+			return "", err
+		}
+		return p.name(s)
+	}
+	u16 := func(i int) (uint16, error) {
+		s, err := text(i)
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.ParseUint(s, 10, 16)
+		return uint16(v), err
+	}
+	u32 := func(i int) (uint32, error) {
+		s, err := text(i)
+		if err != nil {
+			return 0, err
+		}
+		return parseTTL(s)
+	}
+
+	switch typ {
+	case dnswire.TypeA:
+		s, err := text(0)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(s)
+		if err != nil || !addr.Is4() {
+			return nil, fmt.Errorf("bad IPv4 address %q", s)
+		}
+		return dnswire.A{Addr: addr}, nil
+	case dnswire.TypeAAAA:
+		s, err := text(0)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(s)
+		if err != nil || !addr.Is6() || addr.Is4In6() {
+			return nil, fmt.Errorf("bad IPv6 address %q", s)
+		}
+		return dnswire.AAAA{Addr: addr}, nil
+	case dnswire.TypeNS:
+		h, err := name(0)
+		return dnswire.NS{Host: h}, err
+	case dnswire.TypeCNAME:
+		t, err := name(0)
+		return dnswire.CNAME{Target: t}, err
+	case dnswire.TypePTR:
+		t, err := name(0)
+		return dnswire.PTR{Target: t}, err
+	case dnswire.TypeMX:
+		pref, err := u16(0)
+		if err != nil {
+			return nil, err
+		}
+		h, err := name(1)
+		return dnswire.MX{Preference: pref, Host: h}, err
+	case dnswire.TypeTXT:
+		if len(args) == 0 {
+			return nil, fmt.Errorf("TXT needs at least one string")
+		}
+		var strs []string
+		for _, a := range args {
+			strs = append(strs, a.text)
+		}
+		return dnswire.TXT{Strings: strs}, nil
+	case dnswire.TypeSOA:
+		mname, err := name(0)
+		if err != nil {
+			return nil, err
+		}
+		rname, err := name(1)
+		if err != nil {
+			return nil, err
+		}
+		var nums [5]uint32
+		for i := range nums {
+			if nums[i], err = u32(2 + i); err != nil {
+				return nil, err
+			}
+		}
+		return dnswire.SOA{
+			MName: mname, RName: rname,
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2],
+			Expire: nums[3], Minimum: nums[4],
+		}, nil
+	case dnswire.TypeDNSKEY:
+		flags, err := u16(0)
+		if err != nil {
+			return nil, err
+		}
+		proto, err := u16(1)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := u16(2)
+		if err != nil {
+			return nil, err
+		}
+		keyB64, err := joinFrom(args, 3)
+		if err != nil {
+			return nil, err
+		}
+		key, err := base64.StdEncoding.DecodeString(keyB64)
+		if err != nil {
+			return nil, fmt.Errorf("bad DNSKEY key material: %v", err)
+		}
+		return dnswire.DNSKEY{
+			Flags: flags, Protocol: uint8(proto), Algorithm: uint8(alg), PublicKey: key,
+		}, nil
+	case dnswire.TypeDS:
+		tag, err := u16(0)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := u16(1)
+		if err != nil {
+			return nil, err
+		}
+		dt, err := u16(2)
+		if err != nil {
+			return nil, err
+		}
+		digestHex, err := joinFrom(args, 3)
+		if err != nil {
+			return nil, err
+		}
+		digest, err := hex.DecodeString(digestHex)
+		if err != nil {
+			return nil, fmt.Errorf("bad DS digest: %v", err)
+		}
+		return dnswire.DS{
+			KeyTag: tag, Algorithm: uint8(alg), DigestType: uint8(dt), Digest: digest,
+		}, nil
+	case dnswire.TypeRRSIG:
+		coveredText, err := text(0)
+		if err != nil {
+			return nil, err
+		}
+		covered, err := dnswire.ParseType(coveredText)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := u16(1)
+		if err != nil {
+			return nil, err
+		}
+		labels, err := u16(2)
+		if err != nil {
+			return nil, err
+		}
+		origTTL, err := u32(3)
+		if err != nil {
+			return nil, err
+		}
+		expiration, err := sigTime(args, 4)
+		if err != nil {
+			return nil, err
+		}
+		inceptionT, err := sigTime(args, 5)
+		if err != nil {
+			return nil, err
+		}
+		keyTag, err := u16(6)
+		if err != nil {
+			return nil, err
+		}
+		signer, err := name(7)
+		if err != nil {
+			return nil, err
+		}
+		sigB64, err := joinFrom(args, 8)
+		if err != nil {
+			return nil, err
+		}
+		sig, err := base64.StdEncoding.DecodeString(sigB64)
+		if err != nil {
+			return nil, fmt.Errorf("bad RRSIG signature: %v", err)
+		}
+		return dnswire.RRSIG{
+			TypeCovered: covered, Algorithm: uint8(alg), Labels: uint8(labels),
+			OrigTTL: origTTL, Expiration: expiration, Inception: inceptionT,
+			KeyTag: keyTag, SignerName: signer, Signature: sig,
+		}, nil
+	case dnswire.TypeSRV:
+		prio, err := u16(0)
+		if err != nil {
+			return nil, err
+		}
+		weight, err := u16(1)
+		if err != nil {
+			return nil, err
+		}
+		port, err := u16(2)
+		if err != nil {
+			return nil, err
+		}
+		target, err := name(3)
+		return dnswire.SRV{Priority: prio, Weight: weight, Port: port, Target: target}, err
+	default:
+		return nil, fmt.Errorf("unsupported type in master file")
+	}
+}
+
+// joinFrom concatenates the remaining fields from index i (base64 and hex
+// material may be split across whitespace in master files).
+func joinFrom(args []token, i int) (string, error) {
+	if i >= len(args) {
+		return "", fmt.Errorf("missing field %d", i+1)
+	}
+	var b strings.Builder
+	for _, a := range args[i:] {
+		b.WriteString(a.text)
+	}
+	return b.String(), nil
+}
+
+// sigTime parses an RRSIG timestamp: either seconds since the epoch or
+// the RFC 4034 YYYYMMDDHHmmSS form.
+func sigTime(args []token, i int) (uint32, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing field %d", i+1)
+	}
+	s := args[i].text
+	if len(s) == 14 {
+		t, err := time.Parse("20060102150405", s)
+		if err == nil {
+			return uint32(t.Unix()), nil
+		}
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad RRSIG time %q", s)
+	}
+	return uint32(v), nil
+}
+
+// name resolves a possibly-relative master-file name against the origin.
+func (p *parser) name(s string) (dnswire.Name, error) {
+	if s == "@" {
+		return p.origin, nil
+	}
+	if strings.HasSuffix(s, ".") {
+		return dnswire.CanonicalName(s)
+	}
+	if p.origin.IsRoot() {
+		return dnswire.CanonicalName(s + ".")
+	}
+	return dnswire.CanonicalName(s + "." + string(p.origin))
+}
+
+// parseTTL parses a TTL as plain seconds or with s/m/h/d/w unit suffixes
+// (e.g. "2d", "1h30m").
+func parseTTL(s string) (uint32, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty TTL")
+	}
+	if v, err := strconv.ParseUint(s, 10, 32); err == nil {
+		return uint32(v), nil
+	}
+	total := uint64(0)
+	num := uint64(0)
+	haveNum := false
+	for _, c := range strings.ToLower(s) {
+		switch {
+		case c >= '0' && c <= '9':
+			num = num*10 + uint64(c-'0')
+			haveNum = true
+		case c == 's' || c == 'm' || c == 'h' || c == 'd' || c == 'w':
+			if !haveNum {
+				return 0, fmt.Errorf("bad TTL %q", s)
+			}
+			mult := map[rune]uint64{'s': 1, 'm': 60, 'h': 3600, 'd': 86400, 'w': 604800}[c]
+			total += num * mult
+			num, haveNum = 0, false
+		default:
+			return 0, fmt.Errorf("bad TTL %q", s)
+		}
+	}
+	if haveNum {
+		return 0, fmt.Errorf("bad TTL %q", s)
+	}
+	if total > 1<<31 {
+		return 0, fmt.Errorf("TTL %q too large", s)
+	}
+	return uint32(total), nil
+}

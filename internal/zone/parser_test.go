@@ -1,0 +1,293 @@
+package zone
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"resilientdns/internal/dnswire"
+)
+
+const sampleZoneText = `
+$ORIGIN example.com.
+$TTL 3600
+@	IN	SOA	ns1.example.com. admin.example.com. (
+			2026070401 ; serial
+			7200       ; refresh
+			900        ; retry
+			1209600    ; expire
+			300 )      ; minimum
+@	IN	NS	ns1
+@	IN	NS	ns2.example.com.
+ns1	86400	IN	A	192.0.2.1
+ns2	86400	IN	A	192.0.2.2
+www	300	IN	A	192.0.2.80
+	IN	AAAA	2001:db8::80
+mail	IN	MX	10 mx.example.com.
+mx	IN	A	192.0.2.25
+alias	IN	CNAME	www
+txt	IN	TXT	"hello world" "second"
+_sip._udp	IN	SRV	10 5 5060 sip.example.com.
+sip	IN	A	192.0.2.99
+sub	IN	NS	ns1.sub.example.com.
+ns1.sub	IN	A	198.51.100.1
+`
+
+func parseSample(t *testing.T) *Zone {
+	t.Helper()
+	z, err := ParseString(sampleZoneText, dnswire.MustName("example.com."))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return z
+}
+
+func TestParseBasics(t *testing.T) {
+	z := parseSample(t)
+	if _, ok := z.SOA(); !ok {
+		t.Fatal("no SOA parsed")
+	}
+	if got := len(z.ApexNS()); got != 2 {
+		t.Errorf("apex NS count = %d, want 2", got)
+	}
+}
+
+func TestParseRelativeAndAbsoluteNames(t *testing.T) {
+	z := parseSample(t)
+	set := z.RRSet(dnswire.MustName("ns1.example.com."), dnswire.TypeA)
+	if len(set) != 1 || set[0].TTL != 86400 {
+		t.Errorf("ns1 A = %v", set)
+	}
+	// "@" expands to origin; "ns1" in NS RDATA expands relative to origin.
+	ns := z.ApexNS()
+	found := false
+	for _, rr := range ns {
+		if rr.Data.(dnswire.NS).Host == "ns1.example.com." {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("relative NS host not expanded: %v", ns)
+	}
+}
+
+func TestParseBlankOwnerContinuation(t *testing.T) {
+	z := parseSample(t)
+	set := z.RRSet(dnswire.MustName("www.example.com."), dnswire.TypeAAAA)
+	if len(set) != 1 {
+		t.Fatalf("AAAA continuation line not attached to www: %v", set)
+	}
+}
+
+func TestParseMultilineSOA(t *testing.T) {
+	z := parseSample(t)
+	soa, _ := z.SOA()
+	data := soa.Data.(dnswire.SOA)
+	if data.Serial != 2026070401 || data.Minimum != 300 {
+		t.Errorf("SOA = %+v", data)
+	}
+}
+
+func TestParseTXTQuotedStrings(t *testing.T) {
+	z := parseSample(t)
+	set := z.RRSet(dnswire.MustName("txt.example.com."), dnswire.TypeTXT)
+	if len(set) != 1 {
+		t.Fatalf("TXT = %v", set)
+	}
+	txt := set[0].Data.(dnswire.TXT)
+	if len(txt.Strings) != 2 || txt.Strings[0] != "hello world" {
+		t.Errorf("TXT strings = %q", txt.Strings)
+	}
+}
+
+func TestParseSRVAndMX(t *testing.T) {
+	z := parseSample(t)
+	srv := z.RRSet(dnswire.MustName("_sip._udp.example.com."), dnswire.TypeSRV)
+	if len(srv) != 1 {
+		t.Fatalf("SRV = %v", srv)
+	}
+	if d := srv[0].Data.(dnswire.SRV); d.Port != 5060 || d.Target != "sip.example.com." {
+		t.Errorf("SRV data = %+v", d)
+	}
+	mx := z.RRSet(dnswire.MustName("mail.example.com."), dnswire.TypeMX)
+	if len(mx) != 1 || mx[0].Data.(dnswire.MX).Preference != 10 {
+		t.Errorf("MX = %v", mx)
+	}
+}
+
+func TestParseDelegationBecomesCut(t *testing.T) {
+	z := parseSample(t)
+	res := z.Lookup(dnswire.MustName("www.sub.example.com."), dnswire.TypeA)
+	if res.Type != Referral {
+		t.Fatalf("Lookup below sub = %v, want Referral", res.Type)
+	}
+	if len(res.Glue) != 1 {
+		t.Errorf("glue = %v, want 1 record", res.Glue)
+	}
+}
+
+func TestParseTTLUnits(t *testing.T) {
+	tests := []struct {
+		in   string
+		want uint32
+		err  bool
+	}{
+		{"300", 300, false},
+		{"1h", 3600, false},
+		{"2d", 172800, false},
+		{"1w", 604800, false},
+		{"1h30m", 5400, false},
+		{"", 0, true},
+		{"abc", 0, true},
+		{"12x", 0, true},
+		{"h", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parseTTL(tt.in)
+		if tt.err {
+			if err == nil {
+				t.Errorf("parseTTL(%q) = %d, want error", tt.in, got)
+			}
+			continue
+		}
+		if err != nil || got != tt.want {
+			t.Errorf("parseTTL(%q) = %d, %v; want %d", tt.in, got, err, tt.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		text string
+	}{
+		{"unbalanced paren", "@ IN SOA a. b. ( 1 2 3 4 5"},
+		{"extra close paren", "@ IN A 1.2.3.4 )"},
+		{"bad A address", "@ IN A not-an-ip"},
+		{"A with v6", "@ IN A 2001:db8::1"},
+		{"AAAA with v4", "@ IN AAAA 1.2.3.4"},
+		{"unknown type", "@ IN BOGUS data"},
+		{"missing rdata", "@ IN MX 10"},
+		{"unsupported directive", "$INCLUDE other.zone"},
+		{"unterminated quote", `txt IN TXT "oops`},
+		{"owner only", "www"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseString(tt.text, dnswire.MustName("example."))
+			if err == nil {
+				t.Errorf("Parse succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestParseReportsLineNumbers(t *testing.T) {
+	text := "@ IN NS ns.example.\nns IN A 192.0.2.1\nbad IN A nope\n"
+	_, err := ParseString(text, dnswire.MustName("example."))
+	if err == nil {
+		t.Fatal("Parse succeeded, want error")
+	}
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error %T is not *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestParseCommentsIgnored(t *testing.T) {
+	text := `
+; full line comment
+@ IN NS ns.example. ; trailing comment
+ns IN A 192.0.2.1
+`
+	z, err := ParseString(text, dnswire.MustName("example."))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if z.RecordCount() != 2 {
+		t.Errorf("RecordCount = %d, want 2", z.RecordCount())
+	}
+}
+
+func TestParseOriginDirectiveSwitchesOrigin(t *testing.T) {
+	text := strings.Join([]string{
+		"@ IN NS ns.example.",
+		"ns IN A 192.0.2.1",
+		"$ORIGIN sub.example.",
+		"host IN A 192.0.2.2",
+	}, "\n")
+	z, err := ParseString(text, dnswire.MustName("example."))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if set := z.RRSet(dnswire.MustName("host.sub.example."), dnswire.TypeA); len(set) != 1 {
+		t.Errorf("host.sub.example. not found after $ORIGIN switch")
+	}
+}
+
+func TestParseDNSSECRecords(t *testing.T) {
+	text := `
+@	3600	IN	NS	ns.example.
+ns	3600	IN	A	192.0.2.1
+@	3600	IN	DNSKEY	257 3 15 7dDg5YMVJ7dNhnttJe7beCQieNLLj/TJyOwHIPgZlAk=
+child	3600	IN	DS	12345 15 2 a1b2c3d4e5f60718293a4b5c6d7e8f901234567890abcdef1234567890abcdef
+www	300	IN	A	192.0.2.80
+www	300	IN	RRSIG	A 15 2 300 1893456000 1767225600 12345 example. dGVzdHNpZ25hdHVyZXRlc3RzaWduYXR1cmV0ZXN0c2lnbmF0dXJldGVzdHNpZ25hdHVyZXRlc3RzaWc=
+`
+	z, err := ParseString(text, dnswire.MustName("example."))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	key := z.RRSet(dnswire.MustName("example."), dnswire.TypeDNSKEY)
+	if len(key) != 1 {
+		t.Fatalf("DNSKEY = %v", key)
+	}
+	if d := key[0].Data.(dnswire.DNSKEY); d.Flags != 257 || d.Algorithm != 15 || len(d.PublicKey) != 32 {
+		t.Errorf("DNSKEY data = %+v", d)
+	}
+	ds := z.RRSet(dnswire.MustName("child.example."), dnswire.TypeDS)
+	if len(ds) != 1 {
+		t.Fatalf("DS = %v", ds)
+	}
+	if d := ds[0].Data.(dnswire.DS); d.KeyTag != 12345 || len(d.Digest) != 32 {
+		t.Errorf("DS data = %+v", d)
+	}
+	sig := z.RRSet(dnswire.MustName("www.example."), dnswire.TypeRRSIG)
+	if len(sig) != 1 {
+		t.Fatalf("RRSIG = %v", sig)
+	}
+	if s := sig[0].Data.(dnswire.RRSIG); s.TypeCovered != dnswire.TypeA ||
+		s.SignerName != "example." || s.Expiration != 1893456000 {
+		t.Errorf("RRSIG data = %+v", s)
+	}
+}
+
+func TestParseRRSIGTimestampFormats(t *testing.T) {
+	// RFC 4034 YYYYMMDDHHmmSS timestamps are also accepted.
+	text := `
+@	3600	IN	NS	ns.example.
+ns	3600	IN	A	192.0.2.1
+www	300	IN	A	192.0.2.80
+www	300	IN	RRSIG	A 15 2 300 20300101000000 20260101000000 12345 example. dGVzdA==
+`
+	z, err := ParseString(text, dnswire.MustName("example."))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sig := z.RRSet(dnswire.MustName("www.example."), dnswire.TypeRRSIG)[0].Data.(dnswire.RRSIG)
+	wantExp := uint32(time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC).Unix())
+	if sig.Expiration != wantExp {
+		t.Errorf("Expiration = %d, want %d", sig.Expiration, wantExp)
+	}
+}

@@ -1,0 +1,339 @@
+// Package zone implements authoritative DNS zone data: an RRset store with
+// delegation-aware lookup semantics (answers, referrals with glue,
+// NXDOMAIN, NODATA, CNAME indirection) and a master-file parser and
+// serializer. It is the data substrate under the authoritative server.
+package zone
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"resilientdns/internal/dnswire"
+)
+
+// Key identifies an RRset inside a zone.
+type Key struct {
+	Name dnswire.Name
+	Type dnswire.Type
+}
+
+// Zone holds the authoritative data of one DNS zone. It is not safe for
+// concurrent mutation; build it fully, then share it read-only.
+type Zone struct {
+	origin dnswire.Name
+
+	rrsets map[Key][]dnswire.RR
+	// names holds every owner name in the zone plus all empty
+	// non-terminals, for NXDOMAIN vs NODATA decisions.
+	names map[dnswire.Name]bool
+	// cuts holds the owner names of delegation points (NS below apex).
+	cuts map[dnswire.Name]bool
+}
+
+// New returns an empty zone rooted at origin.
+func New(origin dnswire.Name) *Zone {
+	return &Zone{
+		origin: origin,
+		rrsets: make(map[Key][]dnswire.RR),
+		names:  make(map[dnswire.Name]bool),
+		cuts:   make(map[dnswire.Name]bool),
+	}
+}
+
+// Origin returns the zone apex name.
+func (z *Zone) Origin() dnswire.Name { return z.origin }
+
+// ErrOutOfZone reports an attempt to add a record whose owner name does
+// not fall under the zone origin.
+var ErrOutOfZone = errors.New("zone: record out of zone")
+
+// Add inserts one record. Records below a delegation cut are allowed only
+// as glue (A/AAAA). Duplicate records (same owner, type, and data string)
+// are ignored.
+func (z *Zone) Add(rr dnswire.RR) error {
+	if rr.Data == nil {
+		return errors.New("zone: record with nil data")
+	}
+	if !rr.Name.IsSubdomainOf(z.origin) {
+		return fmt.Errorf("%w: %s not under %s", ErrOutOfZone, rr.Name, z.origin)
+	}
+	k := Key{Name: rr.Name, Type: rr.Type()}
+	for _, have := range z.rrsets[k] {
+		if have.Data.String() == rr.Data.String() {
+			return nil
+		}
+	}
+	z.rrsets[k] = append(z.rrsets[k], rr)
+	if rr.Type() == dnswire.TypeNS && rr.Name != z.origin {
+		z.cuts[rr.Name] = true
+	}
+	// Register the owner and every empty non-terminal up to the origin.
+	for n := rr.Name; ; n = n.Parent() {
+		z.names[n] = true
+		if n == z.origin || n.IsRoot() {
+			break
+		}
+	}
+	return nil
+}
+
+// MustAdd is Add for test and generator code; it panics on error.
+func (z *Zone) MustAdd(rr dnswire.RR) {
+	if err := z.Add(rr); err != nil {
+		panic(err)
+	}
+}
+
+// RRSet returns a copy of the RRset for (name, type), or nil.
+func (z *Zone) RRSet(name dnswire.Name, t dnswire.Type) []dnswire.RR {
+	set := z.rrsets[Key{Name: name, Type: t}]
+	if len(set) == 0 {
+		return nil
+	}
+	return append([]dnswire.RR(nil), set...)
+}
+
+// SOA returns the zone's SOA record, if present.
+func (z *Zone) SOA() (dnswire.RR, bool) {
+	set := z.rrsets[Key{Name: z.origin, Type: dnswire.TypeSOA}]
+	if len(set) == 0 {
+		return dnswire.RR{}, false
+	}
+	return set[0], true
+}
+
+// ApexNS returns the zone's own NS RRset.
+func (z *Zone) ApexNS() []dnswire.RR {
+	return z.RRSet(z.origin, dnswire.TypeNS)
+}
+
+// Delegations returns the owner names of all delegation points, sorted.
+func (z *Zone) Delegations() []dnswire.Name {
+	out := make([]dnswire.Name, 0, len(z.cuts))
+	for n := range z.cuts {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RecordCount returns the total number of records in the zone.
+func (z *Zone) RecordCount() int {
+	n := 0
+	for _, set := range z.rrsets {
+		n += len(set)
+	}
+	return n
+}
+
+// Records returns all records in deterministic order (by name, type, data).
+func (z *Zone) Records() []dnswire.RR {
+	keys := make([]Key, 0, len(z.rrsets))
+	for k := range z.rrsets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Type < keys[j].Type
+	})
+	var out []dnswire.RR
+	for _, k := range keys {
+		set := append([]dnswire.RR(nil), z.rrsets[k]...)
+		sort.Slice(set, func(i, j int) bool { return set[i].Data.String() < set[j].Data.String() })
+		out = append(out, set...)
+	}
+	return out
+}
+
+// ResultType classifies the outcome of a zone lookup.
+type ResultType int
+
+// Lookup outcomes.
+const (
+	// NotInZone: the query name is not under this zone's origin.
+	NotInZone ResultType = iota
+	// Answer: authoritative data for (name, type) was found.
+	Answer
+	// Referral: the name falls under a delegation; follow the NS records.
+	Referral
+	// CNAMEIndirection: the name owns a CNAME; chase the target.
+	CNAMEIndirection
+	// NXDomain: the name does not exist in this zone.
+	NXDomain
+	// NoData: the name exists but has no records of the queried type.
+	NoData
+)
+
+// String returns the mnemonic for t.
+func (t ResultType) String() string {
+	switch t {
+	case NotInZone:
+		return "NotInZone"
+	case Answer:
+		return "Answer"
+	case Referral:
+		return "Referral"
+	case CNAMEIndirection:
+		return "CNAME"
+	case NXDomain:
+		return "NXDOMAIN"
+	case NoData:
+		return "NODATA"
+	default:
+		return fmt.Sprintf("ResultType(%d)", int(t))
+	}
+}
+
+// Result is the outcome of a zone lookup.
+type Result struct {
+	Type ResultType
+	// Records: the answer RRset (Answer), the CNAME record
+	// (CNAMEIndirection), or the delegation NS set (Referral).
+	Records []dnswire.RR
+	// Glue holds A/AAAA records for the delegation's name servers
+	// (Referral only).
+	Glue []dnswire.RR
+	// SOA carries the zone SOA for negative answers, when present.
+	SOA []dnswire.RR
+}
+
+// Lookup resolves (qname, qtype) against the zone's authoritative data.
+func (z *Zone) Lookup(qname dnswire.Name, qtype dnswire.Type) Result {
+	if !qname.IsSubdomainOf(z.origin) {
+		return Result{Type: NotInZone}
+	}
+
+	// DS queries are special: the parent side is authoritative for the DS
+	// RRset at its delegation points (RFC 4035 §3.1.4.1).
+	if qtype == dnswire.TypeDS && z.cuts[qname] {
+		if set := z.rrsets[Key{Name: qname, Type: dnswire.TypeDS}]; len(set) > 0 {
+			return Result{Type: Answer, Records: append([]dnswire.RR(nil), set...)}
+		}
+		return Result{Type: NoData, SOA: z.soaSet()}
+	}
+
+	// Find the highest delegation cut at or above qname (but below the
+	// apex). Data below a cut belongs to the child zone.
+	if cut, ok := z.cutFor(qname); ok {
+		ns := z.rrsets[Key{Name: cut, Type: dnswire.TypeNS}]
+		return Result{
+			Type:    Referral,
+			Records: append([]dnswire.RR(nil), ns...),
+			Glue:    z.glueFor(ns),
+		}
+	}
+
+	// CNAME indirection applies unless the query asks for the CNAME itself.
+	if qtype != dnswire.TypeCNAME && qtype != dnswire.TypeANY {
+		if cname := z.rrsets[Key{Name: qname, Type: dnswire.TypeCNAME}]; len(cname) > 0 {
+			return Result{Type: CNAMEIndirection, Records: append([]dnswire.RR(nil), cname...)}
+		}
+	}
+
+	if qtype == dnswire.TypeANY {
+		var all []dnswire.RR
+		for k, set := range z.rrsets {
+			if k.Name == qname {
+				all = append(all, set...)
+			}
+		}
+		if len(all) > 0 {
+			sort.Slice(all, func(i, j int) bool {
+				if all[i].Type() != all[j].Type() {
+					return all[i].Type() < all[j].Type()
+				}
+				return all[i].Data.String() < all[j].Data.String()
+			})
+			return Result{Type: Answer, Records: all}
+		}
+	} else if set := z.rrsets[Key{Name: qname, Type: qtype}]; len(set) > 0 {
+		return Result{Type: Answer, Records: append([]dnswire.RR(nil), set...)}
+	}
+
+	if z.names[qname] {
+		return Result{Type: NoData, SOA: z.soaSet()}
+	}
+	// A query below an existing name that has children is still NXDOMAIN
+	// unless some descendant exists (empty non-terminal handling is via
+	// the names set, so reaching here means the name truly is absent).
+	return Result{Type: NXDomain, SOA: z.soaSet()}
+}
+
+// cutFor returns the delegation cut that covers qname, if any. A cut
+// covers every name at or below it, except that a lookup for the cut's NS
+// RRset itself is still a referral (the parent side is non-authoritative).
+func (z *Zone) cutFor(qname dnswire.Name) (dnswire.Name, bool) {
+	// Walk from just below the apex down to qname so the highest cut wins.
+	anc := qname.Ancestors() // qname ... origin ... root
+	for i := len(anc) - 1; i >= 0; i-- {
+		n := anc[i]
+		if !n.IsSubdomainOf(z.origin) || n == z.origin {
+			continue
+		}
+		if z.cuts[n] {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+func (z *Zone) glueFor(ns []dnswire.RR) []dnswire.RR {
+	var glue []dnswire.RR
+	for _, rr := range ns {
+		host := rr.Data.(dnswire.NS).Host
+		glue = append(glue, z.rrsets[Key{Name: host, Type: dnswire.TypeA}]...)
+		glue = append(glue, z.rrsets[Key{Name: host, Type: dnswire.TypeAAAA}]...)
+	}
+	return glue
+}
+
+func (z *Zone) soaSet() []dnswire.RR {
+	return append([]dnswire.RR(nil), z.rrsets[Key{Name: z.origin, Type: dnswire.TypeSOA}]...)
+}
+
+// Validate performs basic consistency checks: the apex must have an NS
+// RRset, every delegation NS host under the zone cut must have glue, and a
+// CNAME owner must not own other data.
+func (z *Zone) Validate() error {
+	if len(z.ApexNS()) == 0 {
+		return fmt.Errorf("zone %s: no NS records at apex", z.origin)
+	}
+	for cut := range z.cuts {
+		for _, rr := range z.rrsets[Key{Name: cut, Type: dnswire.TypeNS}] {
+			host := rr.Data.(dnswire.NS).Host
+			if !host.IsSubdomainOf(cut) {
+				continue // out-of-bailiwick server needs no glue
+			}
+			if len(z.rrsets[Key{Name: host, Type: dnswire.TypeA}]) == 0 &&
+				len(z.rrsets[Key{Name: host, Type: dnswire.TypeAAAA}]) == 0 {
+				return fmt.Errorf("zone %s: delegation %s lacks glue for %s", z.origin, cut, host)
+			}
+		}
+	}
+	for k := range z.rrsets {
+		if k.Type == dnswire.TypeCNAME {
+			for other := range z.rrsets {
+				if other.Name == k.Name && other.Type != dnswire.TypeCNAME &&
+					other.Type != dnswire.TypeRRSIG {
+					// RRSIG legitimately coexists with CNAME (RFC 4035).
+					return fmt.Errorf("zone %s: CNAME %s coexists with %s data", z.origin, k.Name, other.Type)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the zone in master-file format.
+func (z *Zone) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "$ORIGIN %s\n", z.origin)
+	for _, rr := range z.Records() {
+		fmt.Fprintf(&b, "%s\n", rr)
+	}
+	return b.String()
+}

@@ -1,0 +1,295 @@
+package zone
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"resilientdns/internal/dnswire"
+)
+
+func rrA(name string, ttl uint32, ip string) dnswire.RR {
+	return dnswire.RR{
+		Name:  dnswire.MustName(name),
+		Class: dnswire.ClassIN,
+		TTL:   ttl,
+		Data:  dnswire.A{Addr: netip.MustParseAddr(ip)},
+	}
+}
+
+func rrNS(name string, ttl uint32, host string) dnswire.RR {
+	return dnswire.RR{
+		Name:  dnswire.MustName(name),
+		Class: dnswire.ClassIN,
+		TTL:   ttl,
+		Data:  dnswire.NS{Host: dnswire.MustName(host)},
+	}
+}
+
+func rrSOA(name string) dnswire.RR {
+	return dnswire.RR{
+		Name:  dnswire.MustName(name),
+		Class: dnswire.ClassIN,
+		TTL:   3600,
+		Data: dnswire.SOA{
+			MName: dnswire.MustName("ns1." + name), RName: dnswire.MustName("admin." + name),
+			Serial: 1, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300,
+		},
+	}
+}
+
+// testZone builds the edu-like zone used across the lookup tests:
+// apex edu. with a delegation to ucla.edu. (with glue) and a host record.
+func testZone(t *testing.T) *Zone {
+	t.Helper()
+	z := New(dnswire.MustName("edu"))
+	for _, rr := range []dnswire.RR{
+		rrSOA("edu."),
+		rrNS("edu.", 172800, "ns1.edu."),
+		rrNS("edu.", 172800, "ns2.edu."),
+		rrA("ns1.edu.", 172800, "192.0.2.1"),
+		rrA("ns2.edu.", 172800, "192.0.2.2"),
+		rrA("www.edu.", 300, "192.0.2.80"),
+		rrNS("ucla.edu.", 86400, "ns1.ucla.edu."),
+		rrNS("ucla.edu.", 86400, "ns2.ucla.edu."),
+		rrA("ns1.ucla.edu.", 86400, "198.51.100.1"),
+		rrA("ns2.ucla.edu.", 86400, "198.51.100.2"),
+	} {
+		if err := z.Add(rr); err != nil {
+			t.Fatalf("Add(%v): %v", rr, err)
+		}
+	}
+	return z
+}
+
+func TestAddRejectsOutOfZone(t *testing.T) {
+	z := New(dnswire.MustName("edu"))
+	err := z.Add(rrA("www.example.com.", 300, "192.0.2.1"))
+	if err == nil {
+		t.Fatal("Add out-of-zone record succeeded, want error")
+	}
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	z := New(dnswire.MustName("edu"))
+	z.MustAdd(rrA("www.edu.", 300, "192.0.2.1"))
+	z.MustAdd(rrA("www.edu.", 300, "192.0.2.1"))
+	if n := z.RecordCount(); n != 1 {
+		t.Errorf("RecordCount = %d, want 1", n)
+	}
+}
+
+func TestLookupAnswer(t *testing.T) {
+	z := testZone(t)
+	res := z.Lookup(dnswire.MustName("www.edu."), dnswire.TypeA)
+	if res.Type != Answer {
+		t.Fatalf("Lookup type = %v, want Answer", res.Type)
+	}
+	if len(res.Records) != 1 || res.Records[0].Data.String() != "192.0.2.80" {
+		t.Errorf("Records = %v", res.Records)
+	}
+}
+
+func TestLookupApexNS(t *testing.T) {
+	z := testZone(t)
+	res := z.Lookup(dnswire.MustName("edu."), dnswire.TypeNS)
+	if res.Type != Answer {
+		t.Fatalf("Lookup type = %v, want Answer", res.Type)
+	}
+	if len(res.Records) != 2 {
+		t.Errorf("got %d NS records, want 2", len(res.Records))
+	}
+}
+
+func TestLookupReferral(t *testing.T) {
+	z := testZone(t)
+	for _, qname := range []string{"ucla.edu.", "www.ucla.edu.", "a.b.cs.ucla.edu."} {
+		res := z.Lookup(dnswire.MustName(qname), dnswire.TypeA)
+		if res.Type != Referral {
+			t.Fatalf("Lookup(%s) type = %v, want Referral", qname, res.Type)
+		}
+		if len(res.Records) != 2 {
+			t.Errorf("Lookup(%s): %d NS records, want 2", qname, len(res.Records))
+		}
+		if len(res.Glue) != 2 {
+			t.Errorf("Lookup(%s): %d glue records, want 2", qname, len(res.Glue))
+		}
+	}
+}
+
+func TestLookupNSQueryAtCutIsReferral(t *testing.T) {
+	// The parent is not authoritative for the child's NS RRset; even a
+	// direct NS query at the cut gets a referral.
+	z := testZone(t)
+	res := z.Lookup(dnswire.MustName("ucla.edu."), dnswire.TypeNS)
+	if res.Type != Referral {
+		t.Fatalf("Lookup type = %v, want Referral", res.Type)
+	}
+}
+
+func TestLookupGlueQueryIsReferral(t *testing.T) {
+	// Glue lives below the cut; queries for it must be referred, not
+	// answered authoritatively.
+	z := testZone(t)
+	res := z.Lookup(dnswire.MustName("ns1.ucla.edu."), dnswire.TypeA)
+	if res.Type != Referral {
+		t.Fatalf("Lookup type = %v, want Referral", res.Type)
+	}
+}
+
+func TestLookupNXDomain(t *testing.T) {
+	z := testZone(t)
+	res := z.Lookup(dnswire.MustName("missing.edu."), dnswire.TypeA)
+	if res.Type != NXDomain {
+		t.Fatalf("Lookup type = %v, want NXDOMAIN", res.Type)
+	}
+	if len(res.SOA) != 1 {
+		t.Errorf("NXDOMAIN without SOA in authority")
+	}
+}
+
+func TestLookupNoData(t *testing.T) {
+	z := testZone(t)
+	res := z.Lookup(dnswire.MustName("www.edu."), dnswire.TypeAAAA)
+	if res.Type != NoData {
+		t.Fatalf("Lookup type = %v, want NODATA", res.Type)
+	}
+	if len(res.SOA) != 1 {
+		t.Errorf("NODATA without SOA in authority")
+	}
+}
+
+func TestLookupEmptyNonTerminal(t *testing.T) {
+	z := New(dnswire.MustName("example."))
+	z.MustAdd(rrSOA("example."))
+	z.MustAdd(rrNS("example.", 3600, "ns.example."))
+	z.MustAdd(rrA("ns.example.", 3600, "192.0.2.1"))
+	z.MustAdd(rrA("a.b.example.", 300, "192.0.2.9"))
+	// "b.example." exists only as an empty non-terminal: NODATA, not NXDOMAIN.
+	res := z.Lookup(dnswire.MustName("b.example."), dnswire.TypeA)
+	if res.Type != NoData {
+		t.Errorf("Lookup(b.example.) = %v, want NODATA", res.Type)
+	}
+}
+
+func TestLookupNotInZone(t *testing.T) {
+	z := testZone(t)
+	res := z.Lookup(dnswire.MustName("example.com."), dnswire.TypeA)
+	if res.Type != NotInZone {
+		t.Errorf("Lookup type = %v, want NotInZone", res.Type)
+	}
+}
+
+func TestLookupCNAME(t *testing.T) {
+	z := New(dnswire.MustName("example."))
+	z.MustAdd(rrSOA("example."))
+	z.MustAdd(rrNS("example.", 3600, "ns.example."))
+	z.MustAdd(rrA("ns.example.", 3600, "192.0.2.1"))
+	z.MustAdd(dnswire.RR{
+		Name: dnswire.MustName("alias.example."), Class: dnswire.ClassIN, TTL: 300,
+		Data: dnswire.CNAME{Target: dnswire.MustName("real.example.")},
+	})
+	z.MustAdd(rrA("real.example.", 300, "192.0.2.7"))
+
+	res := z.Lookup(dnswire.MustName("alias.example."), dnswire.TypeA)
+	if res.Type != CNAMEIndirection {
+		t.Fatalf("Lookup type = %v, want CNAME", res.Type)
+	}
+	// Asking for the CNAME itself gets an Answer.
+	res = z.Lookup(dnswire.MustName("alias.example."), dnswire.TypeCNAME)
+	if res.Type != Answer {
+		t.Errorf("Lookup(CNAME) type = %v, want Answer", res.Type)
+	}
+}
+
+func TestLookupANY(t *testing.T) {
+	z := testZone(t)
+	res := z.Lookup(dnswire.MustName("edu."), dnswire.TypeANY)
+	if res.Type != Answer {
+		t.Fatalf("Lookup type = %v, want Answer", res.Type)
+	}
+	// SOA + 2 NS at the apex.
+	if len(res.Records) != 3 {
+		t.Errorf("ANY returned %d records, want 3", len(res.Records))
+	}
+}
+
+func TestHighestCutWins(t *testing.T) {
+	// With nested delegations, the referral must come from the highest cut.
+	z := New(dnswire.MustName("edu"))
+	z.MustAdd(rrSOA("edu."))
+	z.MustAdd(rrNS("edu.", 3600, "ns.edu."))
+	z.MustAdd(rrA("ns.edu.", 3600, "192.0.2.1"))
+	z.MustAdd(rrNS("ucla.edu.", 3600, "ns.ucla.edu."))
+	z.MustAdd(rrA("ns.ucla.edu.", 3600, "192.0.2.2"))
+	z.MustAdd(rrNS("cs.ucla.edu.", 3600, "ns.cs.ucla.edu."))
+	z.MustAdd(rrA("ns.cs.ucla.edu.", 3600, "192.0.2.3"))
+
+	res := z.Lookup(dnswire.MustName("www.cs.ucla.edu."), dnswire.TypeA)
+	if res.Type != Referral {
+		t.Fatalf("Lookup type = %v, want Referral", res.Type)
+	}
+	if res.Records[0].Name != dnswire.MustName("ucla.edu.") {
+		t.Errorf("referral from %s, want ucla.edu.", res.Records[0].Name)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	z := testZone(t)
+	if err := z.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+
+	noNS := New(dnswire.MustName("x."))
+	noNS.MustAdd(rrA("a.x.", 1, "192.0.2.1"))
+	if err := noNS.Validate(); err == nil {
+		t.Error("Validate passed for zone without apex NS")
+	}
+
+	noGlue := New(dnswire.MustName("x."))
+	noGlue.MustAdd(rrNS("x.", 1, "ns.x."))
+	noGlue.MustAdd(rrA("ns.x.", 1, "192.0.2.1"))
+	noGlue.MustAdd(rrNS("child.x.", 1, "ns.child.x."))
+	if err := noGlue.Validate(); err == nil {
+		t.Error("Validate passed for delegation without glue")
+	}
+}
+
+func TestDelegationsSorted(t *testing.T) {
+	z := testZone(t)
+	z.MustAdd(rrNS("mit.edu.", 3600, "ns.mit.edu."))
+	z.MustAdd(rrA("ns.mit.edu.", 3600, "192.0.2.9"))
+	got := z.Delegations()
+	if len(got) != 2 || got[0] != "mit.edu." || got[1] != "ucla.edu." {
+		t.Errorf("Delegations = %v", got)
+	}
+}
+
+func TestRecordsDeterministic(t *testing.T) {
+	z := testZone(t)
+	a := z.Records()
+	b := z.Records()
+	if len(a) != len(b) || len(a) != z.RecordCount() {
+		t.Fatalf("Records lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("Records not deterministic at %d", i)
+		}
+	}
+}
+
+func TestZoneStringRoundTrip(t *testing.T) {
+	z := testZone(t)
+	text := z.String()
+	z2, err := ParseString(text, z.Origin())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if z2.RecordCount() != z.RecordCount() {
+		t.Errorf("round trip record count %d, want %d", z2.RecordCount(), z.RecordCount())
+	}
+	if !strings.Contains(text, "$ORIGIN edu.") {
+		t.Errorf("String() missing $ORIGIN: %q", text)
+	}
+}
