@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is what CI runs: the race detector gates every PR.
+check: build vet race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .

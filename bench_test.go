@@ -14,6 +14,7 @@ import (
 	"net/netip"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -294,6 +295,48 @@ func BenchmarkResolveWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkResolveWarmParallel measures the lock-free cache-hit path
+// under maximum contention: every goroutine hammers the same hot name
+// (one cache shard, no flight-table entry).
+func BenchmarkResolveWarmParallel(b *testing.B) {
+	cs, names, _ := benchStack(b, nil)
+	ctx := context.Background()
+	if _, err := cs.Resolve(ctx, names[0].Name, dnswire.TypeA); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := cs.Resolve(ctx, names[0].Name, dnswire.TypeA); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkResolveWarmParallelSpread is the shard-spread variant: the
+// goroutines cycle through every warm name, so hits distribute across the
+// cache shards the way mixed production traffic would.
+func BenchmarkResolveWarmParallelSpread(b *testing.B) {
+	cs, names, _ := benchStack(b, nil)
+	ctx := context.Background()
+	for _, n := range names {
+		if _, err := cs.Resolve(ctx, n.Name, dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := names[next.Add(1)%uint64(len(names))]
+			if _, err := cs.Resolve(ctx, n.Name, dnswire.TypeA); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkResolveRefreshScheme measures resolution cost with the full

@@ -42,6 +42,7 @@ func run() error {
 	serveStale := flag.Duration("serve-stale", 0, "serve expired records for this long when servers are unreachable (0 = off)")
 	prefetch := flag.Bool("prefetch", false, "refresh hot answers in the last 10% of their TTL")
 	port := flag.Int("upstream-port", 53, "port appended to learned name-server addresses")
+	maxInflight := flag.Int("max-inflight", transport.DefaultMaxInflight, "max queries handled concurrently per listener")
 	statsEvery := flag.Duration("stats", time.Minute, "stats reporting interval (0 = off)")
 	flag.Parse()
 
@@ -86,18 +87,18 @@ func run() error {
 		go cs.RunRenewalLoop(ctx)
 	}
 
-	udp := &transport.UDPServer{Handler: cs}
+	udp := &transport.UDPServer{Handler: cs, MaxInflight: *maxInflight}
 	addr, err := udp.Listen(*listen)
 	if err != nil {
 		return err
 	}
-	defer udp.Close()
-	tcp := &transport.TCPServer{Handler: cs}
+	tcp := &transport.TCPServer{Handler: cs, MaxInflight: *maxInflight}
 	if _, err := tcp.Listen(addr); err != nil {
+		udp.Close()
 		return err
 	}
-	defer tcp.Close()
-	fmt.Printf("caching server on %s (udp+tcp, refresh=%v renewal=%s)\n", addr, *refresh, *renewal)
+	fmt.Printf("caching server on %s (udp+tcp, refresh=%v renewal=%s max-inflight=%d)\n",
+		addr, *refresh, *renewal, *maxInflight)
 
 	if *statsEvery > 0 {
 		go func() {
@@ -110,8 +111,8 @@ func run() error {
 				case <-t.C:
 					st := cs.Stats()
 					cst := cs.CacheStats()
-					fmt.Printf("in=%d out=%d failed=%d renewals=%d cached: zones=%d records=%d\n",
-						st.QueriesIn, st.QueriesOut, st.Failed, st.Renewals, cst.Zones, cst.Records)
+					fmt.Printf("in=%d out=%d coalesced=%d failed=%d renewals=%d cached: zones=%d records=%d\n",
+						st.QueriesIn, st.QueriesOut, st.Coalesced, st.Failed, st.Renewals, cst.Zones, cst.Records)
 				}
 			}
 		}()
@@ -120,6 +121,12 @@ func run() error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	// Graceful drain: stop the renewal loop, then close each listener —
+	// Close waits for every in-flight handler goroutine to finish.
+	fmt.Println("shutting down: draining in-flight queries")
+	cancel()
+	udp.Close()
+	tcp.Close()
+	fmt.Println("drained")
 	return nil
 }

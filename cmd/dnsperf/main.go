@@ -87,11 +87,13 @@ type loadStats struct {
 	latencies metrics.CDF
 
 	sent, ok, failed uint64
+	perWorker        []uint64 // queries completed by each worker
 	elapsed          time.Duration
 }
 
-func (s *loadStats) record(d time.Duration, success bool) {
+func (s *loadStats) record(worker int, d time.Duration, success bool) {
 	atomic.AddUint64(&s.sent, 1)
+	atomic.AddUint64(&s.perWorker[worker], 1)
 	if success {
 		atomic.AddUint64(&s.ok, 1)
 	} else {
@@ -110,6 +112,25 @@ func (s *loadStats) print(w *os.File) {
 	fmt.Fprintf(w, "latency p50:  %.3f ms\n", 1000*s.latencies.Quantile(0.50))
 	fmt.Fprintf(w, "latency p95:  %.3f ms\n", 1000*s.latencies.Quantile(0.95))
 	fmt.Fprintf(w, "latency p99:  %.3f ms\n", 1000*s.latencies.Quantile(0.99))
+	// Per-worker throughput: with a concurrent server every worker should
+	// sustain roughly the single-worker rate; a serialized server shows
+	// per-worker qps collapsing as 1/concurrency.
+	var minQ, maxQ uint64
+	for i, n := range s.perWorker {
+		wqps := float64(n) / s.elapsed.Seconds()
+		fmt.Fprintf(w, "worker %2d:    %d (%.0f qps)\n", i, n, wqps)
+		if i == 0 || n < minQ {
+			minQ = n
+		}
+		if n > maxQ {
+			maxQ = n
+		}
+	}
+	if len(s.perWorker) > 1 && minQ > 0 {
+		fmt.Fprintf(w, "worker spread: min %.0f qps, max %.0f qps (max/min %.2f)\n",
+			float64(minQ)/s.elapsed.Seconds(), float64(maxQ)/s.elapsed.Seconds(),
+			float64(maxQ)/float64(minQ))
+	}
 }
 
 func max64(a, b uint64) uint64 {
@@ -122,7 +143,7 @@ func max64(a, b uint64) uint64 {
 // runLoad drives the workers and returns aggregated statistics.
 func runLoad(ctx context.Context, server transport.Addr, names []dnswire.Name,
 	duration time.Duration, concurrency int, timeout time.Duration) *loadStats {
-	stats := &loadStats{}
+	stats := &loadStats{perWorker: make([]uint64, concurrency)}
 	deadline := time.Now().Add(duration)
 	ctx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
@@ -139,7 +160,7 @@ func runLoad(ctx context.Context, server transport.Addr, names []dnswire.Name,
 				start := time.Now()
 				resp, err := tr.Exchange(ctx, server, q)
 				success := err == nil && resp.RCode != dnswire.RCodeServFail
-				stats.record(time.Since(start), success)
+				stats.record(worker, time.Since(start), success)
 			}
 		}(w)
 	}

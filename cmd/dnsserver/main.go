@@ -16,6 +16,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"resilientdns/internal/authserver"
 	"resilientdns/internal/dnswire"
@@ -45,6 +46,7 @@ func run() error {
 	var zones, secondaries zoneFlags
 	listen := flag.String("listen", "127.0.0.1:5300", "UDP and TCP address to serve on")
 	noIRRs := flag.Bool("no-apex-ns", false, "do not attach apex NS/glue to answers (ablation)")
+	delay := flag.Duration("delay", 0, "artificial per-query service delay (emulates WAN RTT in localhost experiments)")
 	flag.Var(&zones, "zone", "origin=masterfile, repeatable")
 	flag.Var(&secondaries, "secondary", "origin=primary-host:port, repeatable (AXFR secondary)")
 	flag.Parse()
@@ -119,8 +121,17 @@ func run() error {
 		}
 		return primary.HandleQuery(q)
 	})
+	if *delay > 0 {
+		inner := handler
+		handler = func(q *dnswire.Message) *dnswire.Message {
+			time.Sleep(*delay)
+			return inner(q)
+		}
+	}
 
-	udp := &transport.UDPServer{Handler: handler}
+	// Delayed handlers hold their worker slot for the full delay, so give
+	// the experiment servers plenty of parallel headroom.
+	udp := &transport.UDPServer{Handler: handler, MaxInflight: 4096}
 	addr, err := udp.Listen(*listen)
 	if err != nil {
 		return err

@@ -10,12 +10,21 @@
 //     between an IRR's expiry and the next query needing it;
 //   - occupancy accounting (cached zones and records, Fig. 12 and Table 2).
 //
+// The cache is safe for concurrent use: entries are spread over a fixed
+// number of shards by key hash, each guarded by its own RWMutex, so
+// concurrent resolutions only contend when they touch the same shard.
+// Entries are immutable once published — every update (TTL refresh,
+// Extend, stale tombstoning) replaces the stored *Entry with a fresh copy
+// — so callers may keep returned pointers without further locking.
+//
 // TTL renewal policies (LRU/LFU and their adaptive variants) are layered
 // on top by package core, which owns the renewal scheduler.
 package cache
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"resilientdns/internal/dnswire"
@@ -43,7 +52,8 @@ type Key struct {
 	Type dnswire.Type
 }
 
-// Entry is one cached RRset.
+// Entry is one cached RRset. Entries are immutable after publication;
+// updates replace the stored entry with a copy.
 type Entry struct {
 	Key  Key
 	RRs  []dnswire.RR
@@ -65,6 +75,9 @@ type Entry struct {
 
 // GapFunc observes a tombstone hit: a lookup for key arrived gap after the
 // previous entry (with the given original TTL) expired. Used for Fig. 3.
+// It may be invoked concurrently from different shards (never twice for
+// the same tombstone) and runs with a shard lock held, so it must not call
+// back into the cache.
 type GapFunc func(key Key, gap time.Duration, origTTL time.Duration)
 
 // Config parameterises a Cache.
@@ -96,6 +109,12 @@ type Config struct {
 // DefaultMaxTTL is the clamp applied when Config.MaxTTL is zero.
 const DefaultMaxTTL = 7 * 24 * time.Hour
 
+// shardCount is the number of independently locked cache shards. 64 keeps
+// per-shard contention negligible at any plausible core count while the
+// fixed array stays small; it must be a power of two so the shard index is
+// a mask of the key hash.
+const shardCount = 64
+
 // Stats describes cache occupancy at a point in time.
 type Stats struct {
 	// Entries is the number of live RRset entries.
@@ -114,20 +133,27 @@ type Stats struct {
 	ApproxBytes int
 }
 
-// Cache is an RRset cache. It is not safe for concurrent use; wrap it or
-// confine it to one goroutine (the simulator is single-threaded, and the
-// live caching server serialises through a mutex in package core).
+// Cache is an RRset cache, safe for concurrent use (see the package
+// comment for the sharding scheme).
 type Cache struct {
-	cfg     Config
+	cfg    Config
+	shards [shardCount]shard
+	// capMu serialises global capacity enforcement across shards.
+	capMu sync.Mutex
+	// hits/misses count Get outcomes for reporting.
+	hits, misses atomic.Uint64
+	// staleHits counts stale entries served after expiry.
+	staleHits atomic.Uint64
+	// evictions counts capacity-pressure removals.
+	evictions atomic.Uint64
+}
+
+// shard is one independently locked slice of the key space.
+type shard struct {
+	mu      sync.RWMutex
 	entries map[Key]*Entry
 	// tombstones remember when an expired entry died, to measure gaps.
 	tombstones map[Key]tombstone
-	// hits/misses count Get outcomes for reporting.
-	hits, misses uint64
-	// staleHits counts stale entries served after expiry.
-	staleHits uint64
-	// evictions counts capacity-pressure removals.
-	evictions uint64
 }
 
 type tombstone struct {
@@ -144,11 +170,30 @@ func New(cfg Config) *Cache {
 	if cfg.MaxTTL == 0 {
 		cfg.MaxTTL = DefaultMaxTTL
 	}
-	return &Cache{
-		cfg:        cfg,
-		entries:    make(map[Key]*Entry),
-		tombstones: make(map[Key]tombstone),
+	c := &Cache{cfg: cfg}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*Entry)
+		c.shards[i].tombstones = make(map[Key]tombstone)
 	}
+	return c
+}
+
+// shardFor maps a key to its shard by FNV-1a hash of owner name and type.
+func (c *Cache) shardFor(key Key) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key.Name); i++ {
+		h ^= uint32(key.Name[i])
+		h *= prime32
+	}
+	h ^= uint32(key.Type) & 0xff
+	h *= prime32
+	h ^= uint32(key.Type) >> 8
+	h *= prime32
+	return &c.shards[h&(shardCount-1)]
 }
 
 // Clock returns the cache's clock.
@@ -215,8 +260,10 @@ func (c *Cache) Put(rrs []dnswire.RR, cred Credibility, infra bool) *Entry {
 	now := c.cfg.Clock.Now()
 	key := Key{Name: rrs[0].Name, Type: rrs[0].Type()}
 	ttl := c.clampTTL(minTTL(rrs))
+	sh := c.shardFor(key)
 
-	if e, ok := c.entries[key]; ok {
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
 		if e.Expires.After(now) {
 			same := rrsetEqual(e.RRs, rrs)
 			switch {
@@ -228,18 +275,23 @@ func (c *Cache) Put(rrs []dnswire.RR, cred Credibility, infra bool) *Entry {
 			case same && c.cfg.RefreshInfraTTL && e.Infra && infra && cred >= e.Cred:
 				// TTL refresh: reset the clock on the existing entry.
 				// Keep the cached (higher-credibility) data; only the
-				// timer is reset, per §4 "TTL Refresh".
-				e.Expires = now.Add(e.OrigTTL)
-				return e
+				// timer is reset, per §4 "TTL Refresh". Entries are
+				// immutable, so the refresh installs a copy.
+				ne := *e
+				ne.Expires = now.Add(e.OrigTTL)
+				sh.entries[key] = &ne
+				sh.mu.Unlock()
+				return &ne
 			default:
+				sh.mu.Unlock()
 				return e // vanilla: ignore the new copy
 			}
 		} else {
-			c.expireEntry(key, e, now)
-			c.noteTombstoneHit(key, now)
+			c.expireEntryLocked(sh, key, e, now)
+			c.noteTombstoneHitLocked(sh, key, now)
 		}
 	} else {
-		c.noteTombstoneHit(key, now)
+		c.noteTombstoneHitLocked(sh, key, now)
 	}
 
 	e := &Entry{
@@ -251,68 +303,111 @@ func (c *Cache) Put(rrs []dnswire.RR, cred Credibility, infra bool) *Entry {
 		Expires:  now.Add(ttl),
 		StoredAt: now,
 	}
-	c.entries[key] = e
-	delete(c.tombstones, key)
+	sh.entries[key] = e
+	delete(sh.tombstones, key)
+	sh.mu.Unlock()
 	c.enforceCapacity(now)
 	return e
 }
 
 // enforceCapacity evicts entries until the cache fits MaxEntries: expired
 // entries first, then the soonest-to-expire data entries, then (only if
-// unavoidable) the soonest-to-expire infrastructure entries.
+// unavoidable) the soonest-to-expire infrastructure entries. It is called
+// without any shard lock held; capMu serialises concurrent enforcement.
 func (c *Cache) enforceCapacity(now time.Time) {
-	if c.cfg.MaxEntries <= 0 || len(c.entries) <= c.cfg.MaxEntries {
+	if c.cfg.MaxEntries <= 0 || c.Len() <= c.cfg.MaxEntries {
+		return
+	}
+	c.capMu.Lock()
+	defer c.capMu.Unlock()
+	if c.Len() <= c.cfg.MaxEntries {
 		return
 	}
 	c.SweepExpired()
 	for _, infraPass := range []bool{false, true} {
-		for len(c.entries) > c.cfg.MaxEntries {
-			var victim Key
-			var victimExpires time.Time
-			found := false
-			for key, e := range c.entries {
-				if e.Infra != infraPass {
-					continue
-				}
-				if !found || e.Expires.Before(victimExpires) {
-					victim, victimExpires, found = key, e.Expires, true
-				}
-			}
-			if !found {
+		for c.Len() > c.cfg.MaxEntries {
+			if !c.evictSoonest(infraPass) {
 				break
 			}
-			delete(c.entries, victim)
-			c.evictions++
 		}
-		if len(c.entries) <= c.cfg.MaxEntries {
+		if c.Len() <= c.cfg.MaxEntries {
 			return
 		}
 	}
 }
 
+// evictSoonest removes the soonest-to-expire entry whose Infra flag equals
+// infraPass, reporting whether a victim was found.
+func (c *Cache) evictSoonest(infraPass bool) bool {
+	var victim Key
+	var victimShard *shard
+	var victimExpires time.Time
+	found := false
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for key, e := range sh.entries {
+			if e.Infra != infraPass {
+				continue
+			}
+			if !found || e.Expires.Before(victimExpires) {
+				victim, victimShard, victimExpires, found = key, sh, e.Expires, true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if !found {
+		return false
+	}
+	victimShard.mu.Lock()
+	_, still := victimShard.entries[victim]
+	if still {
+		delete(victimShard.entries, victim)
+	}
+	victimShard.mu.Unlock()
+	if still {
+		c.evictions.Add(1)
+	}
+	return true
+}
+
 // Evictions returns how many entries capacity pressure has removed.
-func (c *Cache) Evictions() uint64 { return c.evictions }
+func (c *Cache) Evictions() uint64 { return c.evictions.Load() }
 
 // Get returns the live entry for (name, type), or nil. An expired entry is
 // retired (leaving a tombstone; retained for stale service under
 // KeepStale) and reported as a miss.
 func (c *Cache) Get(name dnswire.Name, t dnswire.Type) *Entry {
 	key := Key{Name: name, Type: t}
-	e, ok := c.entries[key]
-	if !ok {
-		c.noteTombstoneHit(key, c.cfg.Clock.Now())
-		c.misses++
-		return nil
-	}
+	sh := c.shardFor(key)
 	now := c.cfg.Clock.Now()
-	if !e.Expires.After(now) {
-		c.expireEntry(key, e, now)
-		c.noteTombstoneHit(key, now)
-		c.misses++
-		return nil
+
+	sh.mu.RLock()
+	e, ok := sh.entries[key]
+	if ok && e.Expires.After(now) {
+		sh.mu.RUnlock()
+		c.hits.Add(1)
+		return e
 	}
-	c.hits++
-	return e
+	sh.mu.RUnlock()
+
+	// Miss or expired: take the write lock to retire the entry and note
+	// the tombstone, re-checking under the lock (a concurrent Put may have
+	// revived the key).
+	sh.mu.Lock()
+	e, ok = sh.entries[key]
+	if ok && e.Expires.After(now) {
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return e
+	}
+	if ok {
+		c.expireEntryLocked(sh, key, e, now)
+	}
+	c.noteTombstoneHitLocked(sh, key, now)
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return nil
 }
 
 // GetStale returns the expired-but-retained entry for (name, type) when
@@ -323,70 +418,92 @@ func (c *Cache) GetStale(name dnswire.Name, t dnswire.Type) *Entry {
 		return nil
 	}
 	key := Key{Name: name, Type: t}
-	e, ok := c.entries[key]
+	sh := c.shardFor(key)
+	now := c.cfg.Clock.Now()
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
 	if !ok {
 		return nil
 	}
-	now := c.cfg.Clock.Now()
 	if e.Expires.After(now) {
 		return e
 	}
 	if now.Sub(e.Expires) > c.cfg.KeepStale {
-		c.expireEntry(key, e, now)
+		c.expireEntryLocked(sh, key, e, now)
 		return nil
 	}
-	c.staleHits++
+	c.staleHits.Add(1)
 	return e
 }
 
 // StaleHits counts GetStale successes on expired entries.
-func (c *Cache) StaleHits() uint64 { return c.staleHits }
+func (c *Cache) StaleHits() uint64 { return c.staleHits.Load() }
 
 // Peek returns the entry without expiry processing or stats; nil if absent.
 func (c *Cache) Peek(name dnswire.Name, t dnswire.Type) *Entry {
-	return c.entries[Key{Name: name, Type: t}]
+	key := Key{Name: name, Type: t}
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e := sh.entries[key]
+	sh.mu.RUnlock()
+	return e
 }
 
 // Extend resets the entry's expiry to now + its original TTL, returning
 // false if the entry is absent. Package core uses this when a renewal
 // refetch succeeds.
 func (c *Cache) Extend(name dnswire.Name, t dnswire.Type) bool {
-	e, ok := c.entries[Key{Name: name, Type: t}]
+	key := Key{Name: name, Type: t}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
 	if !ok {
 		return false
 	}
-	e.Expires = c.cfg.Clock.Now().Add(e.OrigTTL)
+	ne := *e
+	ne.Expires = c.cfg.Clock.Now().Add(e.OrigTTL)
+	sh.entries[key] = &ne
 	return true
 }
 
 // Evict removes the entry without leaving a tombstone (used when a zone's
 // servers all stop responding and its stale IRRs must be discarded).
 func (c *Cache) Evict(name dnswire.Name, t dnswire.Type) {
-	delete(c.entries, Key{Name: name, Type: t})
+	key := Key{Name: name, Type: t}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	delete(sh.entries, key)
+	sh.mu.Unlock()
 }
 
-// expireEntry retires a dead entry: it leaves a tombstone (once) and
+// expireEntryLocked retires a dead entry: it leaves a tombstone (once) and
 // either deletes the entry or, with KeepStale, retains it for stale
-// service until the window passes.
-func (c *Cache) expireEntry(key Key, e *Entry, now time.Time) {
+// service until the window passes. The shard lock must be held.
+func (c *Cache) expireEntryLocked(sh *shard, key Key, e *Entry, now time.Time) {
 	if !e.staleTombstoned {
-		c.tombstones[key] = tombstone{expiredAt: e.Expires, origTTL: e.OrigTTL, infra: e.Infra}
-		e.staleTombstoned = true
+		sh.tombstones[key] = tombstone{expiredAt: e.Expires, origTTL: e.OrigTTL, infra: e.Infra}
+		ne := *e
+		ne.staleTombstoned = true
+		sh.entries[key] = &ne
 	}
 	if c.cfg.KeepStale > 0 && now.Sub(e.Expires) <= c.cfg.KeepStale {
 		return // retained as stale
 	}
-	delete(c.entries, key)
+	delete(sh.entries, key)
 }
 
-// noteTombstoneHit reports the gap between an entry's expiry and this
-// renewed interest in it, then clears the tombstone.
-func (c *Cache) noteTombstoneHit(key Key, now time.Time) {
-	ts, ok := c.tombstones[key]
+// noteTombstoneHitLocked reports the gap between an entry's expiry and
+// this renewed interest in it, then clears the tombstone. The shard lock
+// must be held.
+func (c *Cache) noteTombstoneHitLocked(sh *shard, key Key, now time.Time) {
+	ts, ok := sh.tombstones[key]
 	if !ok {
 		return
 	}
-	delete(c.tombstones, key)
+	delete(sh.tombstones, key)
 	if c.cfg.OnGap != nil && now.After(ts.expiredAt) {
 		c.cfg.OnGap(key, now.Sub(ts.expiredAt), ts.origTTL)
 	}
@@ -397,10 +514,15 @@ func (c *Cache) noteTombstoneHit(key Key, now time.Time) {
 // occupancy stats so that Fig. 12-style series reflect live entries only.
 func (c *Cache) SweepExpired() {
 	now := c.cfg.Clock.Now()
-	for key, e := range c.entries {
-		if !e.Expires.After(now) {
-			c.expireEntry(key, e, now)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for key, e := range sh.entries {
+			if !e.Expires.After(now) {
+				c.expireEntryLocked(sh, key, e, now)
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -409,39 +531,54 @@ func (c *Cache) SweepExpired() {
 func (c *Cache) Stats() Stats {
 	var s Stats
 	now := c.cfg.Clock.Now()
-	for key, e := range c.entries {
-		if !e.Expires.After(now) {
-			s.StaleEntries++
-			continue
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for key, e := range sh.entries {
+			if !e.Expires.After(now) {
+				s.StaleEntries++
+				continue
+			}
+			s.Entries++
+			s.Records += len(e.RRs)
+			if e.Infra {
+				s.InfraEntries++
+			}
+			if key.Type == dnswire.TypeNS {
+				s.Zones++
+			}
+			for _, rr := range e.RRs {
+				// Owner + fixed RR header (type/class/TTL/rdlength) + a
+				// cheap RDATA size proxy.
+				s.ApproxBytes += len(rr.Name) + 10 + len(rr.Data.String())
+			}
 		}
-		s.Entries++
-		s.Records += len(e.RRs)
-		if e.Infra {
-			s.InfraEntries++
-		}
-		if key.Type == dnswire.TypeNS {
-			s.Zones++
-		}
-		for _, rr := range e.RRs {
-			// Owner + fixed RR header (type/class/TTL/rdlength) + a
-			// cheap RDATA size proxy.
-			s.ApproxBytes += len(rr.Name) + 10 + len(rr.Data.String())
-		}
+		sh.mu.RUnlock()
 	}
 	return s
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any Get.
 func (c *Cache) HitRate() float64 {
-	total := c.hits + c.misses
+	hits := c.hits.Load()
+	total := hits + c.misses.Load()
 	if total == 0 {
 		return 0
 	}
-	return float64(c.hits) / float64(total)
+	return float64(hits) / float64(total)
 }
 
 // Len returns the number of live entries (without sweeping).
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
 
 // InfraExpiries returns the (name, expiry) pairs of all live
 // infrastructure NS entries, sorted by expiry. The renewal scheduler in
@@ -449,10 +586,15 @@ func (c *Cache) Len() int { return len(c.entries) }
 // changes and in tests.
 func (c *Cache) InfraExpiries() []ExpiryInfo {
 	var out []ExpiryInfo
-	for key, e := range c.entries {
-		if key.Type == dnswire.TypeNS && e.Infra {
-			out = append(out, ExpiryInfo{Zone: key.Name, Expires: e.Expires, OrigTTL: e.OrigTTL})
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for key, e := range sh.entries {
+			if key.Type == dnswire.TypeNS && e.Infra {
+				out = append(out, ExpiryInfo{Zone: key.Name, Expires: e.Expires, OrigTTL: e.OrigTTL})
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if !out[i].Expires.Equal(out[j].Expires) {

@@ -51,7 +51,9 @@ func (cs *CachingServer) ingest(resp *dnswire.Message, fromZone dnswire.Name, qn
 			cs.putInfraAware(set, cred, true)
 			if cred == cache.CredReferral {
 				// A referral is the parent vouching for the delegation.
+				cs.parentMu.Lock()
 				cs.parentSeen[set[0].Name] = cs.cfg.Clock.Now()
+				cs.parentMu.Unlock()
 			}
 		case dnswire.TypeDS:
 			// Parent-side DS is infrastructure, like NS and glue.

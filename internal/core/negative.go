@@ -18,6 +18,8 @@ func (cs *CachingServer) negativeStore(qname dnswire.Name, qtype dnswire.Type, r
 	if cs.cfg.NegativeTTL <= 0 {
 		return
 	}
+	cs.negMu.Lock()
+	defer cs.negMu.Unlock()
 	if cs.negative == nil {
 		cs.negative = make(map[cache.Key]negEntry)
 	}
@@ -29,7 +31,12 @@ func (cs *CachingServer) negativeStore(qname dnswire.Name, qtype dnswire.Type, r
 
 // negativeLookup returns a cached negative outcome, if one is live.
 func (cs *CachingServer) negativeLookup(qname dnswire.Name, qtype dnswire.Type, now time.Time) (dnswire.RCode, bool) {
-	if cs.cfg.NegativeTTL <= 0 || cs.negative == nil {
+	if cs.cfg.NegativeTTL <= 0 {
+		return 0, false
+	}
+	cs.negMu.Lock()
+	defer cs.negMu.Unlock()
+	if cs.negative == nil {
 		return 0, false
 	}
 	key := cache.Key{Name: qname, Type: qtype}

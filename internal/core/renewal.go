@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"context"
+	"fmt"
 	"time"
 
 	"resilientdns/internal/dnswire"
@@ -48,6 +49,8 @@ func (q *renewQueue) Pop() any {
 // expires. At most one queue entry exists per zone; later expiries are
 // handled by re-queuing on pop.
 func (cs *CachingServer) scheduleRenewal(zone dnswire.Name, expires time.Time) {
+	cs.renewMu.Lock()
+	defer cs.renewMu.Unlock()
 	if cs.scheduled[zone] {
 		return
 	}
@@ -60,8 +63,8 @@ func (cs *CachingServer) scheduleRenewal(zone dnswire.Name, expires time.Time) {
 // trace-driven simulator uses it to advance the virtual clock precisely to
 // each renewal instant.
 func (cs *CachingServer) NextRenewalDue() (time.Time, bool) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
+	cs.renewMu.Lock()
+	defer cs.renewMu.Unlock()
 	if cs.renew.Len() == 0 {
 		return time.Time{}, false
 	}
@@ -69,23 +72,30 @@ func (cs *CachingServer) NextRenewalDue() (time.Time, bool) {
 }
 
 // ProcessDueRenewals runs every renewal check due at or before now and
-// returns how many refetches were issued.
+// returns how many refetches were issued. The scheduler lock is released
+// across each zone's refetch, so renewal traffic never blocks concurrent
+// query traffic (and vice versa). Items a renewal re-queues are always
+// due in the future, so the drain loop terminates.
 func (cs *CachingServer) ProcessDueRenewals(ctx context.Context, now time.Time) int {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	issued := 0
-	for cs.renew.Len() > 0 && !cs.renew.items[0].due.After(now) {
+	for {
+		cs.renewMu.Lock()
+		if cs.renew.Len() == 0 || cs.renew.items[0].due.After(now) {
+			cs.renewMu.Unlock()
+			return issued
+		}
 		it := heap.Pop(&cs.renew).(*renewItem)
 		delete(cs.scheduled, it.zone)
+		cs.renewMu.Unlock()
 		if cs.renewZone(ctx, it.zone, now) {
 			issued++
 		}
 	}
-	return issued
 }
 
 // renewZone decides whether the zone's IRRs should be refetched and, if
 // so, spends one credit doing it. Reports whether a refetch was issued.
+// Called without renewMu held.
 func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now time.Time) bool {
 	if cs.cfg.Renewal == nil {
 		return false
@@ -100,11 +110,14 @@ func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now t
 		cs.scheduleRenewal(zone, e.Expires)
 		return false
 	}
+	cs.renewMu.Lock()
 	if cs.credits[zone] < 1 {
+		cs.renewMu.Unlock()
 		return false // out of credit: let the IRRs expire normally
 	}
 	cs.credits[zone]--
-	cs.stats.RenewalQueries++
+	cs.renewMu.Unlock()
+	cs.stats.renewalQueries.Add(1)
 
 	// Refetch the zone's own NS RRset from its servers. The response's
 	// answer carries the NS set and its glue, which ingest re-caches with
@@ -112,7 +125,7 @@ func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now t
 	addrs := cs.zoneAddrs(e.RRs)
 	resp, err := cs.refetch(ctx, zone, addrs)
 	if err != nil {
-		cs.stats.RenewalFailed++
+		cs.stats.renewalFailed.Add(1)
 		return true
 	}
 	cs.ingest(resp, zone, zone)
@@ -125,7 +138,7 @@ func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now t
 		cs.cache.Extend(host, dnswire.TypeA)
 		cs.cache.Extend(host, dnswire.TypeAAAA)
 	}
-	cs.stats.Renewals++
+	cs.stats.renewals.Add(1)
 	if ne := cs.cache.Peek(zone, dnswire.TypeNS); ne != nil {
 		cs.scheduleRenewal(zone, ne.Expires)
 	}
@@ -152,22 +165,34 @@ func (cs *CachingServer) zoneAddrs(set []dnswire.RR) []transport.Addr {
 // refetch sends a NS query for zone to its own servers. Unlike resolution
 // queries, refetches do not update renewal credit: only genuine demand
 // keeps a zone alive, otherwise renewal would sustain itself forever.
+// No lock is held here; the transport round-trips run concurrently with
+// query traffic.
 func (cs *CachingServer) refetch(ctx context.Context, zone dnswire.Name, addrs []transport.Addr) (*dnswire.Message, error) {
 	if len(addrs) == 0 {
 		return nil, transport.ErrServerUnreachable
 	}
-	cs.qid++
-	q := dnswire.NewQuery(cs.qid, zone, dnswire.TypeNS)
+	q := dnswire.NewQuery(cs.nextQID(), zone, dnswire.TypeNS)
 	if cs.cfg.AdvertiseEDNS0 {
 		q.SetEDNS0(dnswire.DefaultEDNS0PayloadSize)
 	}
 	var lastErr error
 	for _, addr := range addrs {
-		cs.stats.QueriesOut++
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			return nil, lastErr
+		}
+		cs.stats.queriesOut.Add(1)
 		resp, err := cs.cfg.Transport.Exchange(ctx, addr, q)
 		if err != nil {
-			cs.stats.QueriesOutFailed++
+			cs.stats.queriesOutFailed.Add(1)
 			lastErr = err
+			continue
+		}
+		if resp.ID != q.ID {
+			cs.stats.queriesOutFailed.Add(1)
+			lastErr = fmt.Errorf("core: mismatched response ID from %s", addr)
 			continue
 		}
 		return resp, nil

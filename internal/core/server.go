@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resilientdns/internal/cache"
@@ -101,6 +104,10 @@ type Stats struct {
 	Failed uint64
 	// CacheAnswered counts Resolve calls served entirely from cache.
 	CacheAnswered uint64
+	// Coalesced counts Resolve calls that joined another in-flight
+	// resolution of the same (name, type) instead of resolving
+	// themselves.
+	Coalesced uint64
 
 	// QueriesOut counts queries sent to authoritative servers, renewal
 	// refetches included.
@@ -123,6 +130,33 @@ type Stats struct {
 	PrefetchQueries uint64
 }
 
+// statCounters is the lock-free internal form of Stats.
+type statCounters struct {
+	queriesIn, resolved, failed, cacheAnswered, coalesced atomic.Uint64
+	queriesOut, queriesOutFailed                          atomic.Uint64
+	renewalQueries, renewalFailed, renewals               atomic.Uint64
+	referrals, staleAnswers, prefetchQueries              atomic.Uint64
+}
+
+// snapshot reads every counter into an exported Stats value.
+func (s *statCounters) snapshot() Stats {
+	return Stats{
+		QueriesIn:        s.queriesIn.Load(),
+		Resolved:         s.resolved.Load(),
+		Failed:           s.failed.Load(),
+		CacheAnswered:    s.cacheAnswered.Load(),
+		Coalesced:        s.coalesced.Load(),
+		QueriesOut:       s.queriesOut.Load(),
+		QueriesOutFailed: s.queriesOutFailed.Load(),
+		RenewalQueries:   s.renewalQueries.Load(),
+		RenewalFailed:    s.renewalFailed.Load(),
+		Renewals:         s.renewals.Load(),
+		Referrals:        s.referrals.Load(),
+		StaleAnswers:     s.staleAnswers.Load(),
+		PrefetchQueries:  s.prefetchQueries.Load(),
+	}
+}
+
 // Result is a completed resolution.
 type Result struct {
 	RCode dnswire.RCode
@@ -137,28 +171,55 @@ type Result struct {
 var ErrResolutionFailed = errors.New("core: resolution failed")
 
 // CachingServer is the paper's modified caching server (CS). It is safe
-// for concurrent use over a real transport; the trace-driven simulator
-// uses it single-threaded.
+// for concurrent use: the cache is sharded internally, the remaining
+// state is split into independently locked components (see the lock
+// comments below), and no lock is ever held across a Transport.Exchange
+// round-trip. Concurrent Resolve calls for the same (name, type) coalesce
+// into one upstream resolution. The trace-driven simulator uses the same
+// code single-threaded, where every operation stays deterministic.
+//
+// Lock hierarchy (a goroutine may only take locks downward in this list,
+// and never holds one across upstream I/O):
+//
+//	flightMu > renewMu > cache shard locks
+//	negMu, parentMu, secMu are leaves taken on their own.
 type CachingServer struct {
 	cfg   Config
-	mu    sync.Mutex
 	cache *cache.Cache
-	// credits holds per-zone renewal credit.
-	credits map[dnswire.Name]float64
-	renew   renewQueue
-	// scheduled marks zones with a pending renewal-queue entry.
+
+	// renewMu guards the renewal scheduler: per-zone credit, the due
+	// queue, and the scheduled set.
+	renewMu   sync.Mutex
+	credits   map[dnswire.Name]float64
+	renew     renewQueue
 	scheduled map[dnswire.Name]bool
-	negative  map[cache.Key]negEntry
-	// parentSeen records when each zone's delegation was last confirmed
-	// by a referral from the parent.
+
+	// negMu guards the negative-answer cache.
+	negMu    sync.Mutex
+	negative map[cache.Key]negEntry
+
+	// parentMu guards parentSeen, which records when each zone's
+	// delegation was last confirmed by a referral from the parent.
+	parentMu   sync.Mutex
 	parentSeen map[dnswire.Name]time.Time
-	// validator holds the DNSSEC chain state; nil when not validating.
+
+	// secMu guards the DNSSEC chain state: validator (nil when not
+	// validating) and the insecure-zone cache.
+	secMu     sync.Mutex
 	validator *dnssec.Validator
-	// insecure caches zones proven to lack a DS (unsigned delegations).
-	insecure map[dnswire.Name]bool
-	stats    Stats
-	qid      uint16
-	rotate   uint64
+	insecure  map[dnswire.Name]bool
+
+	// flightMu guards the in-flight resolution table.
+	flightMu sync.Mutex
+	flight   map[cache.Key]*flightCall
+
+	stats statCounters
+	// qid is the outgoing query-ID counter: seeded from crypto/rand and
+	// advanced atomically, so concurrent queries never share an ID and
+	// the sequence does not restart at a guessable value.
+	qid atomic.Uint32
+	// rotate round-robins the starting server within a zone's NS set.
+	rotate atomic.Uint64
 }
 
 // maxGlueDepth bounds nested resolutions of out-of-bailiwick name-server
@@ -210,7 +271,13 @@ func NewCachingServer(cfg Config) (*CachingServer, error) {
 		credits:    make(map[dnswire.Name]float64),
 		scheduled:  make(map[dnswire.Name]bool),
 		parentSeen: make(map[dnswire.Name]time.Time),
+		flight:     make(map[cache.Key]*flightCall),
 	}
+	var seed [4]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("core: seeding query IDs: %w", err)
+	}
+	cs.qid.Store(binary.LittleEndian.Uint32(seed[:]))
 	if cfg.ValidateDNSSEC {
 		if len(cfg.TrustAnchors) == 0 {
 			return nil, errors.New("core: ValidateDNSSEC requires TrustAnchors")
@@ -221,17 +288,14 @@ func NewCachingServer(cfg Config) (*CachingServer, error) {
 	return cs, nil
 }
 
+// nextQID returns a fresh 16-bit query ID.
+func (cs *CachingServer) nextQID() uint16 { return uint16(cs.qid.Add(1)) }
+
 // Stats returns a snapshot of the counters.
-func (cs *CachingServer) Stats() Stats {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	return cs.stats
-}
+func (cs *CachingServer) Stats() Stats { return cs.stats.snapshot() }
 
 // CacheStats reports cache occupancy after sweeping expired entries.
 func (cs *CachingServer) CacheStats() cache.Stats {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	cs.cache.SweepExpired()
 	return cs.cache.Stats()
 }
@@ -239,21 +303,68 @@ func (cs *CachingServer) CacheStats() cache.Stats {
 // Cache exposes the underlying cache for tests and examples.
 func (cs *CachingServer) Cache() *cache.Cache { return cs.cache }
 
-// Resolve answers one stub-resolver query.
+// Resolve answers one stub-resolver query. Concurrent calls for the same
+// (name, type) share a single upstream resolution.
 func (cs *CachingServer) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	cs.stats.QueriesIn++
-	res, err := cs.resolveChain(ctx, qname, qtype)
+	cs.stats.queriesIn.Add(1)
+	res, err := cs.resolveFromCache(qname, qtype)
+	if err == nil && res == nil {
+		res, err = cs.resolveCoalesced(ctx, qname, qtype)
+	}
 	if err != nil {
-		cs.stats.Failed++
+		cs.stats.failed.Add(1)
 		return nil, err
 	}
-	cs.stats.Resolved++
+	cs.stats.resolved.Add(1)
 	if res.FromCache {
-		cs.stats.CacheAnswered++
+		cs.stats.cacheAnswered.Add(1)
 	}
 	return res, nil
+}
+
+// resolveFromCache attempts to answer qname/qtype purely from live cached
+// data — the lock-free hot path, which never enters the in-flight table.
+// It returns (nil, nil) when upstream work is (or may be) needed, leaving
+// the full resolution to the coalesced slow path. The lookup sequence per
+// CNAME hop mirrors resolveOne's cache section exactly, so cache counters
+// and gap tombstones behave as if the slow path had run.
+func (cs *CachingServer) resolveFromCache(qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	now := cs.cfg.Clock.Now()
+	var answer []dnswire.RR
+	cur := qname
+	for hop := 0; hop <= cs.cfg.MaxCNAME; hop++ {
+		if e := cs.cache.Get(cur, qtype); e != nil {
+			if cs.prefetchDue(e, now) {
+				return nil, nil // let the slow path issue the prefetch
+			}
+			answer = append(answer, e.RRsWithRemainingTTL(now)...)
+			return &Result{RCode: dnswire.RCodeNoError, Answer: answer, FromCache: true}, nil
+		}
+		if qtype != dnswire.TypeCNAME {
+			if e := cs.cache.Get(cur, dnswire.TypeCNAME); e != nil {
+				rrs := e.RRsWithRemainingTTL(now)
+				answer = append(answer, rrs...)
+				if target, ok := cnameTarget(rrs, cur, qtype); ok {
+					cur = target
+					continue
+				}
+				return &Result{RCode: dnswire.RCodeNoError, Answer: answer, FromCache: true}, nil
+			}
+		}
+		if rcode, ok := cs.negativeLookup(cur, qtype, now); ok {
+			return &Result{RCode: rcode, Answer: answer, FromCache: true}, nil
+		}
+		return nil, nil
+	}
+	// A fully cached CNAME chain longer than MaxCNAME: fail exactly as
+	// the slow path would.
+	return nil, fmt.Errorf("%w: CNAME chain too long for %s", ErrResolutionFailed, qname)
+}
+
+// prefetchDue reports whether a cache hit falls in the prefetch window
+// (the last tenth of the entry's TTL).
+func (cs *CachingServer) prefetchDue(e *cache.Entry, now time.Time) bool {
+	return cs.cfg.Prefetch && e.Expires.Sub(now) <= e.OrigTTL/10
 }
 
 // resolveChain resolves qname/qtype, chasing CNAMEs across zones.
@@ -346,7 +457,7 @@ func (cs *CachingServer) maybePrefetch(ctx context.Context, e *cache.Entry, qnam
 	if remaining > e.OrigTTL/10 {
 		return
 	}
-	cs.stats.PrefetchQueries++
+	cs.stats.prefetchQueries.Add(1)
 	// A fresh fetch restarts the entry's lifetime; failures are harmless
 	// (the cached copy is still live). The explicit Extend covers the
 	// cache's conservative replacement rules for identical data.
@@ -359,7 +470,7 @@ func (cs *CachingServer) maybePrefetch(ctx context.Context, e *cache.Entry, qnam
 // live resolution failed, per the serve-stale baseline.
 func (cs *CachingServer) staleAnswer(qname dnswire.Name, qtype dnswire.Type) *Result {
 	if e := cs.cache.GetStale(qname, qtype); e != nil {
-		cs.stats.StaleAnswers++
+		cs.stats.staleAnswers.Add(1)
 		rrs := make([]dnswire.RR, len(e.RRs))
 		copy(rrs, e.RRs)
 		for i := range rrs {
@@ -369,7 +480,7 @@ func (cs *CachingServer) staleAnswer(qname dnswire.Name, qtype dnswire.Type) *Re
 	}
 	if qtype != dnswire.TypeCNAME {
 		if e := cs.cache.GetStale(qname, dnswire.TypeCNAME); e != nil {
-			cs.stats.StaleAnswers++
+			cs.stats.staleAnswers.Add(1)
 			rrs := make([]dnswire.RR, len(e.RRs))
 			copy(rrs, e.RRs)
 			for i := range rrs {
@@ -387,6 +498,9 @@ func (cs *CachingServer) iterate(ctx context.Context, qname dnswire.Name, qtype 
 	var lastErr error
 	prevZone := dnswire.Name("")
 	for step := 0; step < cs.cfg.MaxReferrals; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %s %s: %v", ErrResolutionFailed, qname, qtype, err)
+		}
 		zname, servers := cs.deepestKnownZone(qname, qtype, stale)
 		if zname == prevZone {
 			// A referral that does not descend (e.g. the child's servers
@@ -435,7 +549,7 @@ func (cs *CachingServer) iterate(ctx context.Context, qname dnswire.Name, qtype 
 			return &Result{RCode: dnswire.RCodeNoError, Answer: relevantAnswers(resp, qname, qtype)}, resp, nil
 
 		case isReferral(resp, zname):
-			cs.stats.Referrals++
+			cs.stats.referrals.Add(1)
 			cs.resolveMissingGlue(ctx, referralChild(resp, zname), depth)
 			continue // deepestKnownZone now finds the child's IRRs
 
@@ -479,7 +593,7 @@ func (cs *CachingServer) deepestKnownZone(qname dnswire.Name, qtype dnswire.Type
 			continue
 		}
 		if iv := cs.cfg.ParentRecheckInterval; iv > 0 && !stale {
-			if seen, ok := cs.parentSeen[anc]; !ok || now.Sub(seen) > iv {
+			if seen, ok := cs.parentLastSeen(anc); !ok || now.Sub(seen) > iv {
 				// The delegation is overdue for confirmation: pretend the
 				// IRRs are unknown so resolution re-visits the parent.
 				continue
@@ -505,33 +619,49 @@ func (cs *CachingServer) deepestKnownZone(qname dnswire.Name, qtype dnswire.Type
 	return dnswire.Root, addrs
 }
 
+// parentLastSeen returns when zone's delegation was last confirmed by its
+// parent.
+func (cs *CachingServer) parentLastSeen(zone dnswire.Name) (time.Time, bool) {
+	cs.parentMu.Lock()
+	defer cs.parentMu.Unlock()
+	seen, ok := cs.parentSeen[zone]
+	return seen, ok
+}
+
 // queryZone sends (qname, qtype) to the zone's servers, trying each until
 // one answers. A successful exchange updates the zone's renewal credit.
+// No lock is held across the Exchange round-trips.
 func (cs *CachingServer) queryZone(ctx context.Context, zname dnswire.Name, servers []transport.Addr, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
 	if len(servers) == 0 {
 		return nil, fmt.Errorf("%w: no addresses for zone %s", transport.ErrServerUnreachable, zname)
 	}
 	cs.updateCredit(zname)
 
-	cs.qid++
-	q := dnswire.NewQuery(cs.qid, qname, qtype)
+	q := dnswire.NewQuery(cs.nextQID(), qname, qtype)
 	if cs.cfg.AdvertiseEDNS0 {
 		q.SetEDNS0(dnswire.DefaultEDNS0PayloadSize)
 	}
-	start := cs.rotate
-	cs.rotate++
+	start := cs.rotate.Add(1) - 1
 	var lastErr error
 	for i := 0; i < len(servers); i++ {
+		// A cancelled client must not keep burning upstream attempts
+		// through the NS-failover loop.
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			return nil, lastErr
+		}
 		addr := servers[(start+uint64(i))%uint64(len(servers))]
-		cs.stats.QueriesOut++
+		cs.stats.queriesOut.Add(1)
 		resp, err := cs.cfg.Transport.Exchange(ctx, addr, q)
 		if err != nil {
-			cs.stats.QueriesOutFailed++
+			cs.stats.queriesOutFailed.Add(1)
 			lastErr = err
 			continue
 		}
 		if resp.ID != q.ID {
-			cs.stats.QueriesOutFailed++
+			cs.stats.queriesOutFailed.Add(1)
 			lastErr = fmt.Errorf("core: mismatched response ID from %s", addr)
 			continue
 		}
@@ -549,7 +679,9 @@ func (cs *CachingServer) updateCredit(zname dnswire.Name) {
 	if e := cs.cache.Peek(zname, dnswire.TypeNS); e != nil {
 		ttl = e.OrigTTL
 	}
+	cs.renewMu.Lock()
 	cs.credits[zname] = cs.cfg.Renewal.Update(cs.credits[zname], ttl)
+	cs.renewMu.Unlock()
 }
 
 // answersQuestion reports whether resp's answer section covers (qname,

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+
+	"resilientdns/internal/cache"
+	"resilientdns/internal/dnswire"
+)
+
+// flightCall is one in-flight resolution of a (name, type) pair shared by
+// every concurrent Resolve call asking the same question.
+type flightCall struct {
+	// done closes when res/err are final; they are written before the
+	// close and only read after it.
+	done chan struct{}
+	// cancel aborts the flight's resolution context. Called only when
+	// the last waiter leaves (see abandonFlight): a cancelled leader
+	// hands the flight off to the remaining waiters rather than failing
+	// them.
+	cancel context.CancelFunc
+	// waiters counts callers blocked on done; guarded by cs.flightMu so
+	// joining and abandoning serialize (a joiner can never slip in after
+	// the "last" waiter left and latch onto a cancelled flight).
+	waiters int
+
+	res *Result
+	err error
+}
+
+// resolveCoalesced resolves qname/qtype through the in-flight table: the
+// first caller for a key starts the resolution on its own goroutine, and
+// later callers for the same key wait on the existing flight. The
+// resolution runs under a context detached from any single caller, so a
+// cancelled caller only aborts the upstream work when no other caller is
+// still waiting on it.
+func (cs *CachingServer) resolveCoalesced(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	key := cache.Key{Name: qname, Type: qtype}
+
+	cs.flightMu.Lock()
+	c, joined := cs.flight[key]
+	if !joined {
+		fctx, fcancel := context.WithCancel(context.Background())
+		c = &flightCall{done: make(chan struct{}), cancel: fcancel}
+		cs.flight[key] = c
+		go cs.runFlight(fctx, key, c, qname, qtype)
+	}
+	c.waiters++
+	cs.flightMu.Unlock()
+	if joined {
+		cs.stats.coalesced.Add(1)
+	}
+
+	select {
+	case <-c.done:
+		// The result is shared across waiters; Result and its Answer
+		// slice are treated as immutable by all callers.
+		return c.res, c.err
+	case <-ctx.Done():
+		cs.abandonFlight(key, c)
+		return nil, ctx.Err()
+	}
+}
+
+// runFlight performs the actual resolution for one flight and publishes
+// the outcome. It always detaches the flight from the table before
+// closing done, so no waiter can observe a completed flight in the map.
+func (cs *CachingServer) runFlight(fctx context.Context, key cache.Key, c *flightCall, qname dnswire.Name, qtype dnswire.Type) {
+	res, err := cs.resolveChain(fctx, qname, qtype)
+
+	cs.flightMu.Lock()
+	if cs.flight[key] == c {
+		delete(cs.flight, key)
+	}
+	cs.flightMu.Unlock()
+
+	c.res, c.err = res, err
+	close(c.done)
+	c.cancel()
+}
+
+// abandonFlight removes a departing waiter from c and, when it was the
+// last one, cancels the flight's resolution and retires the flight from
+// the table so the next caller starts fresh.
+func (cs *CachingServer) abandonFlight(key cache.Key, c *flightCall) {
+	cs.flightMu.Lock()
+	c.waiters--
+	if c.waiters > 0 {
+		cs.flightMu.Unlock()
+		return
+	}
+	// Guard against racing a newer flight under the same key: only
+	// retire c itself. runFlight may already have detached it.
+	if cs.flight[key] == c {
+		delete(cs.flight, key)
+	}
+	cs.flightMu.Unlock()
+	c.cancel()
+}

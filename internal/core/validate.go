@@ -15,6 +15,32 @@ const maxChainDepth = 8
 // but the data does not verify.
 var ErrBogus = errors.New("core: DNSSEC validation failed (bogus)")
 
+// The dnssec.Validator mutates its trust-anchor map while validating
+// delegations, so every call into it (and every insecure-map access) is
+// serialized under secMu. secMu is a leaf lock, never held across
+// network I/O — the accessors below each take it for one step only.
+
+// zoneTrusted reports whether zname already has trusted keys.
+func (cs *CachingServer) zoneTrusted(zname dnswire.Name) bool {
+	cs.secMu.Lock()
+	defer cs.secMu.Unlock()
+	return len(cs.validator.TrustedKeys(zname)) > 0
+}
+
+// zoneInsecure reports whether zname is cached as provably unsigned.
+func (cs *CachingServer) zoneInsecure(zname dnswire.Name) bool {
+	cs.secMu.Lock()
+	defer cs.secMu.Unlock()
+	return cs.insecure[zname]
+}
+
+// markInsecure caches zname as provably unsigned.
+func (cs *CachingServer) markInsecure(zname dnswire.Name) {
+	cs.secMu.Lock()
+	defer cs.secMu.Unlock()
+	cs.insecure[zname] = true
+}
+
 // ensureTrusted establishes the DS→DNSKEY chain from the trust anchors
 // down to zname. It returns whether the zone is securely delegated
 // (false = provably unsigned/insecure, which is acceptable) or an error
@@ -23,14 +49,14 @@ func (cs *CachingServer) ensureTrusted(ctx context.Context, zname dnswire.Name, 
 	if cs.validator == nil {
 		return false, nil
 	}
-	if len(cs.validator.TrustedKeys(zname)) > 0 {
+	if cs.zoneTrusted(zname) {
 		return true, nil
 	}
 	if zname.IsRoot() {
 		// The root is only ever trusted via the configured anchors.
 		return false, nil
 	}
-	if cs.insecure[zname] {
+	if cs.zoneInsecure(zname) {
 		return false, nil
 	}
 	if depth > maxChainDepth {
@@ -45,7 +71,7 @@ func (cs *CachingServer) ensureTrusted(ctx context.Context, zname dnswire.Name, 
 	if len(dsSet) == 0 {
 		// No DS: an insecure delegation. (Without NSEC we accept the
 		// parent's negative answer at face value.)
-		cs.insecure[zname] = true
+		cs.markInsecure(zname)
 		return false, nil
 	}
 	sig, ok := dsSig.Data.(dnswire.RRSIG)
@@ -59,7 +85,7 @@ func (cs *CachingServer) ensureTrusted(ctx context.Context, zname dnswire.Name, 
 		return false, err
 	}
 	if !parentSecure {
-		cs.insecure[zname] = true
+		cs.markInsecure(zname)
 		return false, nil
 	}
 
@@ -72,7 +98,10 @@ func (cs *CachingServer) ensureTrusted(ctx context.Context, zname dnswire.Name, 
 		return false, fmt.Errorf("%w: signed delegation %s publishes no DNSKEY", ErrBogus, zname)
 	}
 	now := cs.cfg.Clock.Now()
-	if err := cs.validator.ValidateDelegation(sig.SignerName, zname, dsSet, dsSig, keySet, keySig, now); err != nil {
+	cs.secMu.Lock()
+	err = cs.validator.ValidateDelegation(sig.SignerName, zname, dsSet, dsSig, keySet, keySig, now)
+	cs.secMu.Unlock()
+	if err != nil {
 		return false, fmt.Errorf("%w: %v", ErrBogus, err)
 	}
 	return true, nil
@@ -134,7 +163,10 @@ func (cs *CachingServer) validateAnswer(ctx context.Context, zname dnswire.Name,
 		if !signerSecure {
 			continue // cross-zone CNAME target in an unsigned zone
 		}
-		if err := cs.validator.ValidateRRSet(signer, sigRR, set, now); err != nil {
+		cs.secMu.Lock()
+		err = cs.validator.ValidateRRSet(signer, sigRR, set, now)
+		cs.secMu.Unlock()
+		if err != nil {
 			return fmt.Errorf("%w: %s %s: %v", ErrBogus, set[0].Name, set[0].Type(), err)
 		}
 	}
@@ -157,11 +189,11 @@ func findSig(rrs []dnswire.RR, owner dnswire.Name, t dnswire.Type) (dnswire.RR, 
 // SecureZone reports whether zname currently has a validated key chain
 // (true), is known insecure (false), with ok=false when undetermined.
 func (cs *CachingServer) SecureZone(zname dnswire.Name) (secure, known bool) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	if cs.validator == nil {
 		return false, false
 	}
+	cs.secMu.Lock()
+	defer cs.secMu.Unlock()
 	if len(cs.validator.TrustedKeys(zname)) > 0 {
 		return true, true
 	}

@@ -89,13 +89,19 @@ func ReadTCPMessage(r io.Reader) (*dnswire.Message, error) {
 	return dnswire.Unpack(buf)
 }
 
-// TCPServer serves DNS over TCP using a Handler.
+// TCPServer serves DNS over TCP using a Handler. Each connection runs on
+// its own goroutine; concurrent query handling across all connections is
+// bounded by MaxInflight.
 type TCPServer struct {
 	Handler Handler
+	// MaxInflight bounds queries being handled at once across every
+	// connection. Defaults to DefaultMaxInflight.
+	MaxInflight int
 
-	mu sync.Mutex
-	ln net.Listener
-	wg sync.WaitGroup
+	mu  sync.Mutex
+	ln  net.Listener
+	wg  sync.WaitGroup
+	sem chan struct{}
 }
 
 // Listen binds and serves in background goroutines, returning the bound
@@ -108,8 +114,13 @@ func (s *TCPServer) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	inflight := s.MaxInflight
+	if inflight <= 0 {
+		inflight = DefaultMaxInflight
+	}
 	s.mu.Lock()
 	s.ln = ln
+	s.sem = make(chan struct{}, inflight)
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.serve(ln)
@@ -129,7 +140,10 @@ func (s *TCPServer) serve(ln net.Listener) {
 }
 
 // serveConn handles queries on one connection until EOF or error;
-// multiple queries per connection are supported.
+// multiple queries per connection are supported. Queries on one
+// connection are processed in order (responses must not interleave on the
+// stream), but each occupies a slot in the shared in-flight pool so a
+// flood of connections cannot oversubscribe the resolver.
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
@@ -144,7 +158,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if query.Flags.Response {
 			continue
 		}
+		s.sem <- struct{}{}
 		resp := s.Handler.HandleQuery(query)
+		<-s.sem
 		if resp == nil {
 			return
 		}

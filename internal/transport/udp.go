@@ -68,12 +68,22 @@ func (u *UDP) Exchange(ctx context.Context, server Addr, query *dnswire.Message)
 	}
 }
 
-// UDPServer serves DNS queries over a UDP socket using a Handler.
+// DefaultMaxInflight bounds concurrently handled queries when a server's
+// MaxInflight is zero.
+const DefaultMaxInflight = 1024
+
+// UDPServer serves DNS queries over a UDP socket using a Handler. Each
+// query is handled on its own goroutine, bounded by MaxInflight, so one
+// slow recursive resolution never blocks the socket read loop.
 type UDPServer struct {
 	Handler Handler
 	// MaxPayload truncates responses larger than this many bytes (TC bit
 	// set, sections dropped); defaults to the classic 512.
 	MaxPayload int
+	// MaxInflight bounds the number of queries being handled at once;
+	// the read loop blocks (letting the kernel buffer absorb bursts)
+	// when the pool is exhausted. Defaults to DefaultMaxInflight.
+	MaxInflight int
 
 	mu   sync.Mutex
 	conn net.PacketConn
@@ -102,42 +112,60 @@ func (s *UDPServer) Listen(addr string) (string, error) {
 
 func (s *UDPServer) serve(conn net.PacketConn) {
 	defer s.wg.Done()
+	inflight := s.MaxInflight
+	if inflight <= 0 {
+		inflight = DefaultMaxInflight
+	}
+	sem := make(chan struct{}, inflight)
 	buf := make([]byte, 64*1024)
 	for {
 		n, from, err := conn.ReadFrom(buf)
 		if err != nil {
 			return // closed
 		}
+		// Unpack before dispatching: the Message owns all its data
+		// (dnswire.Unpack copies every byte slice out of the wire
+		// buffer), so buf can be reused for the next packet.
 		query, err := dnswire.Unpack(buf[:n])
 		if err != nil || query.Flags.Response {
 			continue
 		}
-		resp := s.Handler.HandleQuery(query)
-		if resp == nil {
-			continue
-		}
-		wire, err := resp.Pack()
+		sem <- struct{}{}
+		s.wg.Add(1)
+		go func(query *dnswire.Message, from net.Addr) {
+			defer s.wg.Done()
+			defer func() { <-sem }()
+			s.respond(conn, query, from)
+		}(query, from)
+	}
+}
+
+// respond handles one query and writes the response. PacketConn.WriteTo
+// is safe for concurrent use, so responders never coordinate.
+func (s *UDPServer) respond(conn net.PacketConn, query *dnswire.Message, from net.Addr) {
+	resp := s.Handler.HandleQuery(query)
+	if resp == nil {
+		return
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	limit := s.MaxPayload
+	if limit == 0 {
+		limit = dnswire.MaxUDPPayload
+	}
+	// Honour the client's EDNS0 payload advertisement.
+	if adv, ok := query.EDNS0PayloadSize(); ok && int(adv) > limit {
+		limit = int(adv)
+	}
+	if len(wire) > limit {
+		wire, err = resp.TruncatedCopy().Pack()
 		if err != nil {
-			continue
-		}
-		limit := s.MaxPayload
-		if limit == 0 {
-			limit = dnswire.MaxUDPPayload
-		}
-		// Honour the client's EDNS0 payload advertisement.
-		if adv, ok := query.EDNS0PayloadSize(); ok && int(adv) > limit {
-			limit = int(adv)
-		}
-		if len(wire) > limit {
-			wire, err = resp.TruncatedCopy().Pack()
-			if err != nil {
-				continue
-			}
-		}
-		if _, err := conn.WriteTo(wire, from); err != nil {
 			return
 		}
 	}
+	conn.WriteTo(wire, from)
 }
 
 // Close stops the server and waits for its goroutines to exit.
