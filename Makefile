@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench
+.PHONY: build vet test race check bench fuzz
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,8 @@ check: build vet race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .
+
+# fuzz is the CI smoke pass over the wire-format parsers.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzUnpack -fuzztime=30s ./internal/dnswire
+	$(GO) test -run='^$$' -fuzz=FuzzCanonicalName -fuzztime=30s ./internal/dnswire

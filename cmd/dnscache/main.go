@@ -44,6 +44,11 @@ func run() error {
 	port := flag.Int("upstream-port", 53, "port appended to learned name-server addresses")
 	maxInflight := flag.Int("max-inflight", transport.DefaultMaxInflight, "max queries handled concurrently per listener")
 	statsEvery := flag.Duration("stats", time.Minute, "stats reporting interval (0 = off)")
+	minTimeout := flag.Duration("min-timeout", 200*time.Millisecond, "lower clamp on the adaptive per-attempt upstream timeout")
+	maxTimeout := flag.Duration("max-timeout", 3*time.Second, "upper clamp on the adaptive per-attempt upstream timeout")
+	quarantine := flag.Duration("quarantine", 5*time.Second, "base quarantine after an upstream failure, doubling per consecutive failure (negative = off)")
+	retryBudget := flag.Int("retry-budget", 16, "max upstream attempts one resolution may spend across all failovers (0 = unlimited)")
+	noSelection := flag.Bool("no-selection", false, "disable RTT-based upstream selection, quarantine, and retry budget (blind round-robin, for A/B runs)")
 	flag.Parse()
 
 	if *roots == "" {
@@ -62,9 +67,12 @@ func run() error {
 	}
 
 	cs, err := core.NewCachingServer(core.Config{
+		// The transport timeout matches -max-timeout so the upstream
+		// layer's per-attempt deadline (passed via context) is what
+		// actually bounds each exchange.
 		Transport: &transport.UDPWithTCPFallback{
-			UDP: transport.UDP{Timeout: 2 * time.Second},
-			TCP: transport.TCP{Timeout: 4 * time.Second},
+			UDP: transport.UDP{Timeout: *maxTimeout},
+			TCP: transport.TCP{Timeout: 2 * *maxTimeout},
 		},
 		RootHints:   hints,
 		RefreshTTL:  *refresh,
@@ -75,6 +83,13 @@ func run() error {
 		Prefetch:    *prefetch,
 		AddrMapper: func(a netip.Addr) transport.Addr {
 			return transport.Addr(fmt.Sprintf("%s:%d", a, *port))
+		},
+		Upstream: core.UpstreamConfig{
+			Disable:     *noSelection,
+			MinTimeout:  *minTimeout,
+			MaxTimeout:  *maxTimeout,
+			Quarantine:  *quarantine,
+			RetryBudget: *retryBudget,
 		},
 	})
 	if err != nil {
@@ -97,8 +112,8 @@ func run() error {
 		udp.Close()
 		return err
 	}
-	fmt.Printf("caching server on %s (udp+tcp, refresh=%v renewal=%s max-inflight=%d)\n",
-		addr, *refresh, *renewal, *maxInflight)
+	fmt.Printf("caching server on %s (udp+tcp, refresh=%v renewal=%s max-inflight=%d selection=%v)\n",
+		addr, *refresh, *renewal, *maxInflight, !*noSelection)
 
 	if *statsEvery > 0 {
 		go func() {
@@ -111,8 +126,9 @@ func run() error {
 				case <-t.C:
 					st := cs.Stats()
 					cst := cs.CacheStats()
-					fmt.Printf("in=%d out=%d coalesced=%d failed=%d renewals=%d cached: zones=%d records=%d\n",
-						st.QueriesIn, st.QueriesOut, st.Coalesced, st.Failed, st.Renewals, cst.Zones, cst.Records)
+					fmt.Printf("in=%d out=%d coalesced=%d failed=%d renewals=%d retries=%d quarantine-skips=%d budget-exhausted=%d cached: zones=%d records=%d\n",
+						st.QueriesIn, st.QueriesOut, st.Coalesced, st.Failed, st.Renewals,
+						st.Retries, st.QuarantineSkips, st.BudgetExhausted, cst.Zones, cst.Records)
 				}
 			}
 		}()

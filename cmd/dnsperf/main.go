@@ -65,6 +65,7 @@ func run() error {
 	duration := flag.Duration("duration", 5*time.Second, "test duration")
 	concurrency := flag.Int("concurrency", 8, "concurrent query workers")
 	timeout := flag.Duration("timeout", time.Second, "per-query timeout")
+	unique := flag.Bool("unique", false, "prefix every query name with a unique label (cache-miss-heavy load)")
 	flag.Parse()
 
 	names, err := loadNames(*traceFile, *name)
@@ -73,7 +74,7 @@ func run() error {
 	}
 
 	stats := runLoad(context.Background(), transport.Addr(*server), names,
-		*duration, *concurrency, *timeout)
+		*duration, *concurrency, *timeout, *unique)
 	stats.print(os.Stdout)
 	if stats.sent == 0 {
 		return fmt.Errorf("no queries completed")
@@ -83,8 +84,9 @@ func run() error {
 
 // loadStats aggregates worker results.
 type loadStats struct {
-	mu        sync.Mutex
-	latencies metrics.CDF
+	mu          sync.Mutex
+	latencies   metrics.CDF
+	okLatencies metrics.CDF
 
 	sent, ok, failed uint64
 	perWorker        []uint64 // queries completed by each worker
@@ -101,6 +103,9 @@ func (s *loadStats) record(worker int, d time.Duration, success bool) {
 	}
 	s.mu.Lock()
 	s.latencies.AddDuration(d)
+	if success {
+		s.okLatencies.AddDuration(d)
+	}
 	s.mu.Unlock()
 }
 
@@ -112,6 +117,12 @@ func (s *loadStats) print(w *os.File) {
 	fmt.Fprintf(w, "latency p50:  %.3f ms\n", 1000*s.latencies.Quantile(0.50))
 	fmt.Fprintf(w, "latency p95:  %.3f ms\n", 1000*s.latencies.Quantile(0.95))
 	fmt.Fprintf(w, "latency p99:  %.3f ms\n", 1000*s.latencies.Quantile(0.99))
+	// Upstream (successful-query) latency: failed queries sit at the
+	// client timeout and would mask what the resolver actually delivered.
+	if s.ok > 0 {
+		fmt.Fprintf(w, "ok p50:       %.3f ms\n", 1000*s.okLatencies.Quantile(0.50))
+		fmt.Fprintf(w, "ok p99:       %.3f ms\n", 1000*s.okLatencies.Quantile(0.99))
+	}
 	// Per-worker throughput: with a concurrent server every worker should
 	// sustain roughly the single-worker rate; a serialized server shows
 	// per-worker qps collapsing as 1/concurrency.
@@ -140,9 +151,11 @@ func max64(a, b uint64) uint64 {
 	return b
 }
 
-// runLoad drives the workers and returns aggregated statistics.
+// runLoad drives the workers and returns aggregated statistics. With
+// unique set, every query name gets a distinct leading label so each
+// query forces a full resolution (cache-miss-heavy load).
 func runLoad(ctx context.Context, server transport.Addr, names []dnswire.Name,
-	duration time.Duration, concurrency int, timeout time.Duration) *loadStats {
+	duration time.Duration, concurrency int, timeout time.Duration, unique bool) *loadStats {
 	stats := &loadStats{perWorker: make([]uint64, concurrency)}
 	deadline := time.Now().Add(duration)
 	ctx, cancel := context.WithDeadline(ctx, deadline)
@@ -155,7 +168,11 @@ func runLoad(ctx context.Context, server transport.Addr, names []dnswire.Name,
 			defer wg.Done()
 			tr := &transport.UDP{Timeout: timeout}
 			for i := worker; time.Now().Before(deadline); i += concurrency {
-				q := dnswire.NewQuery(uint16(i), names[i%len(names)], dnswire.TypeA)
+				qname := names[i%len(names)]
+				if unique {
+					qname = dnswire.Name(fmt.Sprintf("q%d.%s", i, qname))
+				}
+				q := dnswire.NewQuery(uint16(i), qname, dnswire.TypeA)
 				q.Flags.RecursionDesired = true
 				start := time.Now()
 				resp, err := tr.Exchange(ctx, server, q)

@@ -3,7 +3,6 @@ package core
 import (
 	"container/heap"
 	"context"
-	"fmt"
 	"time"
 
 	"resilientdns/internal/dnswire"
@@ -118,6 +117,8 @@ func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now t
 	cs.credits[zone]--
 	cs.renewMu.Unlock()
 	cs.stats.renewalQueries.Add(1)
+	// One renewal cycle gets one retry budget, like one resolution does.
+	ctx = withRetryBudget(ctx, cs.cfg.Upstream.RetryBudget)
 
 	// Refetch the zone's own NS RRset from its servers. The response's
 	// answer carries the NS set and its glue, which ingest re-caches with
@@ -145,7 +146,9 @@ func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now t
 	return true
 }
 
-// zoneAddrs collects the cached addresses of the NS hosts in set.
+// zoneAddrs collects the cached addresses of the NS hosts in set. Hosts
+// with no A record fall back to cached AAAA glue (renewal extends both
+// families, so either may be the one still alive).
 func (cs *CachingServer) zoneAddrs(set []dnswire.RR) []transport.Addr {
 	var addrs []transport.Addr
 	for _, rr := range set {
@@ -157,16 +160,23 @@ func (cs *CachingServer) zoneAddrs(set []dnswire.RR) []transport.Addr {
 			for _, arr := range ae.RRs {
 				addrs = append(addrs, cs.cfg.AddrMapper(arr.Data.(dnswire.A).Addr))
 			}
+			continue
+		}
+		if ae := cs.cache.Peek(ns.Host, dnswire.TypeAAAA); ae != nil {
+			for _, arr := range ae.RRs {
+				addrs = append(addrs, cs.cfg.AddrMapper(arr.Data.(dnswire.AAAA).Addr))
+			}
 		}
 	}
 	return addrs
 }
 
-// refetch sends a NS query for zone to its own servers. Unlike resolution
-// queries, refetches do not update renewal credit: only genuine demand
-// keeps a zone alive, otherwise renewal would sustain itself forever.
-// No lock is held here; the transport round-trips run concurrently with
-// query traffic.
+// refetch sends a NS query for zone to its own servers through the same
+// upstream failover loop the query path uses, sharing its RTT estimates
+// and quarantine state. Unlike resolution queries, refetches do not
+// update renewal credit: only genuine demand keeps a zone alive,
+// otherwise renewal would sustain itself forever. No lock is held here;
+// the transport round-trips run concurrently with query traffic.
 func (cs *CachingServer) refetch(ctx context.Context, zone dnswire.Name, addrs []transport.Addr) (*dnswire.Message, error) {
 	if len(addrs) == 0 {
 		return nil, transport.ErrServerUnreachable
@@ -175,29 +185,7 @@ func (cs *CachingServer) refetch(ctx context.Context, zone dnswire.Name, addrs [
 	if cs.cfg.AdvertiseEDNS0 {
 		q.SetEDNS0(dnswire.DefaultEDNS0PayloadSize)
 	}
-	var lastErr error
-	for _, addr := range addrs {
-		if err := ctx.Err(); err != nil {
-			if lastErr == nil {
-				lastErr = err
-			}
-			return nil, lastErr
-		}
-		cs.stats.queriesOut.Add(1)
-		resp, err := cs.cfg.Transport.Exchange(ctx, addr, q)
-		if err != nil {
-			cs.stats.queriesOutFailed.Add(1)
-			lastErr = err
-			continue
-		}
-		if resp.ID != q.ID {
-			cs.stats.queriesOutFailed.Add(1)
-			lastErr = fmt.Errorf("core: mismatched response ID from %s", addr)
-			continue
-		}
-		return resp, nil
-	}
-	return nil, lastErr
+	return cs.exchangeFailover(ctx, addrs, q)
 }
 
 // RunRenewalLoop services renewals in real time until ctx is cancelled.

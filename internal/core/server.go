@@ -90,6 +90,13 @@ type Config struct {
 	// address. The default uses the bare IP string (the simulator's
 	// convention); live deployments typically append ":53".
 	AddrMapper func(addr netip.Addr) transport.Addr
+
+	// Upstream tunes the robustness layer shared by the query, renewal,
+	// and prefetch paths (RTT-aware server selection, adaptive per-attempt
+	// timeouts, failure quarantine, retry budget). The zero value enables
+	// it with defaults; set Upstream.Disable for the legacy round-robin
+	// behaviour.
+	Upstream UpstreamConfig
 }
 
 // Stats counts a caching server's activity. Counters are cumulative;
@@ -128,6 +135,16 @@ type Stats struct {
 	StaleAnswers uint64
 	// PrefetchQueries counts early refreshes issued by Prefetch.
 	PrefetchQueries uint64
+
+	// Retries counts upstream failover attempts beyond the first within a
+	// single zone query or renewal refetch.
+	Retries uint64
+	// QuarantineSkips counts quarantined servers deprioritized behind a
+	// healthy one during upstream selection.
+	QuarantineSkips uint64
+	// BudgetExhausted counts failover loops cut short because the
+	// resolution spent its upstream retry budget.
+	BudgetExhausted uint64
 }
 
 // statCounters is the lock-free internal form of Stats.
@@ -136,6 +153,7 @@ type statCounters struct {
 	queriesOut, queriesOutFailed                          atomic.Uint64
 	renewalQueries, renewalFailed, renewals               atomic.Uint64
 	referrals, staleAnswers, prefetchQueries              atomic.Uint64
+	retries, quarantineSkips, budgetExhausted             atomic.Uint64
 }
 
 // snapshot reads every counter into an exported Stats value.
@@ -154,6 +172,9 @@ func (s *statCounters) snapshot() Stats {
 		Referrals:        s.referrals.Load(),
 		StaleAnswers:     s.staleAnswers.Load(),
 		PrefetchQueries:  s.prefetchQueries.Load(),
+		Retries:          s.retries.Load(),
+		QuarantineSkips:  s.quarantineSkips.Load(),
+		BudgetExhausted:  s.budgetExhausted.Load(),
 	}
 }
 
@@ -218,8 +239,11 @@ type CachingServer struct {
 	// advanced atomically, so concurrent queries never share an ID and
 	// the sequence does not restart at a guessable value.
 	qid atomic.Uint32
-	// rotate round-robins the starting server within a zone's NS set.
-	rotate atomic.Uint64
+	// upstream holds the per-server selection state (RTT estimates,
+	// quarantine) shared by the query, renewal, and prefetch paths; it has
+	// its own internal lock, taken only for short state reads/updates and
+	// never across an exchange.
+	upstream *upstream
 }
 
 // maxGlueDepth bounds nested resolutions of out-of-bailiwick name-server
@@ -272,6 +296,7 @@ func NewCachingServer(cfg Config) (*CachingServer, error) {
 		scheduled:  make(map[dnswire.Name]bool),
 		parentSeen: make(map[dnswire.Name]time.Time),
 		flight:     make(map[cache.Key]*flightCall),
+		upstream:   newUpstream(cfg.Upstream),
 	}
 	var seed [4]byte
 	if _, err := crand.Read(seed[:]); err != nil {
@@ -466,30 +491,41 @@ func (cs *CachingServer) maybePrefetch(ctx context.Context, e *cache.Entry, qnam
 	}
 }
 
-// staleAnswer serves an expired cached answer (or stale CNAME step) after
-// live resolution failed, per the serve-stale baseline.
+// staleAnswer serves an expired cached answer after live resolution
+// failed, per the serve-stale baseline. A stale CNAME is not returned
+// bare: the chain is chased through the stale cache, up to MaxCNAME hops,
+// so the client receives the terminal records whenever they are still
+// held. When only a prefix of the chain is cached the partial chain is
+// returned (ending in a CNAME) and resolveChain chases the tail, trying
+// live resolution first for each remaining hop.
 func (cs *CachingServer) staleAnswer(qname dnswire.Name, qtype dnswire.Type) *Result {
-	if e := cs.cache.GetStale(qname, qtype); e != nil {
+	var answer []dnswire.RR
+	cur := qname
+	for hop := 0; hop <= cs.cfg.MaxCNAME; hop++ {
+		e := cs.cache.GetStale(cur, qtype)
+		if e == nil && qtype != dnswire.TypeCNAME {
+			e = cs.cache.GetStale(cur, dnswire.TypeCNAME)
+		}
+		if e == nil {
+			break
+		}
 		cs.stats.staleAnswers.Add(1)
 		rrs := make([]dnswire.RR, len(e.RRs))
 		copy(rrs, e.RRs)
 		for i := range rrs {
 			rrs[i].TTL = staleServeTTL
 		}
-		return &Result{RCode: dnswire.RCodeNoError, Answer: rrs, FromCache: true}
-	}
-	if qtype != dnswire.TypeCNAME {
-		if e := cs.cache.GetStale(qname, dnswire.TypeCNAME); e != nil {
-			cs.stats.staleAnswers.Add(1)
-			rrs := make([]dnswire.RR, len(e.RRs))
-			copy(rrs, e.RRs)
-			for i := range rrs {
-				rrs[i].TTL = staleServeTTL
-			}
-			return &Result{RCode: dnswire.RCodeNoError, Answer: rrs, FromCache: true}
+		answer = append(answer, rrs...)
+		if target, ok := cnameTarget(rrs, cur, qtype); ok {
+			cur = target
+			continue
 		}
+		break // terminal records (or the CNAME itself was the question)
 	}
-	return nil
+	if len(answer) == 0 {
+		return nil
+	}
+	return &Result{RCode: dnswire.RCodeNoError, Answer: answer, FromCache: true}
 }
 
 // iterate walks the DNS hierarchy from the deepest zone with cached IRRs
@@ -606,6 +642,14 @@ func (cs *CachingServer) deepestKnownZone(qname dnswire.Name, qtype dnswire.Type
 				for _, arr := range ae.RRs {
 					addrs = append(addrs, cs.cfg.AddrMapper(arr.Data.(dnswire.A).Addr))
 				}
+				continue
+			}
+			// No A glue for this host: fall back to cached AAAA glue, which
+			// renewal keeps alive alongside A (renewZone extends both).
+			if ae := get(host, dnswire.TypeAAAA); ae != nil {
+				for _, arr := range ae.RRs {
+					addrs = append(addrs, cs.cfg.AddrMapper(arr.Data.(dnswire.AAAA).Addr))
+				}
 			}
 		}
 		if len(addrs) > 0 {
@@ -628,46 +672,93 @@ func (cs *CachingServer) parentLastSeen(zone dnswire.Name) (time.Time, bool) {
 	return seen, ok
 }
 
-// queryZone sends (qname, qtype) to the zone's servers, trying each until
-// one answers. A successful exchange updates the zone's renewal credit.
-// No lock is held across the Exchange round-trips.
+// queryZone sends (qname, qtype) to the zone's servers through the
+// upstream failover loop. The zone's renewal credit is updated only after
+// a validated response arrives: a query that every server fails never
+// earns the zone credit towards renewing IRRs that evidently cannot be
+// refetched. No lock is held across the Exchange round-trips.
 func (cs *CachingServer) queryZone(ctx context.Context, zname dnswire.Name, servers []transport.Addr, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
 	if len(servers) == 0 {
 		return nil, fmt.Errorf("%w: no addresses for zone %s", transport.ErrServerUnreachable, zname)
 	}
-	cs.updateCredit(zname)
-
 	q := dnswire.NewQuery(cs.nextQID(), qname, qtype)
 	if cs.cfg.AdvertiseEDNS0 {
 		q.SetEDNS0(dnswire.DefaultEDNS0PayloadSize)
 	}
-	start := cs.rotate.Add(1) - 1
+	resp, err := cs.exchangeFailover(ctx, servers, q)
+	if err != nil {
+		return nil, err
+	}
+	cs.updateCredit(zname)
+	return resp, nil
+}
+
+// exchangeFailover tries each of servers in the upstream layer's
+// preferred order (healthy by ascending SRTT, then quarantined) until one
+// returns a validated response. Every path that talks upstream — zone
+// queries, renewal refetches, prefetch — funnels through here, so RTT
+// estimates, quarantine state, and the retry budget are shared across all
+// of them. A cancelled client must not keep burning upstream attempts, so
+// the loop re-checks ctx before every attempt.
+func (cs *CachingServer) exchangeFailover(ctx context.Context, servers []transport.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+	ordered, skipped := cs.upstream.order(servers, cs.cfg.Clock.Now())
+	if skipped > 0 {
+		cs.stats.quarantineSkips.Add(uint64(skipped))
+	}
 	var lastErr error
-	for i := 0; i < len(servers); i++ {
-		// A cancelled client must not keep burning upstream attempts
-		// through the NS-failover loop.
+	for i, addr := range ordered {
 		if err := ctx.Err(); err != nil {
 			if lastErr == nil {
 				lastErr = err
 			}
 			return nil, lastErr
 		}
-		addr := servers[(start+uint64(i))%uint64(len(servers))]
+		if !takeAttempt(ctx) {
+			cs.stats.budgetExhausted.Add(1)
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last attempt: %v)", errBudgetExhausted, lastErr)
+			}
+			return nil, errBudgetExhausted
+		}
+		if i > 0 {
+			cs.stats.retries.Add(1)
+		}
 		cs.stats.queriesOut.Add(1)
-		resp, err := cs.cfg.Transport.Exchange(ctx, addr, q)
+		resp, err := cs.exchange(ctx, addr, q)
 		if err != nil {
 			cs.stats.queriesOutFailed.Add(1)
 			lastErr = err
 			continue
 		}
-		if resp.ID != q.ID {
-			cs.stats.queriesOutFailed.Add(1)
-			lastErr = fmt.Errorf("core: mismatched response ID from %s", addr)
-			continue
-		}
 		return resp, nil
 	}
 	return nil, lastErr
+}
+
+// exchange performs one upstream attempt against addr: it applies the
+// per-attempt deadline derived from the server's RTT history, validates
+// the response (ID and question echo), and folds the outcome back into
+// the server's selection state.
+func (cs *CachingServer) exchange(ctx context.Context, addr transport.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+	if t := cs.upstream.attemptTimeout(addr); t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	start := cs.cfg.Clock.Now()
+	resp, err := cs.cfg.Transport.Exchange(ctx, addr, q)
+	if err == nil && resp.ID != q.ID {
+		err = fmt.Errorf("core: mismatched response ID from %s", addr)
+	}
+	if err == nil && !dnswire.EchoesQuestion(q, resp) {
+		err = fmt.Errorf("core: response from %s does not echo the question", addr)
+	}
+	if err != nil {
+		cs.upstream.observeFailure(addr, cs.cfg.Clock.Now())
+		return nil, err
+	}
+	cs.upstream.observeSuccess(addr, cs.cfg.Clock.Now().Sub(start))
+	return resp, nil
 }
 
 // updateCredit applies the renewal policy on a query to zname.

@@ -53,9 +53,20 @@ func rrCNAME(name, target string) dnswire.RR {
 //	│   └── oob.edu.   served by ns1.com. (out-of-bailiwick, no glue)
 //	└── com.  (10.0.3.1)             IRR TTL 86400
 type fixture struct {
-	clock *simclock.Virtual
-	net   *simnet.Network
-	cs    *CachingServer
+	clock   *simclock.Virtual
+	net     *simnet.Network
+	cs      *CachingServer
+	uclaSrv *authserver.Server
+}
+
+// reviveUclaHost re-registers a previously killed ucla.edu server with
+// its real handler.
+func (f *fixture) reviveUclaHost(addr string) {
+	f.net.Register(&simnet.Host{
+		Addr:    transport.Addr(addr),
+		Zone:    dnswire.MustName("ucla.edu."),
+		Handler: f.uclaSrv,
+	})
 }
 
 func newFixture(t *testing.T, cfg Config) *fixture {
@@ -127,7 +138,7 @@ func newFixture(t *testing.T, cfg Config) *fixture {
 	if err != nil {
 		t.Fatalf("NewCachingServer: %v", err)
 	}
-	return &fixture{clock: clk, net: net, cs: cs}
+	return &fixture{clock: clk, net: net, cs: cs, uclaSrv: uclaSrv}
 }
 
 func (f *fixture) resolveA(t *testing.T, name string) *Result {

@@ -65,6 +65,9 @@ func (cs *CachingServer) resolveCoalesced(ctx context.Context, qname dnswire.Nam
 // the outcome. It always detaches the flight from the table before
 // closing done, so no waiter can observe a completed flight in the map.
 func (cs *CachingServer) runFlight(fctx context.Context, key cache.Key, c *flightCall, qname dnswire.Name, qtype dnswire.Type) {
+	// The whole flight — every referral step, nested glue fetch, and
+	// failover attempt — draws from one upstream retry budget.
+	fctx = withRetryBudget(fctx, cs.cfg.Upstream.RetryBudget)
 	res, err := cs.resolveChain(fctx, qname, qtype)
 
 	cs.flightMu.Lock()

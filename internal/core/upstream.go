@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilientdns/internal/metrics"
+	"resilientdns/internal/transport"
+)
+
+// UpstreamConfig tunes the upstream robustness layer shared by the query,
+// renewal, and prefetch paths: RTT-aware server selection, per-attempt
+// timeouts derived from SRTT + 4·RTTVAR, failure quarantine with
+// exponential backoff, and a bounded retry budget per resolution. The
+// zero value enables the layer with the defaults below.
+type UpstreamConfig struct {
+	// Disable reverts to the pre-layer behaviour — blind round-robin
+	// rotation with the transport's own flat timeout, no quarantine, no
+	// budget. Kept as the A/B off-switch for measurements.
+	Disable bool
+
+	// MinTimeout / MaxTimeout clamp the per-attempt timeout derived from
+	// a server's SRTT + 4·RTTVAR. Defaults: 200ms and 3s.
+	MinTimeout time.Duration
+	MaxTimeout time.Duration
+
+	// Quarantine is the base sit-out after a failed exchange; it doubles
+	// per consecutive failure to the same server up to MaxQuarantine
+	// (exponential backoff), and one success clears it. Quarantined
+	// servers are deprioritized, not excluded: they sort after every
+	// healthy server and are still attempted when all healthier choices
+	// fail, so a set whose every member is quarantined keeps being tried.
+	// 0 means the default 5s; negative disables quarantine entirely.
+	Quarantine time.Duration
+	// MaxQuarantine caps the backoff (default 60s).
+	MaxQuarantine time.Duration
+
+	// RetryBudget bounds the total upstream attempts one resolution (or
+	// one renewal refetch cycle) may spend across its whole referral
+	// ladder, so a blacked-out hierarchy cannot make a single query burn
+	// every failover path. 0 means unbounded — the library default, and
+	// what the trace-driven simulator uses so attack-window query counts
+	// stay comparable across schemes; cmd/dnscache sets a real bound.
+	RetryBudget int
+}
+
+// Upstream-layer defaults.
+const (
+	defaultMinTimeout    = 200 * time.Millisecond
+	defaultMaxTimeout    = 3 * time.Second
+	defaultQuarantine    = 5 * time.Second
+	defaultMaxQuarantine = time.Minute
+	// maxBackoffShift caps the quarantine doubling exponent so the
+	// shifted duration cannot overflow.
+	maxBackoffShift = 10
+)
+
+// errBudgetExhausted reports that a resolution spent its whole upstream
+// retry budget without completing.
+var errBudgetExhausted = errors.New("core: upstream retry budget exhausted")
+
+// serverState is the per-server book-keeping behind selection: a smoothed
+// RTT estimate, the consecutive-failure count, and the quarantine release
+// time. Keyed by transport.Addr in upstream.servers.
+type serverState struct {
+	rtt             metrics.RTTEstimator
+	fails           int
+	quarantineUntil time.Time
+}
+
+// upstream is the shared selection state. All methods take time as an
+// argument rather than reading a clock, so the trace-driven simulator
+// drives it off the virtual clock and stays deterministic: ordering uses
+// stable sorts keyed only on observed state and falls back to the input
+// order on ties, never on map iteration order.
+type upstream struct {
+	cfg UpstreamConfig
+
+	mu      sync.Mutex
+	servers map[transport.Addr]*serverState
+
+	// rotate round-robins the starting server when the layer is disabled
+	// (the pre-layer behaviour, kept for A/B runs).
+	rotate atomic.Uint64
+}
+
+// newUpstream applies defaults and builds the selection state.
+func newUpstream(cfg UpstreamConfig) *upstream {
+	if cfg.MinTimeout <= 0 {
+		cfg.MinTimeout = defaultMinTimeout
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = defaultMaxTimeout
+	}
+	if cfg.MaxTimeout < cfg.MinTimeout {
+		cfg.MaxTimeout = cfg.MinTimeout
+	}
+	switch {
+	case cfg.Quarantine == 0:
+		cfg.Quarantine = defaultQuarantine
+	case cfg.Quarantine < 0:
+		cfg.Quarantine = 0 // disabled
+	}
+	if cfg.MaxQuarantine <= 0 {
+		cfg.MaxQuarantine = defaultMaxQuarantine
+	}
+	if cfg.MaxQuarantine < cfg.Quarantine {
+		cfg.MaxQuarantine = cfg.Quarantine
+	}
+	return &upstream{cfg: cfg, servers: make(map[transport.Addr]*serverState)}
+}
+
+// order returns servers in the order they should be attempted at time
+// now: healthy servers first, ascending by estimated RTT (servers with no
+// history estimate at MaxTimeout, so proven-fast servers lead and unknown
+// ones are probed only after them), then quarantined servers ascending by
+// release time. skipped counts the quarantined servers that were
+// deprioritized behind at least one healthy server — when every server is
+// quarantined there is nothing healthier to prefer, so nothing counts as
+// skipped and the set is simply tried in release order.
+func (u *upstream) order(servers []transport.Addr, now time.Time) (ordered []transport.Addr, skipped int) {
+	if u.cfg.Disable {
+		out := make([]transport.Addr, len(servers))
+		start := u.rotate.Add(1) - 1
+		for i := range servers {
+			out[i] = servers[(start+uint64(i))%uint64(len(servers))]
+		}
+		return out, 0
+	}
+	type candidate struct {
+		addr  transport.Addr
+		est   time.Duration
+		quar  bool
+		until time.Time
+	}
+	cands := make([]candidate, 0, len(servers))
+	u.mu.Lock()
+	for _, addr := range servers {
+		c := candidate{addr: addr, est: u.cfg.MaxTimeout}
+		if st := u.servers[addr]; st != nil {
+			if st.rtt.Samples() > 0 {
+				c.est = st.rtt.SRTT()
+			}
+			if st.quarantineUntil.After(now) {
+				c.quar = true
+				c.until = st.quarantineUntil
+			}
+		}
+		cands = append(cands, c)
+	}
+	u.mu.Unlock()
+
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.quar != b.quar {
+			return !a.quar
+		}
+		if a.quar {
+			return a.until.Before(b.until)
+		}
+		return a.est < b.est
+	})
+	ordered = make([]transport.Addr, len(cands))
+	healthy := 0
+	for i, c := range cands {
+		ordered[i] = c.addr
+		if !c.quar {
+			healthy++
+		}
+	}
+	if healthy > 0 {
+		skipped = len(cands) - healthy
+	}
+	return ordered, skipped
+}
+
+// attemptTimeout returns the per-attempt timeout for addr: the server's
+// SRTT + 4·RTTVAR clamped into [MinTimeout, MaxTimeout], or MaxTimeout
+// when no RTT history exists (first contact keeps the transport's
+// traditional patience; only proven-fast servers earn short deadlines).
+// 0 means "no per-attempt deadline" (layer disabled).
+func (u *upstream) attemptTimeout(addr transport.Addr) time.Duration {
+	if u.cfg.Disable {
+		return 0
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	st := u.servers[addr]
+	if st == nil || st.rtt.Samples() == 0 {
+		return u.cfg.MaxTimeout
+	}
+	t := st.rtt.RTO()
+	if t < u.cfg.MinTimeout {
+		t = u.cfg.MinTimeout
+	}
+	if t > u.cfg.MaxTimeout {
+		t = u.cfg.MaxTimeout
+	}
+	return t
+}
+
+// observeSuccess folds a successful exchange's RTT into the server's
+// estimate and clears its failure state.
+func (u *upstream) observeSuccess(addr transport.Addr, rtt time.Duration) {
+	if u.cfg.Disable {
+		return
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	st := u.servers[addr]
+	if st == nil {
+		st = &serverState{}
+		u.servers[addr] = st
+	}
+	st.rtt.Observe(rtt)
+	st.fails = 0
+	st.quarantineUntil = time.Time{}
+}
+
+// observeFailure records a failed exchange at time now: the consecutive
+// failure count grows and, when quarantine is enabled, the server sits
+// out for Quarantine·2^(fails−1) capped at MaxQuarantine. The failure
+// also folds into the RTT estimate as a sample at the full MaxTimeout
+// (the time the attempt burned), so selection keeps preferring servers
+// that actually answer even after the quarantine window lapses.
+func (u *upstream) observeFailure(addr transport.Addr, now time.Time) {
+	if u.cfg.Disable {
+		return
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	st := u.servers[addr]
+	if st == nil {
+		st = &serverState{}
+		u.servers[addr] = st
+	}
+	st.rtt.Observe(u.cfg.MaxTimeout)
+	st.fails++
+	if u.cfg.Quarantine <= 0 {
+		return
+	}
+	shift := st.fails - 1
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	d := u.cfg.Quarantine << shift
+	if d > u.cfg.MaxQuarantine {
+		d = u.cfg.MaxQuarantine
+	}
+	st.quarantineUntil = now.Add(d)
+}
+
+// quarantined reports whether addr is sitting out at time now (tests and
+// diagnostics).
+func (u *upstream) quarantined(addr transport.Addr, now time.Time) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	st := u.servers[addr]
+	return st != nil && st.quarantineUntil.After(now)
+}
+
+// retryBudget is the shared attempt counter one resolution carries
+// through its context: every upstream attempt across the whole referral
+// ladder (nested glue and DNSSEC fetches included) draws from the same
+// pool.
+type retryBudget struct {
+	remaining atomic.Int64
+}
+
+type retryBudgetKey struct{}
+
+// withRetryBudget installs a fresh budget of n attempts into ctx; n <= 0
+// leaves ctx unbounded.
+func withRetryBudget(ctx context.Context, n int) context.Context {
+	if n <= 0 {
+		return ctx
+	}
+	b := &retryBudget{}
+	b.remaining.Store(int64(n))
+	return context.WithValue(ctx, retryBudgetKey{}, b)
+}
+
+// takeAttempt consumes one attempt from the context's budget, reporting
+// false when the budget is exhausted. Contexts without a budget always
+// allow the attempt.
+func takeAttempt(ctx context.Context) bool {
+	b, ok := ctx.Value(retryBudgetKey{}).(*retryBudget)
+	if !ok {
+		return true
+	}
+	return b.remaining.Add(-1) >= 0
+}

@@ -54,6 +54,25 @@ func NewQuery(id uint16, name Name, qtype Type) *Message {
 	}
 }
 
+// EchoesQuestion reports whether resp echoes query's question section:
+// the response's first question must match the query's (qname, qtype,
+// qclass) exactly. A matching 16-bit ID alone leaves a 1-in-65536
+// off-path spoofing window per guess; requiring the question echo forces
+// an attacker to also know which name is being resolved. Responses that
+// carry no question section at all are rejected. Names are canonical
+// (lower-case) on both sides, so comparison is exact. A query with no
+// question trivially matches.
+func EchoesQuestion(query, resp *Message) bool {
+	if len(query.Question) == 0 {
+		return true
+	}
+	if len(resp.Question) == 0 {
+		return false
+	}
+	q, r := query.Question[0], resp.Question[0]
+	return q.Name == r.Name && q.Type == r.Type && q.Class == r.Class
+}
+
 // Reply builds a skeleton response to q, echoing its ID and question and
 // setting the QR bit.
 func (m *Message) Reply() *Message {

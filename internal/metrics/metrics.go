@@ -119,6 +119,55 @@ type Point struct {
 	X, Y float64
 }
 
+// RTTEstimator maintains a smoothed round-trip-time estimate with variance
+// per RFC 6298 (Jacobson/Karels): the first sample sets SRTT = R and
+// RTTVAR = R/2; each later sample folds in as RTTVAR = 3/4·RTTVAR +
+// 1/4·|SRTT − R|, then SRTT = 7/8·SRTT + 1/8·R. The zero value has no
+// samples. The estimator is a plain value type; callers provide their own
+// locking and clamp RTO into whatever band suits their protocol.
+type RTTEstimator struct {
+	srtt   time.Duration
+	rttvar time.Duration
+	n      uint64
+}
+
+// Observe folds one round-trip sample into the estimate.
+func (r *RTTEstimator) Observe(sample time.Duration) {
+	if sample < 0 {
+		sample = 0
+	}
+	if r.n == 0 {
+		r.srtt = sample
+		r.rttvar = sample / 2
+	} else {
+		diff := r.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		r.rttvar = (3*r.rttvar + diff) / 4
+		r.srtt = (7*r.srtt + sample) / 8
+	}
+	r.n++
+}
+
+// Samples returns how many observations have been folded in.
+func (r *RTTEstimator) Samples() uint64 { return r.n }
+
+// SRTT returns the smoothed round-trip time (0 before any sample).
+func (r *RTTEstimator) SRTT() time.Duration { return r.srtt }
+
+// RTTVar returns the smoothed round-trip variance (0 before any sample).
+func (r *RTTEstimator) RTTVar() time.Duration { return r.rttvar }
+
+// RTO returns the retransmission timeout SRTT + 4·RTTVAR, or 0 when no
+// sample has been observed yet.
+func (r *RTTEstimator) RTO() time.Duration {
+	if r.n == 0 {
+		return 0
+	}
+	return r.srtt + 4*r.rttvar
+}
+
 // Counter is a monotone event counter with a convenience rate helper.
 type Counter struct {
 	n uint64

@@ -17,7 +17,8 @@ import (
 // TCP is a Transport over DNS-over-TCP (RFC 1035 §4.2.2: two-byte length
 // prefix). Used as the fallback when a UDP response arrives truncated.
 type TCP struct {
-	// Timeout bounds each exchange when the context has no deadline.
+	// Timeout caps each exchange; a context deadline tightens it further
+	// (the earlier of the two wins) but never extends it.
 	Timeout time.Duration
 }
 
@@ -53,6 +54,9 @@ func (t *TCP) Exchange(ctx context.Context, server Addr, query *dnswire.Message)
 	}
 	if resp.ID != query.ID {
 		return nil, fmt.Errorf("transport: mismatched TCP response ID from %s", server)
+	}
+	if !dnswire.EchoesQuestion(query, resp) {
+		return nil, fmt.Errorf("transport: response from %s does not echo the question", server)
 	}
 	return resp, nil
 }

@@ -30,6 +30,29 @@ func TestTCPRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTCPRejectsMismatchedQuestion(t *testing.T) {
+	srv := &TCPServer{Handler: HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		r := q.Reply()
+		r.Question = []dnswire.Question{{
+			Name:  dnswire.MustName("evil.example."),
+			Type:  dnswire.TypeA,
+			Class: dnswire.ClassIN,
+		}}
+		return r
+	})}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	c := &TCP{Timeout: 2 * time.Second}
+	q := dnswire.NewQuery(11, dnswire.MustName("x."), dnswire.TypeA)
+	if _, err := c.Exchange(context.Background(), Addr(addr), q); err == nil {
+		t.Fatal("TCP exchange accepted a response with a mismatched question")
+	}
+}
+
 func TestTCPMultipleQueriesPerConnection(t *testing.T) {
 	srv := &TCPServer{Handler: echoHandler()}
 	addr, err := srv.Listen("127.0.0.1:0")

@@ -24,8 +24,32 @@ var ErrTimeout = errors.New("transport: query timed out")
 var ErrServerUnreachable = errors.New("transport: server unreachable")
 
 // Transport sends one query to one server and returns its response.
+//
+// Implementations treat a context deadline as the per-attempt deadline:
+// callers that maintain per-server RTT estimates (the upstream layer in
+// internal/core) derive an attempt timeout and pass it down via
+// context.WithTimeout, and the transport honours whichever of that
+// deadline and its own default timeout comes first.
 type Transport interface {
 	Exchange(ctx context.Context, server Addr, query *dnswire.Message) (*dnswire.Message, error)
+}
+
+// Exchanger adapts a function to the Transport interface. It is the hook
+// for wrapping a Transport with per-attempt policy — deadlines, response
+// validation, fault injection in tests — without the underlying transport
+// knowing:
+//
+//	inner := &transport.UDP{}
+//	tr := transport.Exchanger(func(ctx context.Context, s transport.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+//		ctx, cancel := context.WithTimeout(ctx, perAttempt)
+//		defer cancel()
+//		return inner.Exchange(ctx, s, q)
+//	})
+type Exchanger func(ctx context.Context, server Addr, query *dnswire.Message) (*dnswire.Message, error)
+
+// Exchange implements Transport.
+func (f Exchanger) Exchange(ctx context.Context, server Addr, query *dnswire.Message) (*dnswire.Message, error) {
+	return f(ctx, server, query)
 }
 
 // Handler answers DNS queries; authoritative server engines implement it.

@@ -15,12 +15,16 @@ import (
 // UDP is a Transport over real UDP sockets. The zero value is ready to
 // use; Timeout defaults to 3 seconds when unset.
 type UDP struct {
-	// Timeout bounds each exchange when the context has no deadline.
+	// Timeout caps each exchange; a context deadline tightens it further
+	// (the earlier of the two wins) but never extends it.
 	Timeout time.Duration
 }
 
 // Exchange implements Transport: it sends the query over a fresh UDP
-// socket and waits for a response with a matching ID.
+// socket and waits for a response with a matching ID that echoes the
+// question. Datagrams that fail either check are discarded and the read
+// continues until the deadline — an off-path spoofer must land both the
+// 16-bit ID and the exact question before the genuine reply arrives.
 func (u *UDP) Exchange(ctx context.Context, server Addr, query *dnswire.Message) (*dnswire.Message, error) {
 	timeout := u.Timeout
 	if timeout == 0 {
@@ -63,6 +67,9 @@ func (u *UDP) Exchange(ctx context.Context, server Addr, query *dnswire.Message)
 		}
 		if resp.ID != query.ID {
 			continue // stale response to an earlier query
+		}
+		if !dnswire.EchoesQuestion(query, resp) {
+			continue // ID collision or off-path spoof; keep waiting
 		}
 		return resp, nil
 	}

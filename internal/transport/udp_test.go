@@ -103,6 +103,32 @@ func TestUDPIgnoresMismatchedID(t *testing.T) {
 	}
 }
 
+func TestUDPIgnoresMismatchedQuestion(t *testing.T) {
+	// Handler echoes the right ID but a different question — an off-path
+	// spoof that guessed the ID. The client must discard it and time out.
+	srv := &UDPServer{Handler: HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		r := q.Reply()
+		r.Question = []dnswire.Question{{
+			Name:  dnswire.MustName("evil.example."),
+			Type:  dnswire.TypeA,
+			Class: dnswire.ClassIN,
+		}}
+		return r
+	})}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	u := &UDP{Timeout: 150 * time.Millisecond}
+	q := dnswire.NewQuery(9, dnswire.MustName("x."), dnswire.TypeA)
+	_, err = u.Exchange(context.Background(), Addr(addr), q)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout (spoofed question accepted?)", err)
+	}
+}
+
 func TestPipeTransport(t *testing.T) {
 	p := &Pipe{Handlers: map[Addr]Handler{"a": echoHandler()}}
 	q := dnswire.NewQuery(1, dnswire.MustName("x."), dnswire.TypeA)
