@@ -20,7 +20,8 @@ check: build vet race
 bench:
 	$(GO) test -bench=. -benchtime=1x .
 
-# fuzz is the CI smoke pass over the wire-format parsers.
+# fuzz is the CI smoke pass over the wire-format and persist-format parsers.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnpack -fuzztime=30s ./internal/dnswire
 	$(GO) test -run='^$$' -fuzz=FuzzCanonicalName -fuzztime=30s ./internal/dnswire
+	$(GO) test -run='^$$' -fuzz=FuzzParseStore -fuzztime=30s ./internal/persist

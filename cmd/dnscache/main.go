@@ -19,8 +19,10 @@ import (
 	"syscall"
 	"time"
 
+	"resilientdns/internal/cache"
 	"resilientdns/internal/core"
 	"resilientdns/internal/dnswire"
+	"resilientdns/internal/persist"
 	"resilientdns/internal/transport"
 )
 
@@ -49,6 +51,9 @@ func run() error {
 	quarantine := flag.Duration("quarantine", 5*time.Second, "base quarantine after an upstream failure, doubling per consecutive failure (negative = off)")
 	retryBudget := flag.Int("retry-budget", 16, "max upstream attempts one resolution may spend across all failovers (0 = unlimited)")
 	noSelection := flag.Bool("no-selection", false, "disable RTT-based upstream selection, quarantine, and retry budget (blind round-robin, for A/B runs)")
+	persistDir := flag.String("persist-dir", "", "directory for crash-safe cache persistence: snapshot + journal, replayed on startup (empty = off)")
+	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "interval between full cache snapshots when -persist-dir is set (0 = journal only)")
+	sweep := flag.Duration("sweep", time.Minute, "interval between background sweeps of expired cache entries (0 = lazy expiry only)")
 	flag.Parse()
 
 	if *roots == "" {
@@ -64,6 +69,19 @@ func run() error {
 	policy, err := core.ParsePolicy(*renewal, *credit)
 	if err != nil {
 		return err
+	}
+
+	// Open the persistence store before building the server so its change
+	// hook observes every cache mutation from the first query on. Deltas
+	// only buffer in memory until Recover writes the first checkpoint.
+	var store *persist.Store
+	var onChange cache.ChangeFunc
+	if *persistDir != "" {
+		store, err = persist.Open(persist.Options{Dir: *persistDir})
+		if err != nil {
+			return err
+		}
+		onChange = store.Observe
 	}
 
 	cs, err := core.NewCachingServer(core.Config{
@@ -91,6 +109,7 @@ func run() error {
 			Quarantine:  *quarantine,
 			RetryBudget: *retryBudget,
 		},
+		OnCacheChange: onChange,
 	})
 	if err != nil {
 		return err
@@ -98,8 +117,38 @@ func run() error {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+
+	if store != nil {
+		rep, err := store.Recover(cs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		go store.Run(ctx, cs, *snapshotEvery, func(err error) {
+			fmt.Fprintln(os.Stderr, "dnscache:", err)
+		})
+	}
+
 	if policy != nil {
 		go cs.RunRenewalLoop(ctx)
+	}
+
+	if *sweep > 0 {
+		// Background sweep: lazy expiry only reclaims entries that get
+		// looked up again, so an attack-inflated cache would otherwise hold
+		// dead records (and their journal weight) indefinitely.
+		go func() {
+			t := time.NewTicker(*sweep)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					cs.Cache().SweepExpired()
+				}
+			}
+		}()
 	}
 
 	udp := &transport.UDPServer{Handler: cs, MaxInflight: *maxInflight}
@@ -143,6 +192,29 @@ func run() error {
 	cancel()
 	udp.Close()
 	tcp.Close()
+
+	// Final snapshot after the drain, so the checkpoint includes the last
+	// in-flight answers and the next start replays a complete cache.
+	if store != nil {
+		if err := store.Checkpoint(cs); err != nil {
+			fmt.Fprintln(os.Stderr, "dnscache:", err)
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dnscache:", err)
+		}
+	}
+
+	st := cs.Stats()
+	cst := cs.CacheStats()
+	fmt.Printf("final: in=%d out=%d coalesced=%d failed=%d renewals=%d retries=%d cached: zones=%d records=%d stale=%d\n",
+		st.QueriesIn, st.QueriesOut, st.Coalesced, st.Failed, st.Renewals, st.Retries,
+		cst.Zones, cst.Records, cst.StaleEntries)
+	if store != nil {
+		ps := store.Counters()
+		fmt.Printf("persist: snapshots=%d (%d records, %d bytes) journal=%d records (%d bytes) recoveries=%d replayed=%d dropped=%d\n",
+			ps.Snapshots, ps.SnapshotRecords, ps.SnapshotBytes,
+			ps.JournalRecords, ps.JournalBytes, ps.Recoveries, ps.ReplayedRecords, ps.DroppedRecords)
+	}
 	fmt.Println("drained")
 	return nil
 }

@@ -18,7 +18,9 @@
 // — so callers may keep returned pointers without further locking.
 //
 // TTL renewal policies (LRU/LFU and their adaptive variants) are layered
-// on top by package core, which owns the renewal scheduler.
+// on top by package core, which owns the renewal scheduler. Crash-safe
+// persistence is layered on by package persist, through the Config.OnChange
+// mutation hook and the Range/Restore export–import pair.
 package cache
 
 import (
@@ -80,6 +82,30 @@ type Entry struct {
 // back into the cache.
 type GapFunc func(key Key, gap time.Duration, origTTL time.Duration)
 
+// ChangeOp labels a cache mutation observed through Config.OnChange.
+type ChangeOp uint8
+
+// Change operations, in the order the persistence journal replays them.
+const (
+	// ChangePut: a new or replacing entry was installed.
+	ChangePut ChangeOp = iota + 1
+	// ChangeExtend: an existing entry's expiry was reset (TTL refresh or
+	// renewal Extend); the data is unchanged.
+	ChangeExtend
+	// ChangeEvict: an entry was removed explicitly (Evict) or by capacity
+	// pressure. Lazy TTL expiry is NOT reported: it is derivable from the
+	// entry's own Expires, so replaying a journal re-drops expired entries
+	// without needing expiry records.
+	ChangeEvict
+)
+
+// ChangeFunc observes committed cache mutations; the persistence journal
+// hangs off this hook. e is the post-mutation entry (nil for ChangeEvict).
+// Like GapFunc it runs with a shard lock held and may be invoked
+// concurrently from different shards, so it must be fast and must not call
+// back into the cache.
+type ChangeFunc func(op ChangeOp, key Key, e *Entry)
+
 // Config parameterises a Cache.
 type Config struct {
 	// Clock supplies time; defaults to the wall clock.
@@ -93,6 +119,10 @@ type Config struct {
 	RefreshInfraTTL bool
 	// OnGap, when set, observes expiry-to-next-use gaps.
 	OnGap GapFunc
+	// OnChange, when set, observes committed mutations (Put/Extend/Evict)
+	// for persistence journaling. Restore does not fire it: recovered
+	// entries are already covered by the snapshot being replayed.
+	OnChange ChangeFunc
 	// MaxEntries bounds the number of live RRset entries (0 = unbounded).
 	// When full, the soonest-to-expire non-infrastructure entries are
 	// evicted first; infrastructure records — the paper's prized asset —
@@ -280,6 +310,7 @@ func (c *Cache) Put(rrs []dnswire.RR, cred Credibility, infra bool) *Entry {
 				ne := *e
 				ne.Expires = now.Add(e.OrigTTL)
 				sh.entries[key] = &ne
+				c.noteChangeLocked(ChangeExtend, key, &ne)
 				sh.mu.Unlock()
 				return &ne
 			default:
@@ -305,9 +336,19 @@ func (c *Cache) Put(rrs []dnswire.RR, cred Credibility, infra bool) *Entry {
 	}
 	sh.entries[key] = e
 	delete(sh.tombstones, key)
+	c.noteChangeLocked(ChangePut, key, e)
 	sh.mu.Unlock()
 	c.enforceCapacity(now)
 	return e
+}
+
+// noteChangeLocked reports a committed mutation to the OnChange hook. The
+// mutated shard's lock must be held so journal order matches apply order
+// per key.
+func (c *Cache) noteChangeLocked(op ChangeOp, key Key, e *Entry) {
+	if c.cfg.OnChange != nil {
+		c.cfg.OnChange(op, key, e)
+	}
 }
 
 // enforceCapacity evicts entries until the cache fits MaxEntries: expired
@@ -363,6 +404,7 @@ func (c *Cache) evictSoonest(infraPass bool) bool {
 	_, still := victimShard.entries[victim]
 	if still {
 		delete(victimShard.entries, victim)
+		c.noteChangeLocked(ChangeEvict, victim, nil)
 	}
 	victimShard.mu.Unlock()
 	if still {
@@ -466,6 +508,7 @@ func (c *Cache) Extend(name dnswire.Name, t dnswire.Type) bool {
 	ne := *e
 	ne.Expires = c.cfg.Clock.Now().Add(e.OrigTTL)
 	sh.entries[key] = &ne
+	c.noteChangeLocked(ChangeExtend, key, &ne)
 	return true
 }
 
@@ -475,7 +518,10 @@ func (c *Cache) Evict(name dnswire.Name, t dnswire.Type) {
 	key := Key{Name: name, Type: t}
 	sh := c.shardFor(key)
 	sh.mu.Lock()
-	delete(sh.entries, key)
+	if _, ok := sh.entries[key]; ok {
+		delete(sh.entries, key)
+		c.noteChangeLocked(ChangeEvict, key, nil)
+	}
 	sh.mu.Unlock()
 }
 
@@ -610,6 +656,86 @@ type ExpiryInfo struct {
 	Zone    dnswire.Name
 	Expires time.Time
 	OrigTTL time.Duration
+}
+
+// Range calls fn for every cached entry — live and (under KeepStale)
+// expired-but-retained alike — until fn returns false. The iteration order
+// is unspecified. Entries are immutable, so fn may retain the pointers; it
+// must not call back into the cache (each shard's read lock is held while
+// its entries are visited). The persistence snapshot writer is the primary
+// consumer.
+func (c *Cache) Range(fn func(e *Entry) bool) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			if !fn(e) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// RestoreEntry is one recovered record offered to Restore.
+type RestoreEntry struct {
+	RRs      []dnswire.RR
+	Cred     Credibility
+	Infra    bool
+	OrigTTL  time.Duration
+	Expires  time.Time
+	StoredAt time.Time
+}
+
+// Restore installs a recovered entry, re-applying this cache's own TTL
+// policy: OrigTTL is re-clamped against MaxTTL and the remaining lifetime
+// may not exceed MaxTTL from now (a restart must never resurrect records
+// for longer than a fresh Put could cache them). Entries already expired
+// are kept only when stale retention is on and they died within the
+// KeepStale window; otherwise they are dropped. Restore overwrites any
+// existing entry (journal replay applies records in mutation order) and
+// does not fire OnChange or leave tombstones — recovered state is already
+// covered by the snapshot being replayed, and expiry-gap measurement
+// restarts cleanly after recovery. Reports whether the entry was kept.
+func (c *Cache) Restore(re RestoreEntry) bool {
+	if len(re.RRs) == 0 {
+		return false
+	}
+	key := Key{Name: re.RRs[0].Name, Type: re.RRs[0].Type()}
+	for _, rr := range re.RRs {
+		if rr.Name != key.Name || rr.Type() != key.Type {
+			return false // corrupt record: mixed owners or types
+		}
+	}
+	ttl := c.clampTTL(re.OrigTTL)
+	if ttl <= 0 {
+		return false
+	}
+	now := c.cfg.Clock.Now()
+	expires := re.Expires
+	if c.cfg.MaxTTL > 0 && expires.After(now.Add(c.cfg.MaxTTL)) {
+		expires = now.Add(c.cfg.MaxTTL)
+	}
+	if !expires.After(now) {
+		if c.cfg.KeepStale <= 0 || now.Sub(expires) > c.cfg.KeepStale {
+			return false // dead on arrival and not retainable as stale
+		}
+	}
+	e := &Entry{
+		Key:      key,
+		RRs:      append([]dnswire.RR(nil), re.RRs...),
+		Cred:     re.Cred,
+		Infra:    re.Infra,
+		OrigTTL:  ttl,
+		Expires:  expires,
+		StoredAt: re.StoredAt,
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	sh.entries[key] = e
+	sh.mu.Unlock()
+	return true
 }
 
 // RemainingTTL returns the seconds left for an entry at time now, for

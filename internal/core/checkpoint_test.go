@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"resilientdns/internal/cache"
+	"resilientdns/internal/dnswire"
+)
+
+func TestRenewalCreditsRoundTrip(t *testing.T) {
+	f := newFixture(t, Config{RefreshTTL: true, Renewal: ALFU{C: 5, MaxDays: DefaultLFUMax(5)}})
+	f.resolveA(t, "www.ucla.edu.")
+	f.resolveA(t, "www.ucla.edu.")
+	credits := f.cs.RenewalCredits()
+	if len(credits) == 0 {
+		t.Fatal("no credit accrued after repeated queries")
+	}
+
+	g := newFixture(t, Config{RefreshTTL: true, Renewal: ALFU{C: 5, MaxDays: DefaultLFUMax(5)}})
+	g.cs.RestoreRenewalCredits(credits)
+	got := g.cs.RenewalCredits()
+	for z, c := range credits {
+		if got[z] != c {
+			t.Errorf("credit[%s] = %v, want %v", z, got[z], c)
+		}
+	}
+	// Non-positive and empty-zone credit is dropped.
+	g.cs.RestoreRenewalCredits(map[dnswire.Name]float64{"": 4, "junk.edu.": 0, "neg.edu.": -2})
+	got = g.cs.RenewalCredits()
+	for _, z := range []dnswire.Name{"", "junk.edu.", "neg.edu."} {
+		if _, ok := got[z]; ok {
+			t.Errorf("invalid credit for %q was stored", z)
+		}
+	}
+}
+
+func TestUpstreamStatesRoundTrip(t *testing.T) {
+	u := newUpstream(UpstreamConfig{})
+	now := epoch
+	u.observeSuccess("10.0.0.1:53", 20*time.Millisecond)
+	u.observeSuccess("10.0.0.1:53", 30*time.Millisecond)
+	u.observeFailure("10.0.0.2:53", now)
+	u.observeFailure("10.0.0.2:53", now)
+
+	states := u.export()
+	if len(states) != 2 {
+		t.Fatalf("exported %d states, want 2", len(states))
+	}
+	if states[0].Addr != "10.0.0.1:53" || states[1].Addr != "10.0.0.2:53" {
+		t.Fatalf("export not sorted by address: %+v", states)
+	}
+
+	u2 := newUpstream(UpstreamConfig{})
+	u2.restore(states)
+	again := u2.export()
+	if len(again) != len(states) {
+		t.Fatalf("restored %d states, want %d", len(again), len(states))
+	}
+	for i := range states {
+		if again[i] != states[i] {
+			t.Errorf("state[%d] = %+v, want %+v", i, again[i], states[i])
+		}
+	}
+	// Behavioural check: the restored failure state still quarantines.
+	if !u2.quarantined("10.0.0.2:53", now) {
+		t.Error("restored server lost its quarantine")
+	}
+}
+
+func TestRestoreUpstreamStatesSkipsInvalid(t *testing.T) {
+	u := newUpstream(UpstreamConfig{})
+	u.restore([]UpstreamServerState{
+		{Addr: "", Samples: 3},
+		{Addr: "10.0.0.9:53", Fails: -5},
+	})
+	states := u.export()
+	if len(states) != 1 {
+		t.Fatalf("restored %d states, want 1", len(states))
+	}
+	if states[0].Fails != 0 {
+		t.Errorf("negative fails not clamped: %+v", states[0])
+	}
+}
+
+func TestRearmRenewalsSchedulesRestoredIRRs(t *testing.T) {
+	f := newFixture(t, Config{RefreshTTL: true, Renewal: ALFU{C: 5, MaxDays: DefaultLFUMax(5)}})
+	f.resolveA(t, "www.ucla.edu.")
+
+	// A second server receives the cache contents via Restore (the
+	// persistence path), which bypasses Put and thus renewal scheduling.
+	g := newFixture(t, Config{RefreshTTL: true, Renewal: ALFU{C: 5, MaxDays: DefaultLFUMax(5)}})
+	f.cs.Cache().Range(func(e *cache.Entry) bool {
+		g.cs.Cache().Restore(cache.RestoreEntry{
+			RRs: e.RRs, Cred: e.Cred, Infra: e.Infra,
+			OrigTTL: e.OrigTTL, Expires: e.Expires, StoredAt: e.StoredAt,
+		})
+		return true
+	})
+	if _, ok := g.cs.NextRenewalDue(); ok {
+		t.Fatal("renewal scheduled before RearmRenewals — test premise broken")
+	}
+	g.cs.RearmRenewals()
+	if _, ok := g.cs.NextRenewalDue(); !ok {
+		t.Error("RearmRenewals scheduled nothing for restored IRRs")
+	}
+
+	// Without a renewal policy it is a no-op.
+	h := newFixture(t, Config{})
+	h.cs.RearmRenewals()
+	if _, ok := h.cs.NextRenewalDue(); ok {
+		t.Error("RearmRenewals scheduled work with renewal off")
+	}
+}

@@ -67,6 +67,11 @@ type Config struct {
 	// OnGap observes IRR expiry-to-reuse gaps (Fig. 3).
 	OnGap cache.GapFunc
 
+	// OnCacheChange observes committed cache mutations (see
+	// cache.Config.OnChange); the persistence journal hangs off it. Nil in
+	// the simulator, which never persists.
+	OnCacheChange cache.ChangeFunc
+
 	// ValidateDNSSEC verifies answers from signed zones against the
 	// DS→DNSKEY chain rooted at TrustAnchors (§6: DNSSEC's DS and DNSKEY
 	// sets are infrastructure records and flow through the same cache).
@@ -290,6 +295,7 @@ func NewCachingServer(cfg Config) (*CachingServer, error) {
 			MaxTTL:          cfg.MaxTTL,
 			RefreshInfraTTL: cfg.RefreshTTL,
 			OnGap:           cfg.OnGap,
+			OnChange:        cfg.OnCacheChange,
 			KeepStale:       cfg.ServeStale,
 		}),
 		credits:    make(map[dnswire.Name]float64),

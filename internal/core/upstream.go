@@ -254,6 +254,47 @@ func (u *upstream) observeFailure(addr transport.Addr, now time.Time) {
 	st.quarantineUntil = now.Add(d)
 }
 
+// export returns a copy of every server's selection state, sorted by
+// address so checkpoints are deterministic.
+func (u *upstream) export() []UpstreamServerState {
+	u.mu.Lock()
+	out := make([]UpstreamServerState, 0, len(u.servers))
+	for addr, st := range u.servers {
+		out = append(out, UpstreamServerState{
+			Addr:            addr,
+			SRTT:            st.rtt.SRTT(),
+			RTTVar:          st.rtt.RTTVar(),
+			Samples:         st.rtt.Samples(),
+			Fails:           st.fails,
+			QuarantineUntil: st.quarantineUntil,
+		})
+	}
+	u.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// restore rebuilds per-server state from a checkpoint, overwriting any
+// state already accumulated for the same addresses.
+func (u *upstream) restore(states []UpstreamServerState) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for _, s := range states {
+		if s.Addr == "" {
+			continue
+		}
+		fails := s.Fails
+		if fails < 0 {
+			fails = 0
+		}
+		u.servers[s.Addr] = &serverState{
+			rtt:             metrics.RestoreRTTEstimator(s.SRTT, s.RTTVar, s.Samples),
+			fails:           fails,
+			quarantineUntil: s.QuarantineUntil,
+		}
+	}
+}
+
 // quarantined reports whether addr is sitting out at time now (tests and
 // diagnostics).
 func (u *upstream) quarantined(addr transport.Addr, now time.Time) bool {

@@ -44,8 +44,51 @@ func TestRegistryCoversAllIDs(t *testing.T) {
 			t.Errorf("experiment %q not in registry", id)
 		}
 	}
-	if len(reg) != len(ExperimentIDs()) {
-		t.Errorf("registry has %d entries, ids list %d", len(reg), len(ExperimentIDs()))
+	// Experiments runnable by id but kept out of `-exp all` (and thus out
+	// of the frozen results_full.txt). Anything else in the registry must
+	// be listed in ExperimentIDs.
+	unlisted := map[string]bool{"restart": true}
+	listed := make(map[string]bool, len(ExperimentIDs()))
+	for _, id := range ExperimentIDs() {
+		listed[id] = true
+	}
+	for id := range reg {
+		if !listed[id] && !unlisted[id] {
+			t.Errorf("registry entry %q is neither listed nor documented as unlisted", id)
+		}
+	}
+	if len(reg) != len(ExperimentIDs())+len(unlisted) {
+		t.Errorf("registry has %d entries, want %d listed + %d unlisted",
+			len(reg), len(ExperimentIDs()), len(unlisted))
+	}
+}
+
+func TestRestartExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart experiment replays three full traces")
+	}
+	s := getSuite(t)
+	tbl, err := s.Restart()
+	if err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("restart rows = %d, want 3", len(tbl.Rows))
+	}
+	coldDefended := parsePct(t, tbl.Rows[1][2]) // post-restart, defended cold
+	warm := parsePct(t, tbl.Rows[2][2])         // post-restart, defended warm
+	if warm >= coldDefended {
+		t.Errorf("warm restart (%.3f) not better than cold restart (%.3f)", warm, coldDefended)
+	}
+	if warm > 0.10 {
+		t.Errorf("warm restart failure rate %.3f, want near the defended baseline", warm)
+	}
+	var replayed float64
+	if _, err := sscanFloat(tbl.Rows[2][3], &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if replayed == 0 {
+		t.Error("warm restart replayed no entries")
 	}
 }
 

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"resilientdns/internal/core"
+	"resilientdns/internal/persist"
+	"resilientdns/internal/sim"
+	"resilientdns/internal/simclock"
+	"resilientdns/internal/simnet"
+	"resilientdns/internal/workload"
+)
+
+// Restart is the kill-and-restart-mid-blackout experiment: the caching
+// server is killed six hours into a 24-hour root+TLD blackout and
+// immediately restarted. Three variants replay the same trace:
+//
+//   - vanilla DNS, cold restart — the baseline twice over;
+//   - the combined scheme (refresh + A-LFU renewal), cold restart — the
+//     defenses are configured but the crash empties the cache, so the
+//     remaining attack window looks like vanilla;
+//   - the combined scheme restarted warm from a persist snapshot+journal —
+//     the restored cache (plus renewal credit and upstream state) holds
+//     the defended failure rate through the rest of the blackout.
+//
+// The experiment runs its own replay loop so the shared simulator stays
+// untouched; it is registered as "restart" but deliberately left out of
+// ExperimentIDs(), keeping `dnssim -exp all` output byte-identical.
+func (s *Suite) Restart() (*Table, error) {
+	const attackDur = 24 * time.Hour
+	killAt := s.cfg.Epoch.Add(6*24*time.Hour + 6*time.Hour) // six hours into the blackout
+	tr := s.traces[0]
+	vanilla := sim.Vanilla()
+	combined := sim.RefreshRenew(core.ALFU{C: 5, MaxDays: core.DefaultLFUMax(5)})
+
+	type variant struct {
+		label  string
+		scheme sim.Scheme
+		warm   bool
+	}
+	variants := []variant{
+		{"DNS, cold restart", vanilla, false},
+		{"Refresh+A-LFU, cold restart", combined, false},
+		{"Refresh+A-LFU, warm restart (persist)", combined, true},
+	}
+
+	t := &Table{
+		ID:    "restart",
+		Title: fmt.Sprintf("Failed queries when the caching server is killed %v into a %v root+TLD blackout (%s)", 6*time.Hour, attackDur, tr.Label),
+		Columns: []string{"scheme", "attack fail % before kill", "attack fail % after restart", "replayed entries"},
+		Notes: []string{
+			"warm restart should hold the defended (near-zero) failure rate after the kill",
+			"cold restart of the defended scheme should revert toward the vanilla rate",
+		},
+	}
+	for _, v := range variants {
+		out, err := s.runRestart(tr, v.scheme, attackDur, killAt, v.warm)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			v.label,
+			pct(ratio(out.preFail, out.preQueries)),
+			pct(ratio(out.postFail, out.postQueries)),
+			fmt.Sprintf("%d", out.replayed),
+		})
+	}
+	return t, nil
+}
+
+// restartOutcome splits the attack-window stub-resolver counts at the kill
+// instant.
+type restartOutcome struct {
+	preQueries, preFail   uint64
+	postQueries, postFail uint64
+	replayed              int
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// runRestart replays tr against one caching server until killAt, replaces
+// the server (warm restarts recover it from a persist store written on the
+// virtual clock), and finishes the trace on the replacement.
+func (s *Suite) runRestart(tr workload.Trace, scheme sim.Scheme, attackDur time.Duration, killAt time.Time, warm bool) (restartOutcome, error) {
+	var out restartOutcome
+	clk := simclock.NewVirtual(tr.Start)
+	net := simnet.New(clk, s.cfg.Seed)
+	net.RTT = 0
+	net.Timeout = 0
+	s.baseTree.InstallOpt(net, true)
+	sched := s.attackFor(s.baseTree, attackDur)
+	net.SetAttack(sched)
+
+	var store *persist.Store
+	var dir string
+	if warm {
+		var err error
+		dir, err = os.MkdirTemp("", "restart-exp-")
+		if err != nil {
+			return out, fmt.Errorf("experiments: restart: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		store, err = persist.Open(persist.Options{Dir: dir, Clock: clk})
+		if err != nil {
+			return out, fmt.Errorf("experiments: restart: %w", err)
+		}
+	}
+
+	newServer := func() (*core.CachingServer, error) {
+		cfg := core.Config{
+			Transport:   net,
+			Clock:       clk,
+			RootHints:   s.baseTree.RootHints,
+			RefreshTTL:  scheme.RefreshTTL,
+			Renewal:     scheme.Renewal,
+			MaxTTL:      scheme.MaxTTL,
+			NegativeTTL: scheme.NegativeTTL,
+			ServeStale:  scheme.ServeStale,
+		}
+		if store != nil {
+			cfg.OnCacheChange = store.Observe
+		}
+		return core.NewCachingServer(cfg)
+	}
+	cs, err := newServer()
+	if err != nil {
+		return out, fmt.Errorf("experiments: restart: %w", err)
+	}
+
+	ctx := context.Background()
+	killed := false
+	// checkpointAt stands in for the periodic snapshot schedule: the last
+	// full snapshot before the crash lands at the blackout's onset, so the
+	// journal alone carries the six attack hours before the kill.
+	checkpointAt := s.cfg.Epoch.Add(6 * 24 * time.Hour)
+	checkpointed := false
+
+	for _, q := range tr.Queries {
+		// Renewals due before this query fire at their exact instants.
+		for {
+			due, ok := cs.NextRenewalDue()
+			if !ok || due.After(q.At) {
+				break
+			}
+			clk.AdvanceTo(due)
+			cs.ProcessDueRenewals(ctx, clk.Now())
+		}
+		if store != nil && !checkpointed && !q.At.Before(checkpointAt) {
+			clk.AdvanceTo(checkpointAt)
+			if err := store.Checkpoint(cs); err != nil {
+				return out, fmt.Errorf("experiments: restart: %w", err)
+			}
+			checkpointed = true
+		}
+		if !killed && !q.At.Before(killAt) {
+			clk.AdvanceTo(killAt)
+			killed = true
+			// The crash: the old process vanishes mid-journal. Deltas the
+			// flush ticker had already written survive; nothing is
+			// checkpointed cleanly.
+			if store != nil {
+				if err := store.FlushJournal(); err != nil {
+					return out, fmt.Errorf("experiments: restart: %w", err)
+				}
+				if err := store.Close(); err != nil {
+					return out, fmt.Errorf("experiments: restart: %w", err)
+				}
+				store, err = persist.Open(persist.Options{Dir: dir, Clock: clk})
+				if err != nil {
+					return out, fmt.Errorf("experiments: restart: %w", err)
+				}
+			}
+			cs, err = newServer()
+			if err != nil {
+				return out, fmt.Errorf("experiments: restart: %w", err)
+			}
+			if store != nil {
+				rep, err := store.Recover(cs)
+				if err != nil {
+					return out, fmt.Errorf("experiments: restart: %w", err)
+				}
+				out.replayed = rep.Replayed
+			}
+		}
+		clk.AdvanceTo(q.At)
+		_, err := cs.Resolve(ctx, q.Name, q.Type)
+		if sched.Active(q.At) {
+			if killed {
+				out.postQueries++
+				if err != nil {
+					out.postFail++
+				}
+			} else {
+				out.preQueries++
+				if err != nil {
+					out.preFail++
+				}
+			}
+		}
+	}
+	if store != nil {
+		store.Close()
+	}
+	return out, nil
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -168,6 +169,23 @@ func (r *RTTEstimator) RTO() time.Duration {
 	return r.srtt + 4*r.rttvar
 }
 
+// RestoreRTTEstimator rebuilds an estimator from persisted state, so a
+// restarted server's upstream selection resumes with the RTT history it
+// had accumulated. Negative durations clamp to zero; samples == 0 yields
+// the zero (no-history) estimator regardless of the durations.
+func RestoreRTTEstimator(srtt, rttvar time.Duration, samples uint64) RTTEstimator {
+	if samples == 0 {
+		return RTTEstimator{}
+	}
+	if srtt < 0 {
+		srtt = 0
+	}
+	if rttvar < 0 {
+		rttvar = 0
+	}
+	return RTTEstimator{srtt: srtt, rttvar: rttvar, n: samples}
+}
+
 // Counter is a monotone event counter with a convenience rate helper.
 type Counter struct {
 	n uint64
@@ -262,4 +280,57 @@ func (s *Series) MaxValue() float64 {
 // experiment tables.
 func FormatPercent(frac float64) string {
 	return fmt.Sprintf("%6.2f%%", 100*frac)
+}
+
+// PersistCounters counts the persistence subsystem's activity: snapshots
+// written, journal growth between snapshots, and recovery outcomes. All
+// fields are atomic, so the journal hook can bump them from inside cache
+// shard locks without extra synchronisation. Use Snapshot to read a
+// consistent-enough copy for reporting.
+type PersistCounters struct {
+	// Snapshots counts completed snapshot writes; SnapshotRecords and
+	// SnapshotBytes accumulate their record counts and on-disk sizes.
+	Snapshots       atomic.Uint64
+	SnapshotRecords atomic.Uint64
+	SnapshotBytes   atomic.Uint64
+	// JournalRecords / JournalBytes accumulate appended journal deltas
+	// (across rotations; compaction does not reset them).
+	JournalRecords atomic.Uint64
+	JournalBytes   atomic.Uint64
+	// Recoveries counts startup replays; ReplayedRecords the entries a
+	// recovery restored live (or stale); DroppedRecords the records a
+	// recovery discarded (expired, corrupt, truncated, or superseded).
+	Recoveries      atomic.Uint64
+	ReplayedRecords atomic.Uint64
+	DroppedRecords  atomic.Uint64
+	// RecoveryNanos accumulates wall-clock recovery latency.
+	RecoveryNanos atomic.Uint64
+}
+
+// PersistStats is a plain-value snapshot of PersistCounters.
+type PersistStats struct {
+	Snapshots       uint64
+	SnapshotRecords uint64
+	SnapshotBytes   uint64
+	JournalRecords  uint64
+	JournalBytes    uint64
+	Recoveries      uint64
+	ReplayedRecords uint64
+	DroppedRecords  uint64
+	RecoveryLatency time.Duration
+}
+
+// Snapshot reads every counter into an exported PersistStats value.
+func (p *PersistCounters) Snapshot() PersistStats {
+	return PersistStats{
+		Snapshots:       p.Snapshots.Load(),
+		SnapshotRecords: p.SnapshotRecords.Load(),
+		SnapshotBytes:   p.SnapshotBytes.Load(),
+		JournalRecords:  p.JournalRecords.Load(),
+		JournalBytes:    p.JournalBytes.Load(),
+		Recoveries:      p.Recoveries.Load(),
+		ReplayedRecords: p.ReplayedRecords.Load(),
+		DroppedRecords:  p.DroppedRecords.Load(),
+		RecoveryLatency: time.Duration(p.RecoveryNanos.Load()),
+	}
 }

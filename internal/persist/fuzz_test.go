@@ -1,0 +1,116 @@
+package persist
+
+import (
+	"testing"
+	"time"
+
+	"resilientdns/internal/cache"
+	"resilientdns/internal/dnswire"
+)
+
+// FuzzParseStore drives the whole on-disk decode path — header, frame
+// stream, and every record payload decoder — with arbitrary bytes. The
+// recovery contract is that corrupt input degrades (unusable header,
+// dropped records, torn tail) and never panics: a damaged store must not
+// be able to keep the server from starting.
+func FuzzParseStore(f *testing.F) {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Seed with a well-formed snapshot and journal so mutation explores
+	// near-valid inputs, plus their truncations (torn tails).
+	entry, err := encodeEntry(&cache.Entry{
+		Key: cache.Key{Name: dnswire.MustName("example."), Type: dnswire.TypeNS},
+		RRs: []dnswire.RR{{
+			Name:  dnswire.MustName("example."),
+			Class: dnswire.ClassIN,
+			TTL:   3600,
+			Data:  dnswire.NS{Host: dnswire.MustName("ns1.example.")},
+		}},
+		Cred:     cache.CredAuthority,
+		Infra:    true,
+		OrigTTL:  time.Hour,
+		Expires:  now.Add(time.Hour),
+		StoredAt: now,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	snap := appendHeader(nil, fileHeader{Kind: kindSnapshot, Generation: 3, CreatedAt: now})
+	snap = appendFrame(snap, recEntry, entry)
+	snap = appendFrame(snap, recCredit, encodeCredit(dnswire.MustName("example."), 2.5))
+	snap = appendFrame(snap, recServer, encodeServer(serverRecord{
+		Addr: "10.0.0.1:53", SRTT: 20 * time.Millisecond, RTTVar: 5 * time.Millisecond, Samples: 7,
+	}))
+	journal := appendHeader(nil, fileHeader{Kind: kindJournal, Generation: 3, CreatedAt: now})
+	journal = appendFrame(journal, recEntry, entry)
+	journal = appendFrame(journal, recExtend, encodeExtend(cache.Key{Name: dnswire.MustName("example."), Type: dnswire.TypeNS}, now.Add(2*time.Hour)))
+	journal = appendFrame(journal, recEvict, appendKey(nil, cache.Key{Name: dnswire.MustName("example."), Type: dnswire.TypeNS}))
+
+	f.Add(snap)
+	f.Add(journal)
+	f.Add(snap[:len(snap)-3]) // torn tail
+	f.Add(journal[:headerLen+1])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if d := parseSnapshotBytes(b); d == nil {
+			t.Fatal("parseSnapshotBytes returned nil")
+		}
+		if d := parseJournalBytes(b); d == nil {
+			t.Fatal("parseJournalBytes returned nil")
+		}
+	})
+}
+
+// TestFuzzSeedsRoundTrip pins the seed corpus semantics: the valid seeds
+// must decode fully, and the torn variants must flag the tear.
+func TestFuzzSeedsRoundTrip(t *testing.T) {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	key := cache.Key{Name: dnswire.MustName("example."), Type: dnswire.TypeNS}
+	entry, err := encodeEntry(&cache.Entry{
+		Key: key,
+		RRs: []dnswire.RR{{
+			Name:  dnswire.MustName("example."),
+			Class: dnswire.ClassIN,
+			TTL:   3600,
+			Data:  dnswire.NS{Host: dnswire.MustName("ns1.example.")},
+		}},
+		Cred:     cache.CredAuthority,
+		Infra:    true,
+		OrigTTL:  time.Hour,
+		Expires:  now.Add(time.Hour),
+		StoredAt: now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := appendHeader(nil, fileHeader{Kind: kindSnapshot, Generation: 3, CreatedAt: now})
+	snap = appendFrame(snap, recEntry, entry)
+	snap = appendFrame(snap, recCredit, encodeCredit(dnswire.MustName("example."), 2.5))
+
+	d := parseSnapshotBytes(snap)
+	if d.unusable || d.torn || d.dropped != 0 || len(d.entries) != 1 || d.credits[dnswire.MustName("example.")] != 2.5 {
+		t.Fatalf("valid snapshot decoded as %+v", d)
+	}
+	if d.gen != 3 {
+		t.Errorf("generation = %d, want 3", d.gen)
+	}
+	got := d.entries[0]
+	if got.OrigTTL != time.Hour || !got.Expires.Equal(now.Add(time.Hour)) || !got.Infra || got.Cred != cache.CredAuthority {
+		t.Errorf("entry decoded as %+v", got)
+	}
+
+	torn := parseSnapshotBytes(snap[:len(snap)-3])
+	if !torn.torn {
+		t.Error("truncated snapshot not flagged torn")
+	}
+	if len(torn.entries) != 1 {
+		t.Errorf("torn snapshot kept %d entries, want the 1 before the tear", len(torn.entries))
+	}
+
+	if !parseSnapshotBytes(nil).unusable {
+		t.Error("empty input not flagged unusable")
+	}
+	if !parseJournalBytes(snap).unusable {
+		t.Error("snapshot bytes accepted as a journal")
+	}
+}
