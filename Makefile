@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race check bench fuzz
+.PHONY: build vet lint test race check bench fuzz
 
 build:
 	$(GO) build ./...
@@ -8,14 +8,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the dnslint analyzer suite (internal/analysis/...) over the
+# repo via the vet -vettool protocol. Zero unannotated findings is the
+# bar; suppress with `//dnslint:ignore <analyzer> <reason>`.
+lint:
+	$(GO) build -o bin/dnslint ./cmd/dnslint
+	$(GO) vet -vettool=$(abspath bin/dnslint) ./...
+
 test:
 	$(GO) test ./...
 
-race:
-	$(GO) test -race ./...
-
-# check is what CI runs: the race detector gates every PR.
-check: build vet race
+# check is what CI runs: the race detector and dnslint gate every PR.
+check: build vet lint race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .

@@ -1,0 +1,31 @@
+// Command dnslint is the repo's custom vet tool: five analyzers that
+// enforce the resilience invariants the ordinary toolchain cannot see.
+// It speaks the unitchecker protocol, so it runs under the go command:
+//
+//	go build -o bin/dnslint ./cmd/dnslint
+//	go vet -vettool=$(pwd)/bin/dnslint ./...
+//
+// or via `make lint`. Findings are suppressed case-by-case with
+// `//dnslint:ignore <analyzer> <reason>` (reason mandatory); see
+// DESIGN.md §9 for the invariant behind each analyzer.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"resilientdns/internal/analysis/lockexchange"
+	"resilientdns/internal/analysis/maporder"
+	"resilientdns/internal/analysis/wallclock"
+	"resilientdns/internal/analysis/weakrand"
+	"resilientdns/internal/analysis/wireerr"
+)
+
+func main() {
+	unitchecker.Main(
+		wallclock.Analyzer,
+		lockexchange.Analyzer,
+		weakrand.Analyzer,
+		wireerr.Analyzer,
+		maporder.Analyzer,
+	)
+}

@@ -8,9 +8,10 @@ package main
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"time"
 
@@ -45,7 +46,11 @@ func run() error {
 		}
 	}
 
-	q := dnswire.NewQuery(uint16(rand.Intn(1<<16)), name, qtype)
+	var qidBytes [2]byte
+	if _, err := crand.Read(qidBytes[:]); err != nil {
+		return fmt.Errorf("drawing query ID: %w", err)
+	}
+	q := dnswire.NewQuery(binary.LittleEndian.Uint16(qidBytes[:]), name, qtype)
 	q.Flags.RecursionDesired = *rd
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()

@@ -1,0 +1,137 @@
+// Package lintutil holds the shared plumbing for the dnslint analyzers:
+// the //dnslint:ignore escape hatch and package-list matching.
+//
+// Every analyzer in internal/analysis/... supports the same suppression
+// directive:
+//
+//	//dnslint:ignore <analyzer> <reason>
+//
+// placed either at the end of the offending line or on the line
+// immediately above it. The reason is mandatory: a bare
+// "//dnslint:ignore wallclock" does not suppress anything, so every
+// exception carries its justification in the source where reviewers can
+// audit it (see DESIGN.md §9).
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// IgnorePrefix is the suppression directive marker.
+const IgnorePrefix = "//dnslint:ignore"
+
+// Suppressor answers whether a position is covered by a
+// //dnslint:ignore directive for a given analyzer. Build one per pass
+// with NewSuppressor.
+type Suppressor struct {
+	// byLine maps file base name + line to the analyzers ignored there.
+	lines map[lineKey][]string
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// NewSuppressor scans every comment in the pass's files and indexes the
+// //dnslint:ignore directives it finds. A directive suppresses findings
+// on its own line and on the line directly below it (so it can trail
+// the offending statement or sit on its own line above).
+func NewSuppressor(pass *analysis.Pass) *Suppressor {
+	s := &Suppressor{lines: make(map[lineKey][]string)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				s.lines[lineKey{pos.Filename, pos.Line}] = append(s.lines[lineKey{pos.Filename, pos.Line}], name)
+				s.lines[lineKey{pos.Filename, pos.Line + 1}] = append(s.lines[lineKey{pos.Filename, pos.Line + 1}], name)
+			}
+		}
+	}
+	return s
+}
+
+// parseIgnore extracts the analyzer name from a well-formed directive.
+// A directive without a reason is malformed and suppresses nothing.
+func parseIgnore(text string) (analyzer string, ok bool) {
+	if !strings.HasPrefix(text, IgnorePrefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, IgnorePrefix)
+	fields := strings.Fields(rest)
+	// fields[0] is the analyzer name; at least one more word of reason
+	// is required for the directive to count.
+	if len(fields) < 2 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// Ignored reports whether a finding by the named analyzer at pos is
+// suppressed by a directive.
+func (s *Suppressor) Ignored(pass *analysis.Pass, pos token.Pos, analyzer string) bool {
+	p := pass.Fset.Position(pos)
+	for _, name := range s.lines[lineKey{p.Filename, p.Line}] {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Report emits a diagnostic unless it is suppressed. It is the single
+// reporting entry point for all dnslint analyzers, so the escape hatch
+// behaves identically everywhere.
+func (s *Suppressor) Report(pass *analysis.Pass, analyzer string, pos token.Pos, format string, args ...any) {
+	if s.Ignored(pass, pos, analyzer) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// InTestFile reports whether pos is inside a _test.go file. The dnslint
+// rules police production code; tests may sleep, discard errors, and
+// use deterministic randomness freely.
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgMatches reports whether the package path is covered by the
+// comma-separated pattern list. A pattern matches its exact path, and a
+// pattern ending in "/..." matches the prefix subtree.
+func PkgMatches(path, patterns string) bool {
+	for _, pat := range strings.Split(patterns, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if path == sub || strings.HasPrefix(path, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if path == pat {
+			return true
+		}
+	}
+	return false
+}
+
+// FileOf returns the *ast.File in the pass containing pos, or nil.
+func FileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

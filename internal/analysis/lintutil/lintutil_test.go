@@ -1,0 +1,45 @@
+package lintutil
+
+import "testing"
+
+func TestPkgMatches(t *testing.T) {
+	cases := []struct {
+		path, patterns string
+		want           bool
+	}{
+		{"resilientdns/internal/sim", "resilientdns/internal/sim", true},
+		{"resilientdns/internal/simnet", "resilientdns/internal/sim", false},
+		{"resilientdns/internal/sim", "a,resilientdns/internal/sim,b", true},
+		{"resilientdns/internal/sim", "", false},
+		{"resilientdns/internal/sim/sub", "resilientdns/internal/sim", false},
+		{"resilientdns/internal/sim/sub", "resilientdns/internal/sim/...", true},
+		{"resilientdns/internal/sim", "resilientdns/internal/sim/...", true},
+		{"resilientdns/internal/simnet", "resilientdns/internal/sim/...", false},
+		{"x", " x , y ", true},
+	}
+	for _, c := range cases {
+		if got := PkgMatches(c.path, c.patterns); got != c.want {
+			t.Errorf("PkgMatches(%q, %q) = %v, want %v", c.path, c.patterns, got, c.want)
+		}
+	}
+}
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//dnslint:ignore wallclock production clock impl", "wallclock", true},
+		{"//dnslint:ignore wallclock", "", false},
+		{"//dnslint:ignore", "", false},
+		{"// dnslint:ignore wallclock reason", "", false},
+		{"// ordinary comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseIgnore(c.text)
+		if name != c.name || ok != c.ok {
+			t.Errorf("parseIgnore(%q) = (%q, %v), want (%q, %v)", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}

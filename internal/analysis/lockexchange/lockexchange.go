@@ -1,0 +1,335 @@
+// Package lockexchange enforces the PR 1 concurrency invariant: no
+// mutex may be held across a call that can block on network I/O —
+// above all Transport.Exchange, the upstream query path.
+//
+// The seed resolver held one global lock across upstream queries, so a
+// single slow authoritative server serialized every client (the exact
+// failure mode the paper's §4 attack model exploits). PR 1 decomposed
+// the lock and established the rule by convention; this analyzer makes
+// it mechanical.
+//
+// Detection is two-stage. First, every function declared in the package
+// is classified "may block" if its body contains a known-blocking call:
+// a method named Exchange taking a context.Context (the
+// transport.Transport shape), net dial/listen/conn I/O, net/http
+// round-trips, or time.Sleep. That property is propagated through
+// same-package static calls to a fixed point. Second, each function
+// body is scanned statement-by-statement tracking which mutexes are
+// held (sync.Mutex/RWMutex Lock/RLock, released only by an inline
+// Unlock — a deferred Unlock keeps the lock held to the end), and any
+// may-block call made while a lock is held is flagged.
+//
+// The tracker is deliberately syntactic: branches are scanned with a
+// copy of the held set, function literals start with no locks held, and
+// `go` statements are skipped (the spawning goroutine does not block).
+// Cross-package calls are only recognized when they match the
+// known-blocking shapes above.
+package lockexchange
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"resilientdns/internal/analysis/lintutil"
+)
+
+const name = "lockexchange"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag mutexes held across Transport.Exchange or other blocking network I/O (the PR 1 invariant)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+type checker struct {
+	pass *analysis.Pass
+	supp *lintutil.Suppressor
+	// blocking marks package-level functions whose call tree reaches a
+	// known-blocking call without leaving the package.
+	blocking map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	c := &checker{
+		pass:     pass,
+		supp:     lintutil.NewSuppressor(pass),
+		blocking: make(map[*types.Func]bool),
+	}
+
+	// Stage 1: collect declared functions and propagate may-block.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil {
+			return
+		}
+		if fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func); ok {
+			decls[fn] = decl
+		}
+	})
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range decls {
+			if c.blocking[fn] {
+				continue
+			}
+			if c.bodyMayBlock(decl.Body) {
+				c.blocking[fn] = true
+				changed = true
+			}
+		}
+	}
+
+	// Stage 2: scan each body for blocking calls under a held lock.
+	for _, decl := range decls {
+		c.scanBlock(decl.Body.List, map[string]bool{})
+	}
+	return nil, nil
+}
+
+// bodyMayBlock reports whether the body contains a blocking call,
+// directly or via an already-classified same-package function. Function
+// literals are included: calling a function that launches blocking work
+// inline still blocks.
+func (c *checker) bodyMayBlock(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false // spawned work does not block the caller
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if c.blockingCall(call) != "" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// blockingCall returns a human-readable description of why the call may
+// block, or "" if it is not known to.
+func (c *checker) blockingCall(call *ast.CallExpr) string {
+	fn, ok := typeutil.Callee(c.pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return ""
+	}
+	if c.blocking[fn] {
+		return fn.Name() + " (reaches blocking I/O)"
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	// The transport.Transport shape: Exchange(ctx, ...) as a method.
+	if fn.Name() == "Exchange" && sig.Recv() != nil && firstParamIsContext(sig) {
+		return "Exchange (upstream query)"
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	switch pkg {
+	case "net":
+		if strings.HasPrefix(fn.Name(), "Dial") || strings.HasPrefix(fn.Name(), "Listen") {
+			return "net." + fn.Name()
+		}
+		if sig.Recv() != nil {
+			switch fn.Name() {
+			case "Read", "Write", "ReadFrom", "WriteTo", "ReadFromUDP", "WriteToUDP", "ReadMsgUDP", "WriteMsgUDP", "Accept", "AcceptTCP":
+				return "net connection " + fn.Name()
+			}
+		}
+	case "net/http":
+		switch fn.Name() {
+		case "Get", "Post", "PostForm", "Head", "Do", "RoundTrip":
+			return "net/http " + fn.Name()
+		}
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	}
+	return ""
+}
+
+func firstParamIsContext(sig *types.Signature) bool {
+	if sig.Params().Len() == 0 {
+		return false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// lockOp classifies a call as a mutex acquire or inline release and
+// returns the lock's receiver expression as its tracking key.
+func (c *checker) lockOp(call *ast.CallExpr) (key string, acquire, release bool) {
+	fn, ok := typeutil.Callee(c.pass.TypesInfo, call).(*types.Func)
+	if !ok {
+		return "", false, false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		acquire = true
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		release = true
+	default:
+		return "", false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acquire, release
+}
+
+// scanBlock walks a statement list in order, maintaining the set of
+// held locks, flagging may-block calls made while any lock is held.
+func (c *checker) scanBlock(stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, acquire, release := c.lockOp(call); acquire || release {
+					if acquire {
+						held[key] = true
+					} else {
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			c.scanExpr(s.X, held)
+		case *ast.DeferStmt:
+			// A deferred Unlock releases only at return: the lock stays
+			// held for the remainder of the body. Deferred calls
+			// themselves run after the function's own critical section.
+			if _, _, release := c.lockOp(s.Call); !release {
+				for _, arg := range s.Call.Args {
+					c.scanExpr(arg, held)
+				}
+			}
+		case *ast.GoStmt:
+			// Argument expressions are evaluated now, in this goroutine.
+			for _, arg := range s.Call.Args {
+				c.scanExpr(arg, held)
+			}
+		case *ast.AssignStmt:
+			for _, e := range s.Rhs {
+				c.scanExpr(e, held)
+			}
+		case *ast.DeclStmt:
+			c.scanExpr(s, held)
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				c.scanExpr(e, held)
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				c.scanBlock([]ast.Stmt{s.Init}, held)
+			}
+			c.scanExpr(s.Cond, held)
+			c.scanBlock(s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				c.scanBlock([]ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.BlockStmt:
+			c.scanBlock(s.List, held)
+		case *ast.ForStmt:
+			if s.Init != nil {
+				c.scanBlock([]ast.Stmt{s.Init}, held)
+			}
+			if s.Cond != nil {
+				c.scanExpr(s.Cond, held)
+			}
+			c.scanBlock(s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			c.scanExpr(s.X, held)
+			c.scanBlock(s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				c.scanExpr(s.Tag, held)
+			}
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					c.scanBlock(cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					c.scanBlock(cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					c.scanBlock(cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			c.scanBlock([]ast.Stmt{s.Stmt}, held)
+		}
+	}
+}
+
+// scanExpr flags may-block calls inside an expression (or DeclStmt)
+// while locks are held. It does not descend into function literals: a
+// closure defined under a lock does not run under it.
+func (c *checker) scanExpr(n ast.Node, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if why := c.blockingCall(call); why != "" && !lintutil.InTestFile(c.pass, call.Pos()) {
+			c.supp.Report(c.pass, name, call.Pos(),
+				"call to %s while holding %s: no lock may be held across blocking I/O (PR 1 invariant)",
+				why, heldNames(held))
+		}
+		return true
+	})
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	cp := make(map[string]bool, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	// Deterministic diagnostic text regardless of map order.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,18 @@
+package lockexchange_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resilientdns/internal/analysis/antest"
+	"resilientdns/internal/analysis/lockexchange"
+)
+
+func TestLockExchange(t *testing.T) {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	antest.Run(t, dir, lockexchange.Analyzer,
+		"lockexchange_bad", "lockexchange_ok", "lockexchange_ignored")
+}

@@ -1,0 +1,55 @@
+// Package lockexchange_bad is a failing fixture: mutexes held across
+// calls that block on upstream I/O.
+package lockexchange_bad
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Transport mirrors the resilientdns transport.Transport shape.
+type Transport interface {
+	Exchange(ctx context.Context, server string, query []byte) ([]byte, error)
+}
+
+// Resolver is a caricature of the seed resolver's global-lock design.
+type Resolver struct {
+	mu sync.Mutex
+	tr Transport
+}
+
+// Query holds the lock across the upstream exchange: the PR 1 bug.
+func (r *Resolver) Query(ctx context.Context, server string, q []byte) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tr.Exchange(ctx, server, q) // want "call to Exchange \\(upstream query\\) while holding r.mu"
+}
+
+// SleepUnderLock blocks on the clock with the lock held.
+func (r *Resolver) SleepUnderLock() {
+	r.mu.Lock()
+	time.Sleep(time.Second) // want "call to time.Sleep while holding r.mu"
+	r.mu.Unlock()
+}
+
+// refetch reaches Exchange; callers that lock around it are flagged
+// via same-package propagation.
+func (r *Resolver) refetch(ctx context.Context, server string) ([]byte, error) {
+	return r.tr.Exchange(ctx, server, nil)
+}
+
+// Renew holds the lock across a helper that reaches blocking I/O.
+func (r *Resolver) Renew(ctx context.Context, server string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.refetch(ctx, server) // want "call to refetch \\(reaches blocking I/O\\) while holding r.mu"
+	return err
+}
+
+// RWUnderRLock shows RLock is tracked too.
+func (r *Resolver) RWUnderRLock(ctx context.Context, state *sync.RWMutex) ([]byte, error) {
+	state.RLock()
+	defer state.RUnlock()
+	return r.tr.Exchange(ctx, "a", nil) // want "call to Exchange \\(upstream query\\) while holding state"
+}

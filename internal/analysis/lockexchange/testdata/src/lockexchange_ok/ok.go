@@ -1,0 +1,60 @@
+// Package lockexchange_ok is a passing fixture: the copy-then-release
+// idiom PR 1 established, and the other shapes the analyzer must not
+// flag.
+package lockexchange_ok
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Transport mirrors the resilientdns transport.Transport shape.
+type Transport interface {
+	Exchange(ctx context.Context, server string, query []byte) ([]byte, error)
+}
+
+// Resolver snapshots state under the lock, releases, then exchanges.
+type Resolver struct {
+	mu      sync.Mutex
+	tr      Transport
+	servers []string
+}
+
+// Query is the correct idiom: lock only around the shared state.
+func (r *Resolver) Query(ctx context.Context, q []byte) ([]byte, error) {
+	r.mu.Lock()
+	server := r.servers[0]
+	r.mu.Unlock()
+	return r.tr.Exchange(ctx, server, q)
+}
+
+// Spawn launches the exchange on its own goroutine: the lock holder
+// does not block.
+func (r *Resolver) Spawn(ctx context.Context, q []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	server := r.servers[0]
+	go func() {
+		r.tr.Exchange(ctx, server, q)
+	}()
+}
+
+// Closure defines (but does not run) a blocking closure under the lock.
+func (r *Resolver) Closure(ctx context.Context) func() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return func() { time.Sleep(time.Second) }
+}
+
+// BranchRelease unlocks before the blocking call in the early-return
+// branch; the fallthrough path still holds no lock by then.
+func (r *Resolver) BranchRelease(ctx context.Context, fast bool) ([]byte, error) {
+	r.mu.Lock()
+	if fast {
+		r.mu.Unlock()
+		return r.tr.Exchange(ctx, "fast", nil)
+	}
+	r.mu.Unlock()
+	return nil, nil
+}

@@ -1,0 +1,23 @@
+package maporder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resilientdns/internal/analysis/antest"
+	"resilientdns/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	prev := maporder.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if err := maporder.Analyzer.Flags.Set("pkgs", "maporder_bad,maporder_ok"); err != nil {
+		t.Fatal(err)
+	}
+	defer maporder.Analyzer.Flags.Set("pkgs", prev)
+
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	antest.Run(t, dir, maporder.Analyzer, "maporder_bad", "maporder_ok", "maporder_other")
+}

@@ -1,0 +1,39 @@
+// Package maporder_bad is a failing fixture: map iteration order
+// leaking into emitted output.
+package maporder_bad
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PrintStats emits one line per key straight out of the map.
+func PrintStats(w io.Writer, counts map[string]int) {
+	for name, n := range counts { // want "map iteration order feeds output via fmt.Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", name, n)
+	}
+}
+
+// BuildReport appends rows to a builder in map order.
+func BuildReport(rows map[string]string) string {
+	var b strings.Builder
+	for k, v := range rows { // want "map iteration order feeds output via WriteString"
+		b.WriteString(k)
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// Sink is a stats sink in the metrics/persist shape.
+type Sink struct{}
+
+// Observe records one sample.
+func (s *Sink) Observe(name string, v int) {}
+
+// RecordAll journals entries in map order.
+func RecordAll(s *Sink, m map[string]int) {
+	for k, v := range m { // want "map iteration order feeds output via Observe"
+		s.Observe(k, v)
+	}
+}

@@ -1,0 +1,46 @@
+// Package maporder_ok is a passing fixture: the collect-then-sort
+// idiom and other order-insensitive map loops.
+package maporder_ok
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PrintSorted collects keys, sorts, then emits: the blessed idiom.
+func PrintSorted(w io.Writer, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, counts[k])
+	}
+}
+
+// Total only aggregates; order cannot matter.
+func Total(counts map[string]int) int {
+	sum := 0
+	for _, n := range counts {
+		sum += n
+	}
+	return sum
+}
+
+// Invert builds another map; order-insensitive.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Audited emits in map order with a visible justification.
+func Audited(w io.Writer, m map[string]int) {
+	for k := range m { //dnslint:ignore maporder debug dump, never diffed or persisted
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,12 @@
+// Package maporder_other is outside the deterministic-output list:
+// emitting in map order is allowed here (e.g. interactive debug CLIs).
+package maporder_other
+
+import "fmt"
+
+// Dump prints a map for humans; ordering is cosmetic.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,100 @@
+// Package wallclock forbids reading the wall clock in
+// determinism-critical packages.
+//
+// The paper's argument rests on reproducible trace-driven simulation:
+// `dnssim -exp all` must reproduce results_full.txt byte-for-byte, which
+// only holds if every timestamp in the simulation path flows from the
+// caller's simclock.Clock. A single time.Now() or time.Sleep() smuggled
+// into the simulator, workload generator, or topology builder makes runs
+// diverge by scheduling accident (the invariant introduced in PR 3 and
+// relied on since PR 0).
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"resilientdns/internal/analysis/lintutil"
+)
+
+const name = "wallclock"
+
+// forbidden are the time-package functions that observe or wait on the
+// wall clock. Pure arithmetic (time.Duration, time.Unix, t.Add) is fine.
+var forbidden = map[string]bool{
+	"time.Now":       true,
+	"time.Since":     true,
+	"time.Until":     true,
+	"time.Sleep":     true,
+	"time.After":     true,
+	"time.Tick":      true,
+	"time.NewTimer":  true,
+	"time.NewTicker": true,
+	"time.AfterFunc": true,
+}
+
+// defaultPkgs is the determinism-critical set: everything that runs
+// under the virtual clock during trace-driven simulation. simclock
+// itself is included so that the one legitimate wall-clock read
+// (Real.Now) carries a visible //dnslint:ignore annotation.
+const defaultPkgs = "resilientdns/internal/sim," +
+	"resilientdns/internal/simnet," +
+	"resilientdns/internal/simclock," +
+	"resilientdns/internal/experiments," +
+	"resilientdns/internal/workload," +
+	"resilientdns/internal/topology," +
+	"resilientdns/internal/attack"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "forbid wall-clock reads (time.Now, time.Sleep, ...) in determinism-critical packages; " +
+		"time must flow through simclock.Clock so simulation output stays reproducible",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.String("pkgs", defaultPkgs,
+		"comma-separated package paths (suffix /... for subtrees) where wall-clock reads are forbidden")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkgs := pass.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if !lintutil.PkgMatches(pass.Pkg.Path(), pkgs) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	supp := lintutil.NewSuppressor(pass)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := typeutil.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || !isTimePkg(fn.Pkg()) {
+			return
+		}
+		// Methods like (time.Time).After/Sub are pure comparisons, not
+		// clock reads: only package-level time functions are forbidden.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return
+		}
+		full := "time." + fn.Name()
+		if !forbidden[full] {
+			return
+		}
+		if lintutil.InTestFile(pass, call.Pos()) {
+			return
+		}
+		supp.Report(pass, name, call.Pos(),
+			"%s in determinism-critical package %s: take time from simclock.Clock instead", full, pass.Pkg.Path())
+	})
+	return nil, nil
+}
+
+func isTimePkg(pkg *types.Package) bool {
+	return pkg != nil && pkg.Path() == "time"
+}

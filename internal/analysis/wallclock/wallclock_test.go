@@ -1,0 +1,39 @@
+package wallclock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resilientdns/internal/analysis/antest"
+	"resilientdns/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	prev := wallclock.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if err := wallclock.Analyzer.Flags.Set("pkgs", "wallclock_bad,wallclock_ignored,wallclock_ok"); err != nil {
+		t.Fatal(err)
+	}
+	defer wallclock.Analyzer.Flags.Set("pkgs", prev)
+
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	antest.Run(t, dir, wallclock.Analyzer,
+		"wallclock_bad", "wallclock_ignored", "wallclock_ok", "wallclock_other")
+}
+
+func TestSubtreePattern(t *testing.T) {
+	prev := wallclock.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if err := wallclock.Analyzer.Flags.Set("pkgs", "wallclock_bad/..."); err != nil {
+		t.Fatal(err)
+	}
+	defer wallclock.Analyzer.Flags.Set("pkgs", prev)
+
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wallclock_bad matches the subtree pattern; wallclock_other does not.
+	antest.Run(t, dir, wallclock.Analyzer, "wallclock_bad", "wallclock_other")
+}

@@ -1,0 +1,110 @@
+// Package weakrand polices randomness quality.
+//
+// Predictable query IDs are the classic DNS cache-poisoning lever
+// (Kaminsky 2008; the POPS/DNS-CPM lineage in PAPERS.md): an attacker
+// who can guess the next QID can race the legitimate answer. Two rules:
+//
+//  1. Anywhere in non-test code, math/rand must not be seeded from the
+//     wall clock (rand.Seed/rand.NewSource of a time.Now()-derived
+//     value). Two processes started in the same nanosecond emit
+//     identical streams — exactly the bug fixed in internal/stub.
+//  2. In security-sensitive packages (the resolver core, transports,
+//     stub, authoritative server, DNSSEC), math/rand may not be used at
+//     all: query IDs, source ports, and nonces must come from
+//     crypto/rand. Deterministic simulation packages (workload,
+//     topology, simnet) are exempt — they *want* seeded math/rand.
+package weakrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"resilientdns/internal/analysis/lintutil"
+)
+
+const name = "weakrand"
+
+// defaultPkgs lists the security-sensitive packages where math/rand is
+// banned outright (rule 2).
+const defaultPkgs = "resilientdns/internal/core," +
+	"resilientdns/internal/transport," +
+	"resilientdns/internal/stub," +
+	"resilientdns/internal/authserver," +
+	"resilientdns/internal/dnssec," +
+	"resilientdns/cmd/dnsquery"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag math/rand seeded from the wall clock, and any math/rand use in security-sensitive " +
+		"packages where query IDs/ports must come from crypto/rand",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.String("pkgs", defaultPkgs,
+		"comma-separated package paths (suffix /... for subtrees) where math/rand is banned entirely")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkgs := pass.Analyzer.Flags.Lookup("pkgs").Value.String()
+	banned := lintutil.PkgMatches(pass.Pkg.Path(), pkgs)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	supp := lintutil.NewSuppressor(pass)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		if pkg := fn.Pkg().Path(); pkg != "math/rand" && pkg != "math/rand/v2" {
+			return
+		}
+		if lintutil.InTestFile(pass, call.Pos()) {
+			return
+		}
+		// Rule 1: wall-clock seeding is weak everywhere.
+		if fn.Name() == "Seed" || fn.Name() == "NewSource" {
+			if arg := wallClockArg(pass, call); arg != "" {
+				supp.Report(pass, name, call.Pos(),
+					"math/rand seeded from %s is predictable: seed from crypto/rand instead", arg)
+				return
+			}
+		}
+		// Rule 2: in security-sensitive packages, any math/rand call.
+		if banned {
+			supp.Report(pass, name, call.Pos(),
+				"math/rand.%s in security-sensitive package %s: use crypto/rand for query IDs, ports, and nonces",
+				fn.Name(), pass.Pkg.Path())
+		}
+	})
+	return nil, nil
+}
+
+// wallClockArg reports the wall-clock call (e.g. "time.Now") found
+// anywhere inside the call's arguments, or "" if the seed looks fine.
+func wallClockArg(pass *analysis.Pass, call *ast.CallExpr) string {
+	found := ""
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := typeutil.StaticCallee(pass.TypesInfo, inner)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+				(fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until") {
+				found = "time." + fn.Name()
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

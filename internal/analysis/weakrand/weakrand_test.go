@@ -1,0 +1,23 @@
+package weakrand_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resilientdns/internal/analysis/antest"
+	"resilientdns/internal/analysis/weakrand"
+)
+
+func TestWeakrand(t *testing.T) {
+	prev := weakrand.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if err := weakrand.Analyzer.Flags.Set("pkgs", "weakrand_banned"); err != nil {
+		t.Fatal(err)
+	}
+	defer weakrand.Analyzer.Flags.Set("pkgs", prev)
+
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	antest.Run(t, dir, weakrand.Analyzer, "weakrand_seed", "weakrand_banned", "weakrand_ok")
+}

@@ -1,0 +1,46 @@
+// Package dnswire is a fixture stand-in for the repo's wire codec: the
+// analyzer matches callees by package name, so these signatures are all
+// it needs.
+package dnswire
+
+import "errors"
+
+// Message is a trivial stand-in for the wire message.
+type Message struct {
+	Wire []byte
+}
+
+// Pack serializes the message.
+func (m *Message) Pack() ([]byte, error) {
+	if m == nil {
+		return nil, errors.New("nil message")
+	}
+	return m.Wire, nil
+}
+
+// Unpack parses a wire message.
+func Unpack(b []byte) (*Message, error) {
+	if len(b) == 0 {
+		return nil, errors.New("empty message")
+	}
+	return &Message{Wire: b}, nil
+}
+
+// CanonicalName validates and normalizes a domain name.
+func CanonicalName(s string) (string, error) {
+	if s == "" {
+		return "", errors.New("empty name")
+	}
+	return s, nil
+}
+
+// Validate returns only an error.
+func (m *Message) Validate() error {
+	if len(m.Wire) == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// Header has no error result; discarding it is fine.
+func (m *Message) Header() []byte { return m.Wire[:0] }

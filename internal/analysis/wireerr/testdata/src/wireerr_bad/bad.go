@@ -1,0 +1,31 @@
+// Package wireerr_bad is a failing fixture: codec errors dropped on
+// the floor in every syntactic position.
+package wireerr_bad
+
+import "dnswire"
+
+// Drop discards both results of Unpack.
+func Drop(b []byte) {
+	dnswire.Unpack(b) // want "discarded error from dnswire.Unpack"
+}
+
+// BlankError keeps the value but blanks the error.
+func BlankError(m *dnswire.Message) []byte {
+	wire, _ := m.Pack() // want "discarded error from dnswire.Pack"
+	return wire
+}
+
+// BlankSingle discards a lone error result.
+func BlankSingle(m *dnswire.Message) {
+	_ = m.Validate() // want "discarded error from dnswire.Validate"
+}
+
+// InDefer drops the error in a defer.
+func InDefer(m *dnswire.Message) {
+	defer m.Pack() // want "discarded error from dnswire.Pack"
+}
+
+// InGo drops the error in a goroutine.
+func InGo(b []byte) {
+	go dnswire.Unpack(b) // want "discarded error from dnswire.Unpack"
+}

@@ -1,0 +1,28 @@
+// Package wireerr_ok is a passing fixture: every codec error is
+// checked (or the call has no error to lose), plus one audited
+// suppression.
+package wireerr_ok
+
+import "dnswire"
+
+// Checked handles every error.
+func Checked(b []byte) ([]byte, error) {
+	m, err := dnswire.Unpack(b)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dnswire.CanonicalName("example."); err != nil {
+		return nil, err
+	}
+	return m.Pack()
+}
+
+// NoError discards a result that carries no error.
+func NoError(m *dnswire.Message) {
+	m.Header()
+}
+
+// Audited drops the error with a visible justification.
+func Audited(m *dnswire.Message) {
+	_ = m.Validate() //dnslint:ignore wireerr best-effort validation on the metrics path, failure already counted
+}

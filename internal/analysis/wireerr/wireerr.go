@@ -1,0 +1,107 @@
+// Package wireerr flags discarded errors from the dnswire codec.
+//
+// Pack/Unpack/CanonicalName and friends fail on hostile input by
+// design — truncated messages, compression-pointer loops, oversized
+// names (see internal/dnswire/fuzz_test.go for the menagerie). A caller
+// that drops the error and uses the zero value anyway turns a parse
+// failure into silent cache corruption or a malformed packet on the
+// wire. Production code must check every dnswire error; test files are
+// exempt (fuzz harnesses discard errors on purpose).
+package wireerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"resilientdns/internal/analysis/lintutil"
+)
+
+const name = "wireerr"
+
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      "flag discarded errors from dnswire Pack/Unpack/ParseName and other codec entry points",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	supp := lintutil.NewSuppressor(pass)
+
+	ins.Preorder([]ast.Node{(*ast.ExprStmt)(nil), (*ast.AssignStmt)(nil), (*ast.GoStmt)(nil), (*ast.DeferStmt)(nil)}, func(n ast.Node) {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			// Bare call statement: every result, error included, dropped.
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				if fn, errIdx := codecCallee(pass, call); fn != nil && errIdx >= 0 {
+					report(pass, supp, call, fn)
+				}
+			}
+		case *ast.GoStmt:
+			if fn, errIdx := codecCallee(pass, stmt.Call); fn != nil && errIdx >= 0 {
+				report(pass, supp, stmt.Call, fn)
+			}
+		case *ast.DeferStmt:
+			if fn, errIdx := codecCallee(pass, stmt.Call); fn != nil && errIdx >= 0 {
+				report(pass, supp, stmt.Call, fn)
+			}
+		case *ast.AssignStmt:
+			// wire, _ := msg.Pack() — error slot assigned to blank.
+			if len(stmt.Rhs) != 1 {
+				return
+			}
+			call, ok := stmt.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			fn, errIdx := codecCallee(pass, call)
+			if fn == nil || errIdx < 0 || errIdx >= len(stmt.Lhs) {
+				return
+			}
+			if id, ok := stmt.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+				report(pass, supp, call, fn)
+			}
+		}
+	})
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, supp *lintutil.Suppressor, call *ast.CallExpr, fn *types.Func) {
+	if lintutil.InTestFile(pass, call.Pos()) {
+		return
+	}
+	supp.Report(pass, name, call.Pos(),
+		"discarded error from dnswire.%s: codec errors signal hostile or corrupt input and must be checked", fn.Name())
+}
+
+// codecCallee returns the called dnswire function and the index of its
+// error result, or (nil, -1). It matches the package by name so the
+// analyzer also fires on fixture copies of the codec under testdata.
+func codecCallee(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, int) {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, -1
+	}
+	if fn.Pkg().Name() != "dnswire" && !strings.HasSuffix(fn.Pkg().Path(), "/dnswire") {
+		return nil, -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, -1
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return fn, i
+		}
+	}
+	return nil, -1
+}

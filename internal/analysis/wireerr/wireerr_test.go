@@ -1,0 +1,17 @@
+package wireerr_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resilientdns/internal/analysis/antest"
+	"resilientdns/internal/analysis/wireerr"
+)
+
+func TestWireErr(t *testing.T) {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	antest.Run(t, dir, wireerr.Analyzer, "wireerr_bad", "wireerr_ok")
+}

@@ -1,0 +1,113 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"resilientdns/internal/cache"
+	"resilientdns/internal/dnswire"
+)
+
+// TestWriteFuzzCorpus regenerates the checked-in FuzzParseStore seed
+// corpus under testdata/fuzz/. It is a generator, not a test: run
+//
+//	WRITE_FUZZ_CORPUS=1 go test -run TestWriteFuzzCorpus ./internal/persist
+//
+// after changing the store format, and commit the result. The seeds put
+// the CI fuzz smoke directly into the recovery-path states that matter:
+// torn tails, CRC damage, stale generations, and lying frame lengths.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to regenerate testdata/fuzz seed corpora")
+	}
+
+	now := time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)
+	key := cache.Key{Name: dnswire.MustName("corpus.example."), Type: dnswire.TypeA}
+	entry, err := encodeEntry(&cache.Entry{
+		Key: key,
+		RRs: []dnswire.RR{{
+			Name:  dnswire.MustName("corpus.example."),
+			Class: dnswire.ClassIN,
+			TTL:   300,
+			Data:  dnswire.NS{Host: dnswire.MustName("ns.corpus.example.")},
+		}},
+		Cred:     cache.CredAuthority,
+		OrigTTL:  5 * time.Minute,
+		Expires:  now.Add(5 * time.Minute),
+		StoredAt: now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := appendHeader(nil, fileHeader{Kind: kindSnapshot, Generation: 9, CreatedAt: now})
+	snap = appendFrame(snap, recEntry, entry)
+	snap = appendFrame(snap, recCredit, encodeCredit(dnswire.MustName("corpus.example."), 3.5))
+	snap = appendFrame(snap, recServer, encodeServer(serverRecord{
+		Addr: "192.0.2.53:53", SRTT: 35 * time.Millisecond, RTTVar: 9 * time.Millisecond, Samples: 12,
+	}))
+
+	journal := appendHeader(nil, fileHeader{Kind: kindJournal, Generation: 9, CreatedAt: now})
+	journal = appendFrame(journal, recEntry, entry)
+	journal = appendFrame(journal, recExtend, encodeExtend(key, now.Add(time.Hour)))
+	journal = appendFrame(journal, recEvict, appendKey(nil, key))
+
+	seeds := map[string][]byte{
+		"snapshot-valid": snap,
+		"journal-valid":  journal,
+	}
+
+	// Torn tails at hostile offsets: inside the header, inside a frame
+	// length prefix, and inside a payload.
+	seeds["snapshot-torn-header"] = snap[:headerLen-2]
+	seeds["snapshot-torn-frame-len"] = snap[:headerLen+2]
+	seeds["journal-torn-payload"] = journal[:len(journal)-5]
+
+	// Single-bit CRC damage in the middle of the first payload.
+	crcBad := append([]byte{}, snap...)
+	crcBad[headerLen+10] ^= 0x01
+	seeds["snapshot-crc-flip"] = crcBad
+
+	// Magic and version damage: must be rejected at the header.
+	badMagic := append([]byte{}, snap...)
+	badMagic[0] ^= 0xFF
+	seeds["snapshot-bad-magic"] = badMagic
+	badVersion := append([]byte{}, snap...)
+	badVersion[8] = 0xFF
+	seeds["snapshot-bad-version"] = badVersion
+
+	// A frame that promises far more payload than the file holds.
+	lying := appendHeader(nil, fileHeader{Kind: kindJournal, Generation: 9, CreatedAt: now})
+	lying = append(lying, 0x7F, 0xFF, 0xFF, 0xFF) // absurd length prefix
+	lying = append(lying, recEntry, 0, 0, 0, 0)
+	seeds["journal-lying-length"] = lying
+
+	// An unknown record type between two valid frames: recovery must
+	// skip or stop cleanly, not panic.
+	unknown := appendHeader(nil, fileHeader{Kind: kindSnapshot, Generation: 9, CreatedAt: now})
+	unknown = appendFrame(unknown, recEntry, entry)
+	unknown = appendFrame(unknown, 0xEE, []byte{1, 2, 3})
+	unknown = appendFrame(unknown, recCredit, encodeCredit(dnswire.MustName("corpus.example."), 1))
+	seeds["snapshot-unknown-record"] = unknown
+
+	// Empty payloads for every record type: length-zero decode paths.
+	empties := appendHeader(nil, fileHeader{Kind: kindJournal, Generation: 9, CreatedAt: now})
+	for _, typ := range []byte{recEntry, recExtend, recEvict, recCredit, recServer} {
+		empties = appendFrame(empties, typ, nil)
+	}
+	seeds["journal-empty-payloads"] = empties
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzParseStore")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, b := range seeds {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+		if err := os.WriteFile(filepath.Join(dir, "seed-"+name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -19,7 +19,9 @@ type Clock interface {
 type Real struct{}
 
 // Now implements Clock.
-func (Real) Now() time.Time { return time.Now() }
+func (Real) Now() time.Time {
+	return time.Now() //dnslint:ignore wallclock Real is the production wall-clock implementation behind the Clock interface
+}
 
 // Virtual is a deterministic discrete-event clock. Time only moves when
 // Advance or AdvanceTo is called; scheduled events fire in timestamp order

@@ -1,0 +1,55 @@
+package stub
+
+import "testing"
+
+// TestQIDStreamsDifferAcrossClients is the regression test for the
+// predictable-QID bug: stub query IDs were seeded from
+// time.Now().UnixNano(), so two stubs created in the same nanosecond
+// emitted identical ID streams. With crypto/rand seeding, the chance of
+// three clients sharing a 16-bit starting point is negligible.
+func TestQIDStreamsDifferAcrossClients(t *testing.T) {
+	const n = 64
+	streams := make([][n]uint16, 3)
+	for i := range streams {
+		c := &Client{}
+		for j := 0; j < n; j++ {
+			streams[i][j] = c.nextID()
+		}
+	}
+	allEqual := streams[0] == streams[1] && streams[1] == streams[2]
+	if allEqual {
+		t.Fatalf("three independent clients produced identical QID streams: %v", streams[0][:8])
+	}
+}
+
+// TestQIDStreamUniqueWithinClient checks IDs do not repeat within a
+// window far smaller than the 16-bit space.
+func TestQIDStreamUniqueWithinClient(t *testing.T) {
+	c := &Client{}
+	seen := make(map[uint16]bool)
+	for i := 0; i < 1000; i++ {
+		id := c.nextID()
+		if seen[id] {
+			t.Fatalf("QID %d repeated within 1000 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestQIDConcurrentClients exercises the once-guarded seeding under the
+// race detector.
+func TestQIDConcurrentClients(t *testing.T) {
+	c := &Client{}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				c.nextID()
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

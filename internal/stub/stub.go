@@ -7,11 +7,13 @@ package stub
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resilientdns/internal/dnswire"
@@ -29,8 +31,13 @@ type Client struct {
 	// Timeout bounds each attempt (default 3s).
 	Timeout time.Duration
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	// qid is the outgoing query-ID counter, seeded from crypto/rand on
+	// first use (the same scheme as the caching server's). It used to be
+	// a math/rand stream seeded from time.Now().UnixNano(), which made
+	// two stubs started in the same nanosecond emit identical —
+	// guessable — QID sequences.
+	qidOnce sync.Once
+	qid     atomic.Uint32
 }
 
 // ErrNoServers reports a client with no configured servers.
@@ -65,12 +72,16 @@ func (c *Client) timeout() time.Duration {
 }
 
 func (c *Client) nextID() uint16 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
-	}
-	return uint16(c.rng.Intn(1 << 16))
+	c.qidOnce.Do(func() {
+		var seed [4]byte
+		// crypto/rand.Read never fails on supported platforms (it
+		// aborts the program rather than degrade); the error branch
+		// keeps the counter at zero, still unique per client.
+		if _, err := crand.Read(seed[:]); err == nil {
+			c.qid.Store(binary.LittleEndian.Uint32(seed[:]))
+		}
+	})
+	return uint16(c.qid.Add(1))
 }
 
 // Exchange sends one recursion-desired query, failing over across servers

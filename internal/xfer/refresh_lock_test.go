@@ -1,0 +1,119 @@
+package xfer
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"resilientdns/internal/authserver"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+)
+
+// blockingTransport parks every Exchange until released, standing in
+// for a blackholed primary.
+type blockingTransport struct {
+	inner   transport.Transport
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingTransport) Exchange(ctx context.Context, server transport.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+	b.entered <- struct{}{}
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return b.inner.Exchange(ctx, server, q)
+}
+
+// TestRefreshDoesNotHoldLockAcrossTransfer is the regression test for
+// the lockexchange finding in Refresh: s.mu used to be held across
+// FetchSOASerial/AXFR, so a slow primary froze Serial() (and any other
+// state reader) for the full network timeout. Now the lock is only
+// held around the state snapshot and the install.
+func TestRefreshDoesNotHoldLockAcrossTransfer(t *testing.T) {
+	src := buildZone(t, 100)
+	addr := startPrimary(t, authserver.New(src))
+	bt := &blockingTransport{
+		inner:   &transport.TCP{Timeout: 2 * time.Second},
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	sec := &Secondary{
+		Zone:      dnswire.MustName("example."),
+		Primary:   transport.Addr(addr),
+		Transport: bt,
+	}
+
+	refreshDone := make(chan error, 1)
+	go func() {
+		_, err := sec.Refresh(context.Background())
+		refreshDone <- err
+	}()
+	<-bt.entered // the transfer is now parked mid-Exchange
+
+	// Serial must answer while the transfer is stuck on the wire.
+	serialDone := make(chan uint32, 1)
+	go func() { serialDone <- sec.Serial() }()
+	select {
+	case s := <-serialDone:
+		if s != 0 {
+			t.Errorf("Serial() = %d before first transfer, want 0", s)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Serial() blocked while a transfer was in flight: lock held across Exchange")
+	}
+
+	close(bt.release)
+	if err := <-refreshDone; err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if got := sec.Serial(); got != 100 {
+		t.Errorf("Serial() = %d after transfer, want 100", got)
+	}
+}
+
+// TestRefreshRaceInstallsNewestSerial checks the install-side
+// arbitration: when two refreshes race, the stale transfer must not
+// overwrite a newer installed copy, and the transfer counter only
+// counts installs.
+func TestRefreshRaceInstallsNewestSerial(t *testing.T) {
+	oldZone := buildZone(t, 100)
+	newZone := buildZone(t, 101)
+	h := &swappableHandler{}
+	h.cur.Store(authserver.New(oldZone))
+	addr := startPrimary(t, h)
+
+	sec := &Secondary{
+		Zone:      dnswire.MustName("example."),
+		Primary:   transport.Addr(addr),
+		Transport: &transport.TCP{Timeout: 2 * time.Second},
+	}
+	// First transfer installs serial 100.
+	if did, err := sec.Refresh(context.Background()); err != nil || !did {
+		t.Fatalf("Refresh #1 = (%v, %v), want (true, nil)", did, err)
+	}
+	// The primary moves to serial 101 and the secondary picks it up.
+	h.cur.Store(authserver.New(newZone))
+	if did, err := sec.Refresh(context.Background()); err != nil || !did {
+		t.Fatalf("Refresh #2 = (%v, %v), want (true, nil)", did, err)
+	}
+	if got := sec.Serial(); got != 101 {
+		t.Fatalf("Serial() = %d, want 101", got)
+	}
+
+	// A racing transfer that fetched the *old* zone must not roll back:
+	// serialNewer is the install gate.
+	if serialNewer(100, 101) {
+		t.Error("serialNewer(100, 101) = true, want false")
+	}
+	if !serialNewer(101, 100) {
+		t.Error("serialNewer(101, 100) = false, want true")
+	}
+	// RFC 1982 wrap-around: 1 is newer than 0xFFFFFFFF.
+	if !serialNewer(1, 0xFFFFFFFF) {
+		t.Error("serialNewer(1, 0xFFFFFFFF) = false, want true across wrap")
+	}
+}

@@ -103,14 +103,20 @@ func (s *Secondary) Refresh(ctx context.Context) (bool, error) {
 	if tr == nil {
 		tr = &transport.TCP{}
 	}
+	// Snapshot the state and release before touching the network:
+	// holding s.mu across the SOA probe or the transfer would block
+	// Serial() and concurrent refreshers for a full network timeout
+	// whenever the primary is slow or blackholed (dnslint: lockexchange,
+	// the PR 1 invariant).
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.loaded {
-		serial, err := FetchSOASerial(ctx, tr, s.Primary, s.Zone)
+	loaded, serial := s.loaded, s.serial
+	s.mu.Unlock()
+	if loaded {
+		remote, err := FetchSOASerial(ctx, tr, s.Primary, s.Zone)
 		if err != nil {
 			return false, err
 		}
-		if serial == s.serial {
+		if remote == serial {
 			return false, nil
 		}
 	}
@@ -122,12 +128,24 @@ func (s *Secondary) Refresh(ctx context.Context) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("%w: transferred zone has no SOA", ErrTransferFailed)
 	}
+	newSerial := soa.Data.(dnswire.SOA).Serial
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A concurrent Refresh may have installed a copy while this one was
+	// on the wire; RFC 1982 serial arithmetic decides which is newer.
+	if s.loaded && !serialNewer(newSerial, s.serial) {
+		return false, nil
+	}
 	s.current.Store(authserver.New(z))
-	s.serial = soa.Data.(dnswire.SOA).Serial
+	s.serial = newSerial
 	s.loaded = true
 	s.transfers.Add(1)
 	return true, nil
 }
+
+// serialNewer reports whether a is strictly newer than b in RFC 1982
+// serial-number arithmetic.
+func serialNewer(a, b uint32) bool { return int32(a-b) > 0 }
 
 // Serial returns the serial of the currently served copy (0 before the
 // first transfer).
