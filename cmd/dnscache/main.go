@@ -10,21 +10,56 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"resilientdns/internal/cache"
 	"resilientdns/internal/core"
+	"resilientdns/internal/debughttp"
 	"resilientdns/internal/dnswire"
 	"resilientdns/internal/persist"
+	"resilientdns/internal/resolve"
 	"resilientdns/internal/transport"
 )
+
+// jsonLogSink appends one JSON line per finished trace to the query
+// log. Observe is called from query, flight, renewal, and prefetch
+// goroutines concurrently.
+type jsonLogSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	f   *os.File
+}
+
+func newJSONLogSink(path string) (*jsonLogSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &jsonLogSink{enc: json.NewEncoder(f), f: f}, nil
+}
+
+func (s *jsonLogSink) Observe(ts resolve.TraceSummary) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A full disk should not take the resolver down with it.
+	_ = s.enc.Encode(ts)
+}
+
+func (s *jsonLogSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -43,6 +78,11 @@ func run() error {
 	negTTL := flag.Duration("negative-ttl", 0, "negative-answer cache TTL (0 = off)")
 	serveStale := flag.Duration("serve-stale", 0, "serve expired records for this long when servers are unreachable (0 = off)")
 	prefetch := flag.Bool("prefetch", false, "refresh hot answers in the last 10% of their TTL")
+	prefetchAsync := flag.Bool("prefetch-async", false, "run prefetch refreshes on a background worker pool instead of the client's critical path")
+	prefetchWorkers := flag.Int("prefetch-workers", 2, "background prefetch workers (with -prefetch-async)")
+	prefetchQueue := flag.Int("prefetch-queue", 64, "pending prefetch queue bound; further refreshes are dropped (with -prefetch-async)")
+	debugAddr := flag.String("debug-addr", "", "HTTP address for /debug/stats and /debug/queries (empty = off; enables per-query tracing)")
+	queryLog := flag.String("query-log", "", "append one JSON line per finished query trace to this file (empty = off; enables per-query tracing)")
 	port := flag.Int("upstream-port", 53, "port appended to learned name-server addresses")
 	maxInflight := flag.Int("max-inflight", transport.DefaultMaxInflight, "max queries handled concurrently per listener")
 	statsEvery := flag.Duration("stats", time.Minute, "stats reporting interval (0 = off)")
@@ -84,6 +124,28 @@ func run() error {
 		onChange = store.Observe
 	}
 
+	// Tracing is enabled only when something consumes it: the debug
+	// endpoint's ring buffer, the query log, or both.
+	var ring *resolve.Ring
+	if *debugAddr != "" {
+		ring = resolve.NewRing(512)
+	}
+	var qlog *jsonLogSink
+	if *queryLog != "" {
+		qlog, err = newJSONLogSink(*queryLog)
+		if err != nil {
+			return err
+		}
+	}
+	var sink resolve.Sink
+	if ring != nil && qlog != nil {
+		sink = resolve.MultiSink(ring, qlog)
+	} else if ring != nil {
+		sink = ring
+	} else if qlog != nil {
+		sink = qlog
+	}
+
 	cs, err := core.NewCachingServer(core.Config{
 		// The transport timeout matches -max-timeout so the upstream
 		// layer's per-attempt deadline (passed via context) is what
@@ -92,13 +154,17 @@ func run() error {
 			UDP: transport.UDP{Timeout: *maxTimeout},
 			TCP: transport.TCP{Timeout: 2 * *maxTimeout},
 		},
-		RootHints:   hints,
-		RefreshTTL:  *refresh,
-		Renewal:     policy,
-		MaxTTL:      *maxTTL,
-		NegativeTTL: *negTTL,
-		ServeStale:  *serveStale,
-		Prefetch:    *prefetch,
+		RootHints:       hints,
+		RefreshTTL:      *refresh,
+		Renewal:         policy,
+		MaxTTL:          *maxTTL,
+		NegativeTTL:     *negTTL,
+		ServeStale:      *serveStale,
+		Prefetch:        *prefetch,
+		AsyncPrefetch:   *prefetchAsync,
+		PrefetchWorkers: *prefetchWorkers,
+		PrefetchQueue:   *prefetchQueue,
+		TraceSink:       sink,
 		AddrMapper: func(a netip.Addr) transport.Addr {
 			return transport.Addr(fmt.Sprintf("%s:%d", a, *port))
 		},
@@ -164,6 +230,25 @@ func run() error {
 	fmt.Printf("caching server on %s (udp+tcp, refresh=%v renewal=%s max-inflight=%d selection=%v)\n",
 		addr, *refresh, *renewal, *maxInflight, !*noSelection)
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr: *debugAddr,
+			Handler: debughttp.New(debughttp.Options{
+				Stats:      func() any { return cs.Stats() },
+				CacheStats: func() any { return cs.CacheStats() },
+				Latency:    cs.Resolver().LatencySnapshots,
+				Ring:       ring,
+			}),
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "dnscache: debug endpoint:", err)
+			}
+		}()
+		fmt.Printf("debug endpoint on http://%s/debug/stats\n", *debugAddr)
+	}
+
 	if *statsEvery > 0 {
 		go func() {
 			t := time.NewTicker(*statsEvery)
@@ -192,6 +277,17 @@ func run() error {
 	cancel()
 	udp.Close()
 	tcp.Close()
+	if debugSrv != nil {
+		_ = debugSrv.Close()
+	}
+	// Stop the background prefetch workers (drains queued refreshes) so
+	// the final stats and query log include their last traces.
+	cs.Close()
+	if qlog != nil {
+		if err := qlog.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "dnscache:", err)
+		}
+	}
 
 	// Final snapshot after the drain, so the checkpoint includes the last
 	// in-flight answers and the next start replays a complete cache.

@@ -1,4 +1,4 @@
-// Command dnslint is the repo's custom vet tool: five analyzers that
+// Command dnslint is the repo's custom vet tool: six analyzers that
 // enforce the resilience invariants the ordinary toolchain cannot see.
 // It speaks the unitchecker protocol, so it runs under the go command:
 //
@@ -15,6 +15,7 @@ import (
 
 	"resilientdns/internal/analysis/lockexchange"
 	"resilientdns/internal/analysis/maporder"
+	"resilientdns/internal/analysis/onepath"
 	"resilientdns/internal/analysis/wallclock"
 	"resilientdns/internal/analysis/weakrand"
 	"resilientdns/internal/analysis/wireerr"
@@ -27,5 +28,6 @@ func main() {
 		weakrand.Analyzer,
 		wireerr.Analyzer,
 		maporder.Analyzer,
+		onepath.Analyzer,
 	)
 }

@@ -10,13 +10,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"resilientdns/internal/debughttp"
 	"resilientdns/internal/dnswire"
 	"resilientdns/internal/metrics"
 	"resilientdns/internal/transport"
@@ -66,6 +70,7 @@ func run() error {
 	concurrency := flag.Int("concurrency", 8, "concurrent query workers")
 	timeout := flag.Duration("timeout", time.Second, "per-query timeout")
 	unique := flag.Bool("unique", false, "prefix every query name with a unique label (cache-miss-heavy load)")
+	debugURL := flag.String("debug-url", "", "dnscache -debug-addr base URL (e.g. http://127.0.0.1:8053); prints the server-side per-stage latency breakdown after the run")
 	flag.Parse()
 
 	names, err := loadNames(*traceFile, *name)
@@ -73,13 +78,80 @@ func run() error {
 		return err
 	}
 
+	before, err := fetchLatency(*debugURL)
+	if err != nil {
+		return err
+	}
+
 	stats := runLoad(context.Background(), transport.Addr(*server), names,
 		*duration, *concurrency, *timeout, *unique)
 	stats.print(os.Stdout)
+
+	after, err := fetchLatency(*debugURL)
+	if err != nil {
+		return err
+	}
+	printStageBreakdown(os.Stdout, before, after)
+
 	if stats.sent == 0 {
 		return fmt.Errorf("no queries completed")
 	}
 	return nil
+}
+
+// fetchLatency reads the latency section of the server's /debug/stats.
+// An empty URL returns nil (the feature is off).
+func fetchLatency(baseURL string) (map[string]debughttp.LatencySummary, error) {
+	if baseURL == "" {
+		return nil, nil
+	}
+	url := strings.TrimSuffix(baseURL, "/") + "/debug/stats"
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("debug endpoint: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("debug endpoint: %s returned %s", url, resp.Status)
+	}
+	var payload struct {
+		Latency map[string]debughttp.LatencySummary `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("debug endpoint: %w", err)
+	}
+	if payload.Latency == nil {
+		payload.Latency = map[string]debughttp.LatencySummary{}
+	}
+	return payload.Latency, nil
+}
+
+// printStageBreakdown reports where the server spent resolution time
+// during the run: per-pipeline-stage and per-trace-kind counts and
+// latencies, deltas between the before/after snapshots. Percentiles
+// come from the cumulative histograms (the server does not keep
+// interval percentiles), so they reflect the server's lifetime.
+func printStageBreakdown(w *os.File, before, after map[string]debughttp.LatencySummary) {
+	if after == nil {
+		return
+	}
+	fmt.Fprintf(w, "server-side stage breakdown (this run):\n")
+	any := false
+	for _, key := range debughttp.SortedLatencyKeys(after) {
+		s := after[key]
+		count := s.Count - before[key].Count
+		if count == 0 {
+			continue
+		}
+		any = true
+		sumMS := s.SumMS - before[key].SumMS
+		meanUS := sumMS * 1e3 / float64(count)
+		fmt.Fprintf(w, "  %-22s %8d × %8.0f µs mean  (lifetime p50 %d µs, p99 %d µs)\n",
+			key, count, meanUS, s.P50US, s.P99US)
+	}
+	if !any {
+		fmt.Fprintf(w, "  (no traced work on the server during the run)\n")
+	}
 }
 
 // loadStats aggregates worker results.

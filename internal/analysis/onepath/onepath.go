@@ -1,0 +1,100 @@
+// Package onepath enforces the single-exchange-path invariant: inside
+// the resolver, every upstream fetch goes through the fetch engine.
+//
+// The pipeline refactor routed all four fetch paths — client-driven
+// iteration, prefetch, renewal refetch, and missing-glue chasing —
+// through resolve.Engine.Fetch, which is the one place that allocates
+// query IDs, consults RTT-based server selection, charges the retry
+// budget, and validates that responses echo the question. A direct
+// Transport.Exchange call anywhere else in the resolver would bypass
+// all of that: it would reuse ID 0, ignore quarantine, dodge the
+// budget, and accept spoofable responses. This analyzer flags any
+// call to a method named Exchange whose first parameter is a
+// context.Context (the transport.Transport shape) in the resolver-side
+// packages. The engine's own call site carries the one sanctioned
+// //dnslint:ignore annotation.
+//
+// Transport-layer internals (the UDP→TCP truncation fallback), the
+// stub client, zone transfer, and the command-line probes are clients
+// of the transport, not of the resolver, and stay out of scope.
+package onepath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"resilientdns/internal/analysis/lintutil"
+)
+
+const name = "onepath"
+
+// defaultPkgs is the resolver side of the repo: the policy shell, the
+// pipeline, and the simulator that drives them. Packages that sit
+// below the resolver (transport, stub, xfer) legitimately exchange on
+// their own behalf and are not listed.
+const defaultPkgs = "resilientdns/internal/core," +
+	"resilientdns/internal/resolve," +
+	"resilientdns/internal/sim"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "forbid Transport.Exchange calls outside the fetch engine; every upstream fetch " +
+		"must flow through resolve.Engine.Fetch for QID allocation, server selection, " +
+		"retry budgeting, and response validation",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.String("pkgs", defaultPkgs,
+		"comma-separated package paths (suffix /... for subtrees) where direct Exchange calls are forbidden")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkgs := pass.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if !lintutil.PkgMatches(pass.Pkg.Path(), pkgs) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	supp := lintutil.NewSuppressor(pass)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+		if !ok {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		// The transport.Transport shape: Exchange(ctx, ...) as a method,
+		// whether through the interface or a concrete implementation.
+		if fn.Name() != "Exchange" || sig.Recv() == nil || !firstParamIsContext(sig) {
+			return
+		}
+		if lintutil.InTestFile(pass, call.Pos()) {
+			return
+		}
+		supp.Report(pass, name, call.Pos(),
+			"direct Transport.Exchange call in %s: every upstream fetch must go through the fetch engine (resolve.Engine.Fetch)",
+			pass.Pkg.Path())
+	})
+	return nil, nil
+}
+
+func firstParamIsContext(sig *types.Signature) bool {
+	if sig.Params().Len() == 0 {
+		return false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}

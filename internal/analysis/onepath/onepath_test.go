@@ -1,0 +1,43 @@
+package onepath_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resilientdns/internal/analysis/antest"
+	"resilientdns/internal/analysis/onepath"
+)
+
+func TestOnepath(t *testing.T) {
+	prev := onepath.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if err := onepath.Analyzer.Flags.Set("pkgs", "onepath_bad,onepath_ignored,onepath_ok"); err != nil {
+		t.Fatal(err)
+	}
+	defer onepath.Analyzer.Flags.Set("pkgs", prev)
+
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	antest.Run(t, dir, onepath.Analyzer,
+		"onepath_bad", "onepath_ignored", "onepath_ok")
+}
+
+// TestOutOfScopePackage: a package not listed in -pkgs (the transport
+// layer, the stub client, ...) may exchange freely.
+func TestOutOfScopePackage(t *testing.T) {
+	prev := onepath.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if err := onepath.Analyzer.Flags.Set("pkgs", "onepath_ok"); err != nil {
+		t.Fatal(err)
+	}
+	defer onepath.Analyzer.Flags.Set("pkgs", prev)
+
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// onepath_outofscope has the forbidden shape but carries no // want
+	// expectations: any diagnostic on it fails the run, proving the
+	// pkgs filter keeps unlisted packages untouched.
+	antest.Run(t, dir, onepath.Analyzer, "onepath_outofscope")
+}

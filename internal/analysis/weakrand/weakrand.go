@@ -32,6 +32,7 @@ const name = "weakrand"
 // defaultPkgs lists the security-sensitive packages where math/rand is
 // banned outright (rule 2).
 const defaultPkgs = "resilientdns/internal/core," +
+	"resilientdns/internal/resolve," +
 	"resilientdns/internal/transport," +
 	"resilientdns/internal/stub," +
 	"resilientdns/internal/authserver," +

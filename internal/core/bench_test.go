@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/resolve"
+)
+
+// discardSink enables tracing without retaining anything, isolating the
+// per-query cost of trace bookkeeping itself.
+type discardSink struct{}
+
+func (discardSink) Observe(resolve.TraceSummary) {}
+
+// benchResolveHot measures the cache-hit path of Resolve: one warm-up
+// resolution walks the hierarchy, then every iteration is answered from
+// cache. This is the hot path the tracing overhead budget applies to.
+func benchResolveHot(b *testing.B, sink resolve.Sink) {
+	f := newFixture(b, Config{TraceSink: sink})
+	name := dnswire.MustName("www.ucla.edu.")
+	f.resolveA(b, "www.ucla.edu.")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.cs.Resolve(context.Background(), name, dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResolveCacheHit is the production default: no sink, so
+// NewTrace returns nil and every trace call is a nil-check.
+func BenchmarkResolveCacheHit(b *testing.B) { benchResolveHot(b, nil) }
+
+// BenchmarkResolveCacheHitTraced pays full trace bookkeeping per query.
+func BenchmarkResolveCacheHitTraced(b *testing.B) { benchResolveHot(b, discardSink{}) }
+
+// benchResolveMiss measures the slow path: every query is a distinct
+// name under a cached delegation, so each one runs the full pipeline
+// (coalescing flight, chain walk, iterate, one upstream exchange).
+func benchResolveMiss(b *testing.B, sink resolve.Sink) {
+	f := newFixture(b, Config{TraceSink: sink})
+	f.resolveA(b, "www.ucla.edu.") // warm the edu/ucla delegations
+	names := make([]dnswire.Name, 1024)
+	for i := range names {
+		names[i] = dnswire.MustName(fmt.Sprintf("h%d.ucla.edu.", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// NXDOMAIN answers are fine: the full resolution path still runs.
+		_, _ = f.cs.Resolve(context.Background(), names[i%len(names)], dnswire.TypeA)
+	}
+}
+
+func BenchmarkResolveMiss(b *testing.B)       { benchResolveMiss(b, nil) }
+func BenchmarkResolveMissTraced(b *testing.B) { benchResolveMiss(b, discardSink{}) }

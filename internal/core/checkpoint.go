@@ -18,10 +18,7 @@ package core
 // resolution re-confirms delegations with the parent — all safe defaults.
 
 import (
-	"time"
-
 	"resilientdns/internal/dnswire"
-	"resilientdns/internal/transport"
 )
 
 // RenewalCredits returns a copy of the per-zone renewal credit.
@@ -64,26 +61,14 @@ func (cs *CachingServer) RearmRenewals() {
 	}
 }
 
-// UpstreamServerState is one authoritative server's persisted selection
-// state: the RFC 6298 RTT estimate, the consecutive-failure count, and the
-// quarantine release time.
-type UpstreamServerState struct {
-	Addr            transport.Addr
-	SRTT            time.Duration
-	RTTVar          time.Duration
-	Samples         uint64
-	Fails           int
-	QuarantineUntil time.Time
-}
-
 // UpstreamStates returns a copy of the per-server selection state, sorted
-// by address.
+// by address. (UpstreamServerState is resolve.ServerState; see config.go.)
 func (cs *CachingServer) UpstreamStates() []UpstreamServerState {
-	return cs.upstream.export()
+	return cs.resolver.ExportServerStates()
 }
 
 // RestoreUpstreamStates rebuilds per-server selection state from a
 // checkpoint, overwriting state already accumulated for the same servers.
 func (cs *CachingServer) RestoreUpstreamStates(states []UpstreamServerState) {
-	cs.upstream.restore(states)
+	cs.resolver.RestoreServerStates(states)
 }

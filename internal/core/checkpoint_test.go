@@ -2,7 +2,6 @@ package core
 
 import (
 	"testing"
-	"time"
 
 	"resilientdns/internal/cache"
 	"resilientdns/internal/dnswire"
@@ -35,25 +34,20 @@ func TestRenewalCreditsRoundTrip(t *testing.T) {
 	}
 }
 
-func TestUpstreamStatesRoundTrip(t *testing.T) {
-	u := newUpstream(UpstreamConfig{})
-	now := epoch
-	u.observeSuccess("10.0.0.1:53", 20*time.Millisecond)
-	u.observeSuccess("10.0.0.1:53", 30*time.Millisecond)
-	u.observeFailure("10.0.0.2:53", now)
-	u.observeFailure("10.0.0.2:53", now)
-
-	states := u.export()
-	if len(states) != 2 {
-		t.Fatalf("exported %d states, want 2", len(states))
-	}
-	if states[0].Addr != "10.0.0.1:53" || states[1].Addr != "10.0.0.2:53" {
-		t.Fatalf("export not sorted by address: %+v", states)
+// TestUpstreamStatesRoundTripThroughServer checks the CachingServer's
+// checkpoint surface delegates to the pipeline's selection state. (The
+// selector's own round-trip tests live in internal/resolve.)
+func TestUpstreamStatesRoundTripThroughServer(t *testing.T) {
+	f := newFixture(t, Config{})
+	f.resolveA(t, "www.ucla.edu.")
+	states := f.cs.UpstreamStates()
+	if len(states) == 0 {
+		t.Fatal("no upstream state accumulated after a resolution")
 	}
 
-	u2 := newUpstream(UpstreamConfig{})
-	u2.restore(states)
-	again := u2.export()
+	g := newFixture(t, Config{})
+	g.cs.RestoreUpstreamStates(states)
+	again := g.cs.UpstreamStates()
 	if len(again) != len(states) {
 		t.Fatalf("restored %d states, want %d", len(again), len(states))
 	}
@@ -61,25 +55,6 @@ func TestUpstreamStatesRoundTrip(t *testing.T) {
 		if again[i] != states[i] {
 			t.Errorf("state[%d] = %+v, want %+v", i, again[i], states[i])
 		}
-	}
-	// Behavioural check: the restored failure state still quarantines.
-	if !u2.quarantined("10.0.0.2:53", now) {
-		t.Error("restored server lost its quarantine")
-	}
-}
-
-func TestRestoreUpstreamStatesSkipsInvalid(t *testing.T) {
-	u := newUpstream(UpstreamConfig{})
-	u.restore([]UpstreamServerState{
-		{Addr: "", Samples: 3},
-		{Addr: "10.0.0.9:53", Fails: -5},
-	})
-	states := u.export()
-	if len(states) != 1 {
-		t.Fatalf("restored %d states, want 1", len(states))
-	}
-	if states[0].Fails != 0 {
-		t.Errorf("negative fails not clamped: %+v", states[0])
 	}
 }
 

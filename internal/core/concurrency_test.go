@@ -324,32 +324,9 @@ func TestRenewalLoopConcurrentWithQueries(t *testing.T) {
 	}
 }
 
-// TestConcurrentQIDsUnique checks that concurrent queries never share a
-// query ID within a window of outstanding queries.
-func TestConcurrentQIDsUnique(t *testing.T) {
-	cs := newPipeHierarchy(t, Config{}, 3600, 0)
-	const n = 1000
-	ids := make([]uint16, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			ids[i] = cs.nextQID()
-		}(i)
-	}
-	wg.Wait()
-	seen := make(map[uint16]bool, n)
-	for _, id := range ids {
-		if seen[id] {
-			t.Fatalf("duplicate query ID %d within %d concurrent queries", id, n)
-		}
-		seen[id] = true
-	}
-}
-
 // TestRefetchRejectsMismatchedID ensures renewal refetches discard
-// responses whose ID does not echo the query's.
+// responses whose ID does not echo the query's. (Query-ID uniqueness
+// itself is tested with the fetch engine in internal/resolve.)
 func TestRefetchRejectsMismatchedID(t *testing.T) {
 	inner := flatRootPipe()
 	spoof := transport.HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
@@ -360,7 +337,7 @@ func TestRefetchRejectsMismatchedID(t *testing.T) {
 	cs := newPipeHierarchy(t, Config{
 		Transport: &transport.Pipe{Handlers: map[transport.Addr]transport.Handler{"10.0.0.1": spoof}},
 	}, 3600, 0)
-	_, err := cs.refetch(context.Background(), dnswire.Root, []transport.Addr{"10.0.0.1"})
+	_, err := cs.Resolver().Refetch(context.Background(), nil, dnswire.Root, []transport.Addr{"10.0.0.1"})
 	if err == nil {
 		t.Fatal("refetch accepted a response with a mismatched ID")
 	}

@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"resilientdns/internal/dnswire"
-	"resilientdns/internal/transport"
+	"resilientdns/internal/resolve"
 )
 
 // renewItem is one scheduled renewal check for a zone's cached IRRs.
@@ -118,18 +118,20 @@ func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now t
 	cs.renewMu.Unlock()
 	cs.stats.renewalQueries.Add(1)
 	// One renewal cycle gets one retry budget, like one resolution does.
-	ctx = withRetryBudget(ctx, cs.cfg.Upstream.RetryBudget)
+	ctx = resolve.WithRetryBudget(ctx, cs.cfg.Upstream.RetryBudget)
+	tr := cs.resolver.NewTrace(resolve.KindRenewal, zone, dnswire.TypeNS)
 
-	// Refetch the zone's own NS RRset from its servers. The response's
-	// answer carries the NS set and its glue, which ingest re-caches with
-	// answer credibility, resetting the TTL.
-	addrs := cs.zoneAddrs(e.RRs)
-	resp, err := cs.refetch(ctx, zone, addrs)
+	// Refetch the zone's own NS RRset from its servers through the shared
+	// fetch engine. The response's answer carries the NS set and its glue,
+	// which ingest re-caches with answer credibility, resetting the TTL.
+	addrs := cs.resolver.ZoneAddrs(e.RRs)
+	resp, err := cs.resolver.Refetch(ctx, tr, zone, addrs)
 	if err != nil {
 		cs.stats.renewalFailed.Add(1)
+		cs.resolver.FinishTrace(tr, nil, err)
 		return true
 	}
-	cs.ingest(resp, zone, zone)
+	cs.resolver.Ingest(resp, zone, zone)
 	// Guarantee the renewal outcome even if credibility rules would have
 	// ignored the copies: renewal explicitly extends the zone's IRRs (NS
 	// and server addresses).
@@ -140,52 +142,11 @@ func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now t
 		cs.cache.Extend(host, dnswire.TypeAAAA)
 	}
 	cs.stats.renewals.Add(1)
+	cs.resolver.FinishTrace(tr, &Result{RCode: dnswire.RCodeNoError}, nil)
 	if ne := cs.cache.Peek(zone, dnswire.TypeNS); ne != nil {
 		cs.scheduleRenewal(zone, ne.Expires)
 	}
 	return true
-}
-
-// zoneAddrs collects the cached addresses of the NS hosts in set. Hosts
-// with no A record fall back to cached AAAA glue (renewal extends both
-// families, so either may be the one still alive).
-func (cs *CachingServer) zoneAddrs(set []dnswire.RR) []transport.Addr {
-	var addrs []transport.Addr
-	for _, rr := range set {
-		ns, ok := rr.Data.(dnswire.NS)
-		if !ok {
-			continue
-		}
-		if ae := cs.cache.Peek(ns.Host, dnswire.TypeA); ae != nil {
-			for _, arr := range ae.RRs {
-				addrs = append(addrs, cs.cfg.AddrMapper(arr.Data.(dnswire.A).Addr))
-			}
-			continue
-		}
-		if ae := cs.cache.Peek(ns.Host, dnswire.TypeAAAA); ae != nil {
-			for _, arr := range ae.RRs {
-				addrs = append(addrs, cs.cfg.AddrMapper(arr.Data.(dnswire.AAAA).Addr))
-			}
-		}
-	}
-	return addrs
-}
-
-// refetch sends a NS query for zone to its own servers through the same
-// upstream failover loop the query path uses, sharing its RTT estimates
-// and quarantine state. Unlike resolution queries, refetches do not
-// update renewal credit: only genuine demand keeps a zone alive,
-// otherwise renewal would sustain itself forever. No lock is held here;
-// the transport round-trips run concurrently with query traffic.
-func (cs *CachingServer) refetch(ctx context.Context, zone dnswire.Name, addrs []transport.Addr) (*dnswire.Message, error) {
-	if len(addrs) == 0 {
-		return nil, transport.ErrServerUnreachable
-	}
-	q := dnswire.NewQuery(cs.nextQID(), zone, dnswire.TypeNS)
-	if cs.cfg.AdvertiseEDNS0 {
-		q.SetEDNS0(dnswire.DefaultEDNS0PayloadSize)
-	}
-	return cs.exchangeFailover(ctx, addrs, q)
 }
 
 // RunRenewalLoop services renewals in real time until ctx is cancelled.

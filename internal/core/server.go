@@ -2,216 +2,42 @@ package core
 
 import (
 	"context"
-	crand "crypto/rand"
-	"encoding/binary"
 	"errors"
-	"fmt"
-	"net/netip"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"resilientdns/internal/cache"
-	"resilientdns/internal/dnssec"
 	"resilientdns/internal/dnswire"
+	"resilientdns/internal/resolve"
 	"resilientdns/internal/simclock"
 	"resilientdns/internal/transport"
 )
 
-// ServerRef names one authoritative server endpoint.
-type ServerRef struct {
-	// Host is the server's DNS name (e.g. "a.root-servers.net.").
-	Host dnswire.Name
-	// Addr is where to reach it.
-	Addr transport.Addr
-}
-
-// Config parameterises a CachingServer.
-type Config struct {
-	// Transport carries queries to authoritative servers. Required.
-	Transport transport.Transport
-	// Clock supplies time; defaults to the wall clock.
-	Clock simclock.Clock
-	// RootHints are the hard-coded root servers every caching server
-	// knows (§2). Required.
-	RootHints []ServerRef
-
-	// RefreshTTL enables the paper's TTL-refresh scheme.
-	RefreshTTL bool
-	// Renewal enables credit-based TTL renewal with the given policy;
-	// nil disables renewal.
-	Renewal RenewalPolicy
-	// MaxTTL clamps cached TTLs; defaults to 7 days (§6: caching servers
-	// do not accept arbitrarily large TTL values, which also bounds how
-	// long a reclaimed delegation can linger).
-	MaxTTL time.Duration
-	// NegativeTTL caches NXDOMAIN/NODATA outcomes for this long; zero
-	// disables negative caching (the paper's simulations ignore it).
-	NegativeTTL time.Duration
-	// ServeStale retains expired records for this long and serves them as
-	// a last resort when resolution fails — the Ballani & Francis
-	// HotNets'06 baseline from the paper's related work (§7), ancestor of
-	// RFC 8767. Zero disables it.
-	ServeStale time.Duration
-	// Prefetch re-fetches a cached answer when a query hits it within
-	// the last tenth of its TTL — unbound's prefetch behaviour, the other
-	// modern cousin of the paper's renewal scheme (data records instead
-	// of IRRs).
-	Prefetch bool
-
-	// MaxReferrals bounds one resolution's downward steps (default 24).
-	MaxReferrals int
-	// MaxCNAME bounds CNAME chain chasing (default 8).
-	MaxCNAME int
-
-	// OnGap observes IRR expiry-to-reuse gaps (Fig. 3).
-	OnGap cache.GapFunc
-
-	// OnCacheChange observes committed cache mutations (see
-	// cache.Config.OnChange); the persistence journal hangs off it. Nil in
-	// the simulator, which never persists.
-	OnCacheChange cache.ChangeFunc
-
-	// ValidateDNSSEC verifies answers from signed zones against the
-	// DS→DNSKEY chain rooted at TrustAnchors (§6: DNSSEC's DS and DNSKEY
-	// sets are infrastructure records and flow through the same cache).
-	ValidateDNSSEC bool
-	// TrustAnchors are trusted DNSKEY RRs (normally the root zone's).
-	TrustAnchors []dnswire.RR
-
-	// AdvertiseEDNS0 attaches an EDNS0 OPT record advertising a 4096-byte
-	// UDP payload to outgoing queries, avoiding TCP fallback for large
-	// referrals.
-	AdvertiseEDNS0 bool
-
-	// ParentRecheckInterval forces a query to a zone's parent when the
-	// cached delegation has not been confirmed by the parent for this
-	// long, so reclaimed delegations surface even under indefinite
-	// refresh/renewal (§6 "Deployment Issues"; the paper suggests 7
-	// days). Zero disables the recheck.
-	ParentRecheckInterval time.Duration
-
-	// AddrMapper converts a name server's address record into a transport
-	// address. The default uses the bare IP string (the simulator's
-	// convention); live deployments typically append ":53".
-	AddrMapper func(addr netip.Addr) transport.Addr
-
-	// Upstream tunes the robustness layer shared by the query, renewal,
-	// and prefetch paths (RTT-aware server selection, adaptive per-attempt
-	// timeouts, failure quarantine, retry budget). The zero value enables
-	// it with defaults; set Upstream.Disable for the legacy round-robin
-	// behaviour.
-	Upstream UpstreamConfig
-}
-
-// Stats counts a caching server's activity. Counters are cumulative;
-// subtract two snapshots to measure an interval.
-type Stats struct {
-	// QueriesIn counts Resolve calls (stub-resolver queries).
-	QueriesIn uint64
-	// Resolved counts Resolve calls that produced an answer, including
-	// authoritative negative answers.
-	Resolved uint64
-	// Failed counts Resolve calls that failed (servers unreachable).
-	Failed uint64
-	// CacheAnswered counts Resolve calls served entirely from cache.
-	CacheAnswered uint64
-	// Coalesced counts Resolve calls that joined another in-flight
-	// resolution of the same (name, type) instead of resolving
-	// themselves.
-	Coalesced uint64
-
-	// QueriesOut counts queries sent to authoritative servers, renewal
-	// refetches included.
-	QueriesOut uint64
-	// QueriesOutFailed counts those that timed out or were unreachable.
-	QueriesOutFailed uint64
-
-	// RenewalQueries counts refetches issued by the renewal scheduler.
-	RenewalQueries uint64
-	// RenewalFailed counts renewal refetches that failed entirely.
-	RenewalFailed uint64
-	// Renewals counts successful renew cycles.
-	Renewals uint64
-
-	// Referrals counts referral responses followed.
-	Referrals uint64
-	// StaleAnswers counts expired records served under ServeStale.
-	StaleAnswers uint64
-	// PrefetchQueries counts early refreshes issued by Prefetch.
-	PrefetchQueries uint64
-
-	// Retries counts upstream failover attempts beyond the first within a
-	// single zone query or renewal refetch.
-	Retries uint64
-	// QuarantineSkips counts quarantined servers deprioritized behind a
-	// healthy one during upstream selection.
-	QuarantineSkips uint64
-	// BudgetExhausted counts failover loops cut short because the
-	// resolution spent its upstream retry budget.
-	BudgetExhausted uint64
-}
-
-// statCounters is the lock-free internal form of Stats.
-type statCounters struct {
-	queriesIn, resolved, failed, cacheAnswered, coalesced atomic.Uint64
-	queriesOut, queriesOutFailed                          atomic.Uint64
-	renewalQueries, renewalFailed, renewals               atomic.Uint64
-	referrals, staleAnswers, prefetchQueries              atomic.Uint64
-	retries, quarantineSkips, budgetExhausted             atomic.Uint64
-}
-
-// snapshot reads every counter into an exported Stats value.
-func (s *statCounters) snapshot() Stats {
-	return Stats{
-		QueriesIn:        s.queriesIn.Load(),
-		Resolved:         s.resolved.Load(),
-		Failed:           s.failed.Load(),
-		CacheAnswered:    s.cacheAnswered.Load(),
-		Coalesced:        s.coalesced.Load(),
-		QueriesOut:       s.queriesOut.Load(),
-		QueriesOutFailed: s.queriesOutFailed.Load(),
-		RenewalQueries:   s.renewalQueries.Load(),
-		RenewalFailed:    s.renewalFailed.Load(),
-		Renewals:         s.renewals.Load(),
-		Referrals:        s.referrals.Load(),
-		StaleAnswers:     s.staleAnswers.Load(),
-		PrefetchQueries:  s.prefetchQueries.Load(),
-		Retries:          s.retries.Load(),
-		QuarantineSkips:  s.quarantineSkips.Load(),
-		BudgetExhausted:  s.budgetExhausted.Load(),
-	}
-}
-
-// Result is a completed resolution.
-type Result struct {
-	RCode dnswire.RCode
-	// Answer holds the answer-section records (CNAME chains included).
-	Answer []dnswire.RR
-	// FromCache reports that no authoritative query was needed.
-	FromCache bool
-}
-
-// ErrResolutionFailed reports that every reachable path to the answer was
-// exhausted (the paper's "failed query").
-var ErrResolutionFailed = errors.New("core: resolution failed")
-
-// CachingServer is the paper's modified caching server (CS). It is safe
-// for concurrent use: the cache is sharded internally, the remaining
-// state is split into independently locked components (see the lock
-// comments below), and no lock is ever held across a Transport.Exchange
-// round-trip. Concurrent Resolve calls for the same (name, type) coalesce
-// into one upstream resolution. The trace-driven simulator uses the same
-// code single-threaded, where every operation stays deterministic.
+// CachingServer is the paper's modified caching server (CS): the policy
+// shell around the resolution pipeline in internal/resolve. The pipeline
+// owns cache lookup, CNAME chasing, iteration, validation/ingest, and the
+// stale fallback, plus the single fetch engine every upstream exchange
+// goes through; this type keeps what is policy rather than mechanism —
+// request coalescing, renewal credit and the renewal scheduler, and the
+// frontend counters — and wires itself into the pipeline via
+// resolve.Hooks.
+//
+// It is safe for concurrent use: the cache is sharded internally, the
+// remaining state is split into independently locked components, and no
+// lock is ever held across a Transport.Exchange round-trip. Concurrent
+// Resolve calls for the same (name, type) coalesce into one upstream
+// resolution. The trace-driven simulator uses the same code
+// single-threaded, where every operation stays deterministic.
 //
 // Lock hierarchy (a goroutine may only take locks downward in this list,
 // and never holds one across upstream I/O):
 //
 //	flightMu > renewMu > cache shard locks
-//	negMu, parentMu, secMu are leaves taken on their own.
+//	the resolver's negMu, parentMu, secMu are leaves taken on their own.
 type CachingServer struct {
-	cfg   Config
-	cache *cache.Cache
+	cfg      Config
+	cache    *cache.Cache
+	resolver *resolve.Resolver
 
 	// renewMu guards the renewal scheduler: per-zone credit, the due
 	// queue, and the scheduled set.
@@ -220,53 +46,16 @@ type CachingServer struct {
 	renew     renewQueue
 	scheduled map[dnswire.Name]bool
 
-	// negMu guards the negative-answer cache.
-	negMu    sync.Mutex
-	negative map[cache.Key]negEntry
-
-	// parentMu guards parentSeen, which records when each zone's
-	// delegation was last confirmed by a referral from the parent.
-	parentMu   sync.Mutex
-	parentSeen map[dnswire.Name]time.Time
-
-	// secMu guards the DNSSEC chain state: validator (nil when not
-	// validating) and the insecure-zone cache.
-	secMu     sync.Mutex
-	validator *dnssec.Validator
-	insecure  map[dnswire.Name]bool
-
 	// flightMu guards the in-flight resolution table.
 	flightMu sync.Mutex
 	flight   map[cache.Key]*flightCall
 
 	stats statCounters
-	// qid is the outgoing query-ID counter: seeded from crypto/rand and
-	// advanced atomically, so concurrent queries never share an ID and
-	// the sequence does not restart at a guessable value.
-	qid atomic.Uint32
-	// upstream holds the per-server selection state (RTT estimates,
-	// quarantine) shared by the query, renewal, and prefetch paths; it has
-	// its own internal lock, taken only for short state reads/updates and
-	// never across an exchange.
-	upstream *upstream
 }
 
-// maxGlueDepth bounds nested resolutions of out-of-bailiwick name-server
-// addresses.
-const maxGlueDepth = 4
-
-// staleServeTTL is the TTL stamped on stale answers (RFC 8767 recommends
-// a short value so clients re-try soon).
-const staleServeTTL = 30
-
-// defaultTimeouts and loop bounds.
-const (
-	defaultMaxReferrals = 24
-	defaultMaxCNAME     = 8
-	// renewLead is how far before expiry a renewal refetch fires ("just
-	// before they are ready to expire", §4).
-	renewLead = time.Second
-)
+// renewLead is how far before expiry a renewal refetch fires ("just
+// before they are ready to expire", §4).
+const renewLead = time.Second
 
 // NewCachingServer builds a caching server from cfg.
 func NewCachingServer(cfg Config) (*CachingServer, error) {
@@ -276,17 +65,11 @@ func NewCachingServer(cfg Config) (*CachingServer, error) {
 	if len(cfg.RootHints) == 0 {
 		return nil, errors.New("core: Config.RootHints is required")
 	}
+	if cfg.ValidateDNSSEC && len(cfg.TrustAnchors) == 0 {
+		return nil, errors.New("core: ValidateDNSSEC requires TrustAnchors")
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real{}
-	}
-	if cfg.MaxReferrals == 0 {
-		cfg.MaxReferrals = defaultMaxReferrals
-	}
-	if cfg.MaxCNAME == 0 {
-		cfg.MaxCNAME = defaultMaxCNAME
-	}
-	if cfg.AddrMapper == nil {
-		cfg.AddrMapper = func(a netip.Addr) transport.Addr { return transport.Addr(a.String()) }
 	}
 	cs := &CachingServer{
 		cfg: cfg,
@@ -298,32 +81,50 @@ func NewCachingServer(cfg Config) (*CachingServer, error) {
 			OnChange:        cfg.OnCacheChange,
 			KeepStale:       cfg.ServeStale,
 		}),
-		credits:    make(map[dnswire.Name]float64),
-		scheduled:  make(map[dnswire.Name]bool),
-		parentSeen: make(map[dnswire.Name]time.Time),
-		flight:     make(map[cache.Key]*flightCall),
-		upstream:   newUpstream(cfg.Upstream),
+		credits:   make(map[dnswire.Name]float64),
+		scheduled: make(map[dnswire.Name]bool),
+		flight:    make(map[cache.Key]*flightCall),
 	}
-	var seed [4]byte
-	if _, err := crand.Read(seed[:]); err != nil {
-		return nil, fmt.Errorf("core: seeding query IDs: %w", err)
+	rootAddrs := make([]transport.Addr, 0, len(cfg.RootHints))
+	for _, h := range cfg.RootHints {
+		rootAddrs = append(rootAddrs, h.Addr)
 	}
-	cs.qid.Store(binary.LittleEndian.Uint32(seed[:]))
-	if cfg.ValidateDNSSEC {
-		if len(cfg.TrustAnchors) == 0 {
-			return nil, errors.New("core: ValidateDNSSEC requires TrustAnchors")
-		}
-		cs.validator = dnssec.NewValidator(cfg.TrustAnchors...)
-		cs.insecure = make(map[dnswire.Name]bool)
+	hooks := resolve.Hooks{ZoneQueried: cs.updateCredit}
+	if cfg.Renewal != nil {
+		hooks.InfraCached = cs.scheduleRenewal
 	}
+	r, err := resolve.New(resolve.Config{
+		Transport:             cfg.Transport,
+		Clock:                 cfg.Clock,
+		Cache:                 cs.cache,
+		RootAddrs:             rootAddrs,
+		NegativeTTL:           cfg.NegativeTTL,
+		ServeStale:            cfg.ServeStale,
+		Prefetch:              cfg.Prefetch,
+		AsyncPrefetch:         cfg.AsyncPrefetch,
+		PrefetchWorkers:       cfg.PrefetchWorkers,
+		PrefetchQueue:         cfg.PrefetchQueue,
+		MaxReferrals:          cfg.MaxReferrals,
+		MaxCNAME:              cfg.MaxCNAME,
+		ValidateDNSSEC:        cfg.ValidateDNSSEC,
+		TrustAnchors:          cfg.TrustAnchors,
+		AdvertiseEDNS0:        cfg.AdvertiseEDNS0,
+		ParentRecheckInterval: cfg.ParentRecheckInterval,
+		AddrMapper:            cfg.AddrMapper,
+		Upstream:              cfg.Upstream,
+		Hooks:                 hooks,
+		TraceSink:             cfg.TraceSink,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cs.resolver = r
 	return cs, nil
 }
 
-// nextQID returns a fresh 16-bit query ID.
-func (cs *CachingServer) nextQID() uint16 { return uint16(cs.qid.Add(1)) }
-
-// Stats returns a snapshot of the counters.
-func (cs *CachingServer) Stats() Stats { return cs.stats.snapshot() }
+// Close releases background resources (the async prefetch pool, when
+// enabled). Safe to call more than once.
+func (cs *CachingServer) Close() { cs.resolver.Close() }
 
 // CacheStats reports cache occupancy after sweeping expired entries.
 func (cs *CachingServer) CacheStats() cache.Stats {
@@ -334,14 +135,30 @@ func (cs *CachingServer) CacheStats() cache.Stats {
 // Cache exposes the underlying cache for tests and examples.
 func (cs *CachingServer) Cache() *cache.Cache { return cs.cache }
 
+// Resolver exposes the resolution pipeline: the trace/latency surface
+// (LatencySnapshots), the fetch engine, and the refetch path used by
+// diagnostics and tests.
+func (cs *CachingServer) Resolver() *resolve.Resolver { return cs.resolver }
+
+// SecureZone reports whether zname currently has a validated key chain
+// (true), is known insecure (false), with known=false when undetermined.
+func (cs *CachingServer) SecureZone(zname dnswire.Name) (secure, known bool) {
+	return cs.resolver.SecureZone(zname)
+}
+
 // Resolve answers one stub-resolver query. Concurrent calls for the same
-// (name, type) share a single upstream resolution.
+// (name, type) share a single upstream resolution. When a TraceSink is
+// configured the query gets a trace covering its cache hot path and
+// coalescing outcome; the shared flight carries its own trace (it serves
+// many queries, so its timings belong to no single caller).
 func (cs *CachingServer) Resolve(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
 	cs.stats.queriesIn.Add(1)
-	res, err := cs.resolveFromCache(qname, qtype)
+	tr := cs.resolver.NewTrace(resolve.KindQuery, qname, qtype)
+	res, err := cs.resolver.Lookup(tr, qname, qtype)
 	if err == nil && res == nil {
-		res, err = cs.resolveCoalesced(ctx, qname, qtype)
+		res, err = cs.resolveCoalesced(ctx, tr, qname, qtype)
 	}
+	cs.resolver.FinishTrace(tr, res, err)
 	if err != nil {
 		cs.stats.failed.Add(1)
 		return nil, err
@@ -353,421 +170,8 @@ func (cs *CachingServer) Resolve(ctx context.Context, qname dnswire.Name, qtype 
 	return res, nil
 }
 
-// resolveFromCache attempts to answer qname/qtype purely from live cached
-// data — the lock-free hot path, which never enters the in-flight table.
-// It returns (nil, nil) when upstream work is (or may be) needed, leaving
-// the full resolution to the coalesced slow path. The lookup sequence per
-// CNAME hop mirrors resolveOne's cache section exactly, so cache counters
-// and gap tombstones behave as if the slow path had run.
-func (cs *CachingServer) resolveFromCache(qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
-	now := cs.cfg.Clock.Now()
-	var answer []dnswire.RR
-	cur := qname
-	for hop := 0; hop <= cs.cfg.MaxCNAME; hop++ {
-		if e := cs.cache.Get(cur, qtype); e != nil {
-			if cs.prefetchDue(e, now) {
-				return nil, nil // let the slow path issue the prefetch
-			}
-			answer = append(answer, e.RRsWithRemainingTTL(now)...)
-			return &Result{RCode: dnswire.RCodeNoError, Answer: answer, FromCache: true}, nil
-		}
-		if qtype != dnswire.TypeCNAME {
-			if e := cs.cache.Get(cur, dnswire.TypeCNAME); e != nil {
-				rrs := e.RRsWithRemainingTTL(now)
-				answer = append(answer, rrs...)
-				if target, ok := cnameTarget(rrs, cur, qtype); ok {
-					cur = target
-					continue
-				}
-				return &Result{RCode: dnswire.RCodeNoError, Answer: answer, FromCache: true}, nil
-			}
-		}
-		if rcode, ok := cs.negativeLookup(cur, qtype, now); ok {
-			return &Result{RCode: rcode, Answer: answer, FromCache: true}, nil
-		}
-		return nil, nil
-	}
-	// A fully cached CNAME chain longer than MaxCNAME: fail exactly as
-	// the slow path would.
-	return nil, fmt.Errorf("%w: CNAME chain too long for %s", ErrResolutionFailed, qname)
-}
-
-// prefetchDue reports whether a cache hit falls in the prefetch window
-// (the last tenth of the entry's TTL).
-func (cs *CachingServer) prefetchDue(e *cache.Entry, now time.Time) bool {
-	return cs.cfg.Prefetch && e.Expires.Sub(now) <= e.OrigTTL/10
-}
-
-// resolveChain resolves qname/qtype, chasing CNAMEs across zones.
-func (cs *CachingServer) resolveChain(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
-	var answer []dnswire.RR
-	fromCache := true
-	cur := qname
-	for hop := 0; hop <= cs.cfg.MaxCNAME; hop++ {
-		step, err := cs.resolveOne(ctx, cur, qtype, 0)
-		if err != nil {
-			return nil, err
-		}
-		answer = append(answer, step.Answer...)
-		fromCache = fromCache && step.FromCache
-		if step.RCode != dnswire.RCodeNoError {
-			return &Result{RCode: step.RCode, Answer: answer, FromCache: fromCache}, nil
-		}
-		if target, ok := cnameTarget(step.Answer, cur, qtype); ok {
-			cur = target
-			continue
-		}
-		return &Result{RCode: dnswire.RCodeNoError, Answer: answer, FromCache: fromCache}, nil
-	}
-	return nil, fmt.Errorf("%w: CNAME chain too long for %s", ErrResolutionFailed, qname)
-}
-
-// cnameTarget returns the target to chase when rrs answer name only via a
-// CNAME and the query was not for the CNAME itself.
-func cnameTarget(rrs []dnswire.RR, name dnswire.Name, qtype dnswire.Type) (dnswire.Name, bool) {
-	if qtype == dnswire.TypeCNAME {
-		return "", false
-	}
-	var target dnswire.Name
-	found := false
-	for _, rr := range rrs {
-		if rr.Type() == qtype {
-			return "", false // real answer present
-		}
-		if rr.Name == name && rr.Type() == dnswire.TypeCNAME {
-			target = rr.Data.(dnswire.CNAME).Target
-			found = true
-		}
-	}
-	return target, found
-}
-
-// resolveOne resolves a single (name, type) without CNAME chasing across
-// calls: a cached or received CNAME is returned for the caller to chase.
-// depth counts nested glue resolutions.
-func (cs *CachingServer) resolveOne(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, depth int) (*Result, error) {
-	now := cs.cfg.Clock.Now()
-	// Cache: exact answer, then a cached CNAME.
-	if e := cs.cache.Get(qname, qtype); e != nil {
-		cs.maybePrefetch(ctx, e, qname, qtype, depth, now)
-		return &Result{RCode: dnswire.RCodeNoError, Answer: e.RRsWithRemainingTTL(now), FromCache: true}, nil
-	}
-	if qtype != dnswire.TypeCNAME {
-		if e := cs.cache.Get(qname, dnswire.TypeCNAME); e != nil {
-			return &Result{RCode: dnswire.RCodeNoError, Answer: e.RRsWithRemainingTTL(now), FromCache: true}, nil
-		}
-	}
-	if rcode, ok := cs.negativeLookup(qname, qtype, now); ok {
-		return &Result{RCode: rcode, FromCache: true}, nil
-	}
-	validate := cs.cfg.ValidateDNSSEC && depth == 0
-	res, _, err := cs.iterate(ctx, qname, qtype, depth, validate, false)
-	if err != nil && cs.cfg.ServeStale > 0 {
-		// Retry using stale IRRs: expired NS/glue still point at child
-		// servers that may be alive even though the upper hierarchy is
-		// not (the serve-stale baseline's main power in this attack).
-		if res2, _, err2 := cs.iterate(ctx, qname, qtype, depth, validate, true); err2 == nil {
-			return res2, nil
-		}
-		if stale := cs.staleAnswer(qname, qtype); stale != nil {
-			return stale, nil
-		}
-	}
-	return res, err
-}
-
-// maybePrefetch refreshes a cache entry early when a query arrives in the
-// last tenth of its TTL (unbound-style prefetch). The refetch happens
-// inline before the cached data is returned, so the caller still gets the
-// (valid) cached answer even if the refetch fails.
-func (cs *CachingServer) maybePrefetch(ctx context.Context, e *cache.Entry, qname dnswire.Name, qtype dnswire.Type, depth int, now time.Time) {
-	if !cs.cfg.Prefetch || depth > 0 {
-		return
-	}
-	remaining := e.Expires.Sub(now)
-	if remaining > e.OrigTTL/10 {
-		return
-	}
-	cs.stats.prefetchQueries.Add(1)
-	// A fresh fetch restarts the entry's lifetime; failures are harmless
-	// (the cached copy is still live). The explicit Extend covers the
-	// cache's conservative replacement rules for identical data.
-	if _, _, err := cs.iterate(ctx, qname, qtype, depth+1, false, false); err == nil {
-		cs.cache.Extend(qname, qtype)
-	}
-}
-
-// staleAnswer serves an expired cached answer after live resolution
-// failed, per the serve-stale baseline. A stale CNAME is not returned
-// bare: the chain is chased through the stale cache, up to MaxCNAME hops,
-// so the client receives the terminal records whenever they are still
-// held. When only a prefix of the chain is cached the partial chain is
-// returned (ending in a CNAME) and resolveChain chases the tail, trying
-// live resolution first for each remaining hop.
-func (cs *CachingServer) staleAnswer(qname dnswire.Name, qtype dnswire.Type) *Result {
-	var answer []dnswire.RR
-	cur := qname
-	for hop := 0; hop <= cs.cfg.MaxCNAME; hop++ {
-		e := cs.cache.GetStale(cur, qtype)
-		if e == nil && qtype != dnswire.TypeCNAME {
-			e = cs.cache.GetStale(cur, dnswire.TypeCNAME)
-		}
-		if e == nil {
-			break
-		}
-		cs.stats.staleAnswers.Add(1)
-		rrs := make([]dnswire.RR, len(e.RRs))
-		copy(rrs, e.RRs)
-		for i := range rrs {
-			rrs[i].TTL = staleServeTTL
-		}
-		answer = append(answer, rrs...)
-		if target, ok := cnameTarget(rrs, cur, qtype); ok {
-			cur = target
-			continue
-		}
-		break // terminal records (or the CNAME itself was the question)
-	}
-	if len(answer) == 0 {
-		return nil
-	}
-	return &Result{RCode: dnswire.RCodeNoError, Answer: answer, FromCache: true}
-}
-
-// iterate walks the DNS hierarchy from the deepest zone with cached IRRs
-// down to the zone authoritative for qname.
-func (cs *CachingServer) iterate(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, depth int, validate, stale bool) (*Result, *dnswire.Message, error) {
-	var lastErr error
-	prevZone := dnswire.Name("")
-	for step := 0; step < cs.cfg.MaxReferrals; step++ {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, fmt.Errorf("%w: %s %s: %v", ErrResolutionFailed, qname, qtype, err)
-		}
-		zname, servers := cs.deepestKnownZone(qname, qtype, stale)
-		if zname == prevZone {
-			// A referral that does not descend (e.g. the child's servers
-			// have no resolvable addresses) would loop forever.
-			return nil, nil, fmt.Errorf("%w: %s %s: no progress below zone %s",
-				ErrResolutionFailed, qname, qtype, zname)
-		}
-		prevZone = zname
-		resp, err := cs.queryZone(ctx, zname, servers, qname, qtype)
-		if err != nil {
-			lastErr = err
-			if zname.IsRoot() {
-				// Even the root hints failed: the query is lost (§3).
-				return nil, nil, fmt.Errorf("%w: %s %s: %v", ErrResolutionFailed, qname, qtype, err)
-			}
-			// The zone's cached IRRs are stale or its servers are down;
-			// discard them and climb to an ancestor (§4 "Long TTL": in
-			// the worst case the parent zone must be queried to reset
-			// the IRR).
-			cs.cache.Evict(zname, dnswire.TypeNS)
-			continue
-		}
-
-		cs.ingest(resp, zname, qname)
-
-		switch {
-		case resp.RCode == dnswire.RCodeNXDomain:
-			cs.negativeStore(qname, qtype, dnswire.RCodeNXDomain)
-			return &Result{RCode: dnswire.RCodeNXDomain}, resp, nil
-
-		case resp.RCode != dnswire.RCodeNoError:
-			// Lame or broken server; treat the zone as unusable.
-			lastErr = fmt.Errorf("core: %s from %s", resp.RCode, zname)
-			if zname.IsRoot() {
-				return nil, nil, fmt.Errorf("%w: %v", ErrResolutionFailed, lastErr)
-			}
-			cs.cache.Evict(zname, dnswire.TypeNS)
-			continue
-
-		case answersQuestion(resp, qname, qtype):
-			if validate && cs.validator != nil {
-				if err := cs.validateAnswer(ctx, zname, resp, depth); err != nil {
-					return nil, nil, fmt.Errorf("%w: %v", ErrResolutionFailed, err)
-				}
-			}
-			return &Result{RCode: dnswire.RCodeNoError, Answer: relevantAnswers(resp, qname, qtype)}, resp, nil
-
-		case isReferral(resp, zname):
-			cs.stats.referrals.Add(1)
-			cs.resolveMissingGlue(ctx, referralChild(resp, zname), depth)
-			continue // deepestKnownZone now finds the child's IRRs
-
-		default:
-			// Authoritative empty answer: NODATA.
-			cs.negativeStore(qname, qtype, dnswire.RCodeNoError)
-			return &Result{RCode: dnswire.RCodeNoError}, resp, nil
-		}
-	}
-	if lastErr == nil {
-		lastErr = errors.New("referral limit exceeded")
-	}
-	return nil, nil, fmt.Errorf("%w: %s %s: %v", ErrResolutionFailed, qname, qtype, lastErr)
-}
-
-// deepestKnownZone returns the deepest ancestor zone of qname whose IRRs
-// (NS plus at least one server address) are cached, falling back to the
-// root hints.
-func (cs *CachingServer) deepestKnownZone(qname dnswire.Name, qtype dnswire.Type, stale bool) (dnswire.Name, []transport.Addr) {
-	now := cs.cfg.Clock.Now()
-	get := func(name dnswire.Name, t dnswire.Type) *cache.Entry {
-		if e := cs.cache.Get(name, t); e != nil {
-			return e
-		}
-		if stale {
-			return cs.cache.GetStale(name, t)
-		}
-		return nil
-	}
-	for _, anc := range qname.Ancestors() {
-		if anc.IsRoot() {
-			break
-		}
-		if qtype == dnswire.TypeDS && anc == qname {
-			// The parent side is authoritative for the DS RRset at a
-			// delegation; never ask the child about its own DS.
-			continue
-		}
-		e := get(anc, dnswire.TypeNS)
-		if e == nil {
-			continue
-		}
-		if iv := cs.cfg.ParentRecheckInterval; iv > 0 && !stale {
-			if seen, ok := cs.parentLastSeen(anc); !ok || now.Sub(seen) > iv {
-				// The delegation is overdue for confirmation: pretend the
-				// IRRs are unknown so resolution re-visits the parent.
-				continue
-			}
-		}
-		var addrs []transport.Addr
-		for _, rr := range e.RRs {
-			host := rr.Data.(dnswire.NS).Host
-			if ae := get(host, dnswire.TypeA); ae != nil {
-				for _, arr := range ae.RRs {
-					addrs = append(addrs, cs.cfg.AddrMapper(arr.Data.(dnswire.A).Addr))
-				}
-				continue
-			}
-			// No A glue for this host: fall back to cached AAAA glue, which
-			// renewal keeps alive alongside A (renewZone extends both).
-			if ae := get(host, dnswire.TypeAAAA); ae != nil {
-				for _, arr := range ae.RRs {
-					addrs = append(addrs, cs.cfg.AddrMapper(arr.Data.(dnswire.AAAA).Addr))
-				}
-			}
-		}
-		if len(addrs) > 0 {
-			return anc, addrs
-		}
-	}
-	addrs := make([]transport.Addr, 0, len(cs.cfg.RootHints))
-	for _, h := range cs.cfg.RootHints {
-		addrs = append(addrs, h.Addr)
-	}
-	return dnswire.Root, addrs
-}
-
-// parentLastSeen returns when zone's delegation was last confirmed by its
-// parent.
-func (cs *CachingServer) parentLastSeen(zone dnswire.Name) (time.Time, bool) {
-	cs.parentMu.Lock()
-	defer cs.parentMu.Unlock()
-	seen, ok := cs.parentSeen[zone]
-	return seen, ok
-}
-
-// queryZone sends (qname, qtype) to the zone's servers through the
-// upstream failover loop. The zone's renewal credit is updated only after
-// a validated response arrives: a query that every server fails never
-// earns the zone credit towards renewing IRRs that evidently cannot be
-// refetched. No lock is held across the Exchange round-trips.
-func (cs *CachingServer) queryZone(ctx context.Context, zname dnswire.Name, servers []transport.Addr, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
-	if len(servers) == 0 {
-		return nil, fmt.Errorf("%w: no addresses for zone %s", transport.ErrServerUnreachable, zname)
-	}
-	q := dnswire.NewQuery(cs.nextQID(), qname, qtype)
-	if cs.cfg.AdvertiseEDNS0 {
-		q.SetEDNS0(dnswire.DefaultEDNS0PayloadSize)
-	}
-	resp, err := cs.exchangeFailover(ctx, servers, q)
-	if err != nil {
-		return nil, err
-	}
-	cs.updateCredit(zname)
-	return resp, nil
-}
-
-// exchangeFailover tries each of servers in the upstream layer's
-// preferred order (healthy by ascending SRTT, then quarantined) until one
-// returns a validated response. Every path that talks upstream — zone
-// queries, renewal refetches, prefetch — funnels through here, so RTT
-// estimates, quarantine state, and the retry budget are shared across all
-// of them. A cancelled client must not keep burning upstream attempts, so
-// the loop re-checks ctx before every attempt.
-func (cs *CachingServer) exchangeFailover(ctx context.Context, servers []transport.Addr, q *dnswire.Message) (*dnswire.Message, error) {
-	ordered, skipped := cs.upstream.order(servers, cs.cfg.Clock.Now())
-	if skipped > 0 {
-		cs.stats.quarantineSkips.Add(uint64(skipped))
-	}
-	var lastErr error
-	for i, addr := range ordered {
-		if err := ctx.Err(); err != nil {
-			if lastErr == nil {
-				lastErr = err
-			}
-			return nil, lastErr
-		}
-		if !takeAttempt(ctx) {
-			cs.stats.budgetExhausted.Add(1)
-			if lastErr != nil {
-				return nil, fmt.Errorf("%w (last attempt: %v)", errBudgetExhausted, lastErr)
-			}
-			return nil, errBudgetExhausted
-		}
-		if i > 0 {
-			cs.stats.retries.Add(1)
-		}
-		cs.stats.queriesOut.Add(1)
-		resp, err := cs.exchange(ctx, addr, q)
-		if err != nil {
-			cs.stats.queriesOutFailed.Add(1)
-			lastErr = err
-			continue
-		}
-		return resp, nil
-	}
-	return nil, lastErr
-}
-
-// exchange performs one upstream attempt against addr: it applies the
-// per-attempt deadline derived from the server's RTT history, validates
-// the response (ID and question echo), and folds the outcome back into
-// the server's selection state.
-func (cs *CachingServer) exchange(ctx context.Context, addr transport.Addr, q *dnswire.Message) (*dnswire.Message, error) {
-	if t := cs.upstream.attemptTimeout(addr); t > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, t)
-		defer cancel()
-	}
-	start := cs.cfg.Clock.Now()
-	resp, err := cs.cfg.Transport.Exchange(ctx, addr, q)
-	if err == nil && resp.ID != q.ID {
-		err = fmt.Errorf("core: mismatched response ID from %s", addr)
-	}
-	if err == nil && !dnswire.EchoesQuestion(q, resp) {
-		err = fmt.Errorf("core: response from %s does not echo the question", addr)
-	}
-	if err != nil {
-		cs.upstream.observeFailure(addr, cs.cfg.Clock.Now())
-		return nil, err
-	}
-	cs.upstream.observeSuccess(addr, cs.cfg.Clock.Now().Sub(start))
-	return resp, nil
-}
-
-// updateCredit applies the renewal policy on a query to zname.
+// updateCredit applies the renewal policy on a query to zname; it is the
+// pipeline's ZoneQueried hook.
 func (cs *CachingServer) updateCredit(zname dnswire.Name) {
 	if cs.cfg.Renewal == nil || zname.IsRoot() {
 		return
@@ -779,106 +183,4 @@ func (cs *CachingServer) updateCredit(zname dnswire.Name) {
 	cs.renewMu.Lock()
 	cs.credits[zname] = cs.cfg.Renewal.Update(cs.credits[zname], ttl)
 	cs.renewMu.Unlock()
-}
-
-// answersQuestion reports whether resp's answer section covers (qname,
-// qtype), directly or through a CNAME.
-func answersQuestion(resp *dnswire.Message, qname dnswire.Name, qtype dnswire.Type) bool {
-	for _, rr := range resp.Answer {
-		if rr.Name == qname && (rr.Type() == qtype || rr.Type() == dnswire.TypeCNAME) {
-			return true
-		}
-	}
-	return false
-}
-
-// relevantAnswers extracts the answer-section records that belong to the
-// question's CNAME chain.
-func relevantAnswers(resp *dnswire.Message, qname dnswire.Name, qtype dnswire.Type) []dnswire.RR {
-	var out []dnswire.RR
-	cur := qname
-	for hops := 0; hops <= len(resp.Answer); hops++ {
-		matched := false
-		for _, rr := range resp.Answer {
-			if rr.Name != cur {
-				continue
-			}
-			if rr.Type() == qtype {
-				out = append(out, rr)
-				matched = true
-			}
-		}
-		if matched {
-			return out
-		}
-		// Follow one CNAME link.
-		advanced := false
-		for _, rr := range resp.Answer {
-			if rr.Name == cur && rr.Type() == dnswire.TypeCNAME {
-				out = append(out, rr)
-				cur = rr.Data.(dnswire.CNAME).Target
-				advanced = true
-				break
-			}
-		}
-		if !advanced {
-			return out
-		}
-	}
-	return out
-}
-
-// referralChild returns the child zone a referral from zname points at.
-func referralChild(resp *dnswire.Message, zname dnswire.Name) dnswire.Name {
-	for _, rr := range resp.Authority {
-		if rr.Type() == dnswire.TypeNS && rr.Name != zname && rr.Name.IsSubdomainOf(zname) {
-			return rr.Name
-		}
-	}
-	return ""
-}
-
-// resolveMissingGlue resolves address records for the child zone's name
-// servers when the referral carried no usable glue (out-of-bailiwick
-// servers). Failures are tolerated: iterate detects lack of progress.
-func (cs *CachingServer) resolveMissingGlue(ctx context.Context, child dnswire.Name, depth int) {
-	if child == "" || depth >= maxGlueDepth {
-		return
-	}
-	e := cs.cache.Peek(child, dnswire.TypeNS)
-	if e == nil {
-		return
-	}
-	// Any live cached address already makes the zone usable. Get (not
-	// Peek) so that an expired glue record does not masquerade as usable.
-	for _, rr := range e.RRs {
-		host := rr.Data.(dnswire.NS).Host
-		if cs.cache.Get(host, dnswire.TypeA) != nil {
-			return
-		}
-	}
-	for _, rr := range e.RRs {
-		host := rr.Data.(dnswire.NS).Host
-		if host.IsSubdomainOf(child) {
-			// In-bailiwick without glue: unresolvable without the child
-			// zone itself; skip.
-			continue
-		}
-		if _, err := cs.resolveOne(ctx, host, dnswire.TypeA, depth+1); err == nil {
-			return
-		}
-	}
-}
-
-// isReferral reports whether resp is a downward referral from zname.
-func isReferral(resp *dnswire.Message, zname dnswire.Name) bool {
-	if len(resp.Answer) != 0 || resp.Flags.Authoritative {
-		return false
-	}
-	for _, rr := range resp.Authority {
-		if rr.Type() == dnswire.TypeNS && rr.Name != zname && rr.Name.IsSubdomainOf(zname) {
-			return true
-		}
-	}
-	return false
 }

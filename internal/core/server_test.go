@@ -69,7 +69,7 @@ func (f *fixture) reviveUclaHost(addr string) {
 	})
 }
 
-func newFixture(t *testing.T, cfg Config) *fixture {
+func newFixture(t testing.TB, cfg Config) *fixture {
 	t.Helper()
 	clk := simclock.NewVirtual(epoch)
 	net := simnet.New(clk, 1)
@@ -141,7 +141,7 @@ func newFixture(t *testing.T, cfg Config) *fixture {
 	return &fixture{clock: clk, net: net, cs: cs, uclaSrv: uclaSrv}
 }
 
-func (f *fixture) resolveA(t *testing.T, name string) *Result {
+func (f *fixture) resolveA(t testing.TB, name string) *Result {
 	t.Helper()
 	res, err := f.cs.Resolve(context.Background(), dnswire.MustName(name), dnswire.TypeA)
 	if err != nil {

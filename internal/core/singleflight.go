@@ -5,6 +5,7 @@ import (
 
 	"resilientdns/internal/cache"
 	"resilientdns/internal/dnswire"
+	"resilientdns/internal/resolve"
 )
 
 // flightCall is one in-flight resolution of a (name, type) pair shared by
@@ -33,7 +34,7 @@ type flightCall struct {
 // resolution runs under a context detached from any single caller, so a
 // cancelled caller only aborts the upstream work when no other caller is
 // still waiting on it.
-func (cs *CachingServer) resolveCoalesced(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+func (cs *CachingServer) resolveCoalesced(ctx context.Context, tr *resolve.Trace, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
 	key := cache.Key{Name: qname, Type: qtype}
 
 	cs.flightMu.Lock()
@@ -48,6 +49,7 @@ func (cs *CachingServer) resolveCoalesced(ctx context.Context, qname dnswire.Nam
 	cs.flightMu.Unlock()
 	if joined {
 		cs.stats.coalesced.Add(1)
+		tr.MarkCoalesced()
 	}
 
 	select {
@@ -64,11 +66,16 @@ func (cs *CachingServer) resolveCoalesced(ctx context.Context, qname dnswire.Nam
 // runFlight performs the actual resolution for one flight and publishes
 // the outcome. It always detaches the flight from the table before
 // closing done, so no waiter can observe a completed flight in the map.
+// The flight serves every coalesced waiter, so it carries its own trace
+// (KindResolve) rather than borrowing any single caller's: a trace
+// belongs to one goroutine, and the callers' traces live on theirs.
 func (cs *CachingServer) runFlight(fctx context.Context, key cache.Key, c *flightCall, qname dnswire.Name, qtype dnswire.Type) {
 	// The whole flight — every referral step, nested glue fetch, and
 	// failover attempt — draws from one upstream retry budget.
-	fctx = withRetryBudget(fctx, cs.cfg.Upstream.RetryBudget)
-	res, err := cs.resolveChain(fctx, qname, qtype)
+	fctx = resolve.WithRetryBudget(fctx, cs.cfg.Upstream.RetryBudget)
+	ftr := cs.resolver.NewTrace(resolve.KindResolve, qname, qtype)
+	res, err := cs.resolver.ResolveChain(fctx, ftr, qname, qtype)
+	cs.resolver.FinishTrace(ftr, res, err)
 
 	cs.flightMu.Lock()
 	if cs.flight[key] == c {

@@ -1,0 +1,84 @@
+package core
+
+import "sync/atomic"
+
+// Stats counts a caching server's activity. Counters are cumulative;
+// subtract two snapshots to measure an interval. Frontend counters
+// (queries in, coalescing, renewal cycles) are kept here; the upstream
+// counters come from the resolve pipeline and are merged in Stats().
+type Stats struct {
+	// QueriesIn counts Resolve calls (stub-resolver queries).
+	QueriesIn uint64
+	// Resolved counts Resolve calls that produced an answer, including
+	// authoritative negative answers.
+	Resolved uint64
+	// Failed counts Resolve calls that failed (servers unreachable).
+	Failed uint64
+	// CacheAnswered counts Resolve calls served entirely from cache.
+	CacheAnswered uint64
+	// Coalesced counts Resolve calls that joined another in-flight
+	// resolution of the same (name, type) instead of resolving
+	// themselves.
+	Coalesced uint64
+
+	// QueriesOut counts queries sent to authoritative servers, renewal
+	// refetches included.
+	QueriesOut uint64
+	// QueriesOutFailed counts those that timed out or were unreachable.
+	QueriesOutFailed uint64
+
+	// RenewalQueries counts refetches issued by the renewal scheduler.
+	RenewalQueries uint64
+	// RenewalFailed counts renewal refetches that failed entirely.
+	RenewalFailed uint64
+	// Renewals counts successful renew cycles.
+	Renewals uint64
+
+	// Referrals counts referral responses followed.
+	Referrals uint64
+	// StaleAnswers counts expired records served under ServeStale.
+	StaleAnswers uint64
+	// PrefetchQueries counts early refreshes issued by Prefetch.
+	PrefetchQueries uint64
+
+	// Retries counts upstream failover attempts beyond the first within a
+	// single zone query or renewal refetch.
+	Retries uint64
+	// QuarantineSkips counts quarantined servers deprioritized behind a
+	// healthy one during upstream selection.
+	QuarantineSkips uint64
+	// BudgetExhausted counts failover loops cut short because the
+	// resolution spent its upstream retry budget.
+	BudgetExhausted uint64
+}
+
+// statCounters is the lock-free internal form of the frontend half of
+// Stats.
+type statCounters struct {
+	queriesIn, resolved, failed, cacheAnswered, coalesced atomic.Uint64
+	renewalQueries, renewalFailed, renewals               atomic.Uint64
+}
+
+// Stats returns a snapshot of the counters, merging the frontend half
+// with the resolve pipeline's upstream counters.
+func (cs *CachingServer) Stats() Stats {
+	rc := cs.resolver.Counters()
+	return Stats{
+		QueriesIn:        cs.stats.queriesIn.Load(),
+		Resolved:         cs.stats.resolved.Load(),
+		Failed:           cs.stats.failed.Load(),
+		CacheAnswered:    cs.stats.cacheAnswered.Load(),
+		Coalesced:        cs.stats.coalesced.Load(),
+		QueriesOut:       rc.QueriesOut,
+		QueriesOutFailed: rc.QueriesOutFailed,
+		RenewalQueries:   cs.stats.renewalQueries.Load(),
+		RenewalFailed:    cs.stats.renewalFailed.Load(),
+		Renewals:         cs.stats.renewals.Load(),
+		Referrals:        rc.Referrals,
+		StaleAnswers:     rc.StaleAnswers,
+		PrefetchQueries:  rc.PrefetchQueries,
+		Retries:          rc.Retries,
+		QuarantineSkips:  rc.QuarantineSkips,
+		BudgetExhausted:  rc.BudgetExhausted,
+	}
+}

@@ -2,175 +2,20 @@ package core
 
 import (
 	"context"
-	"errors"
-	"net/netip"
-	"sync"
 	"testing"
 	"time"
 
 	"resilientdns/internal/attack"
-	"resilientdns/internal/cache"
 	"resilientdns/internal/dnswire"
 	"resilientdns/internal/simclock"
 	"resilientdns/internal/simnet"
 	"resilientdns/internal/transport"
 )
 
-func rrAAAA(name string, ttl uint32, ip string) dnswire.RR {
-	return dnswire.RR{
-		Name:  dnswire.MustName(name),
-		Class: dnswire.ClassIN,
-		TTL:   ttl,
-		Data:  dnswire.AAAA{Addr: netip.MustParseAddr(ip)},
-	}
-}
-
-func TestUpstreamOrderPrefersFastServers(t *testing.T) {
-	u := newUpstream(UpstreamConfig{})
-	now := epoch
-	u.observeSuccess("slow", 100*time.Millisecond)
-	u.observeSuccess("fast", 5*time.Millisecond)
-	// "unknown" has no history and must sort after measured servers.
-	ordered, skipped := u.order([]transport.Addr{"unknown", "slow", "fast"}, now)
-	if skipped != 0 {
-		t.Errorf("skipped = %d, want 0", skipped)
-	}
-	want := []transport.Addr{"fast", "slow", "unknown"}
-	for i, addr := range want {
-		if ordered[i] != addr {
-			t.Fatalf("order = %v, want %v", ordered, want)
-		}
-	}
-}
-
-func TestUpstreamOrderTiesKeepInputOrder(t *testing.T) {
-	// Determinism: servers with identical state must come out in input
-	// order (the simulator depends on this).
-	u := newUpstream(UpstreamConfig{})
-	ordered, _ := u.order([]transport.Addr{"a", "b", "c"}, epoch)
-	want := []transport.Addr{"a", "b", "c"}
-	for i, addr := range want {
-		if ordered[i] != addr {
-			t.Fatalf("order = %v, want input order %v", ordered, want)
-		}
-	}
-}
-
-func TestUpstreamQuarantineSkipAndRecover(t *testing.T) {
-	u := newUpstream(UpstreamConfig{Quarantine: 5 * time.Second})
-	now := epoch
-	u.observeFailure("bad", now)
-	if !u.quarantined("bad", now) {
-		t.Fatal("server not quarantined after failure")
-	}
-	ordered, skipped := u.order([]transport.Addr{"bad", "good"}, now)
-	if skipped != 1 {
-		t.Errorf("skipped = %d, want 1", skipped)
-	}
-	if ordered[0] != "good" || ordered[1] != "bad" {
-		t.Errorf("order = %v, want [good bad]", ordered)
-	}
-	// The quarantine lapses with time...
-	later := now.Add(6 * time.Second)
-	if u.quarantined("bad", later) {
-		t.Error("server still quarantined after the window lapsed")
-	}
-	// ...and one success clears the failure streak entirely.
-	u.observeFailure("bad", later) // second consecutive failure: 10s window
-	if !u.quarantined("bad", later.Add(9*time.Second)) {
-		t.Error("backoff did not double the quarantine window")
-	}
-	u.observeSuccess("bad", time.Millisecond)
-	if u.quarantined("bad", later) {
-		t.Error("success did not clear quarantine")
-	}
-}
-
-func TestUpstreamAllQuarantinedFallsBack(t *testing.T) {
-	u := newUpstream(UpstreamConfig{Quarantine: 5 * time.Second})
-	now := epoch
-	u.observeFailure("a", now)
-	u.observeFailure("b", now.Add(time.Second))
-	ordered, skipped := u.order([]transport.Addr{"b", "a"}, now.Add(2*time.Second))
-	if skipped != 0 {
-		t.Errorf("skipped = %d, want 0 when no healthy server exists", skipped)
-	}
-	if len(ordered) != 2 {
-		t.Fatalf("ordered = %v, want both servers still tried", ordered)
-	}
-	// Earliest release first: a's window ends before b's.
-	if ordered[0] != "a" || ordered[1] != "b" {
-		t.Errorf("order = %v, want [a b] (by release time)", ordered)
-	}
-}
-
-func TestUpstreamBackoffCapped(t *testing.T) {
-	u := newUpstream(UpstreamConfig{Quarantine: 5 * time.Second, MaxQuarantine: 20 * time.Second})
-	now := epoch
-	for i := 0; i < 10; i++ {
-		u.observeFailure("bad", now)
-	}
-	if u.quarantined("bad", now.Add(21*time.Second)) {
-		t.Error("quarantine exceeded MaxQuarantine")
-	}
-	if !u.quarantined("bad", now.Add(19*time.Second)) {
-		t.Error("quarantine shorter than MaxQuarantine after many failures")
-	}
-}
-
-func TestAttemptTimeoutFromSRTT(t *testing.T) {
-	u := newUpstream(UpstreamConfig{MinTimeout: 200 * time.Millisecond, MaxTimeout: 3 * time.Second})
-	// No history: first contact gets the full MaxTimeout.
-	if got := u.attemptTimeout("new"); got != 3*time.Second {
-		t.Errorf("first-contact timeout = %v, want 3s", got)
-	}
-	// One 100ms sample: SRTT=100ms, RTTVAR=50ms, RTO=SRTT+4·RTTVAR=300ms.
-	u.observeSuccess("mid", 100*time.Millisecond)
-	if got := u.attemptTimeout("mid"); got != 300*time.Millisecond {
-		t.Errorf("timeout = %v, want 300ms (SRTT+4·RTTVAR)", got)
-	}
-	// Tiny RTT clamps up to MinTimeout, huge RTT clamps down to MaxTimeout.
-	u.observeSuccess("fast", time.Millisecond)
-	if got := u.attemptTimeout("fast"); got != 200*time.Millisecond {
-		t.Errorf("timeout = %v, want MinTimeout clamp", got)
-	}
-	u.observeSuccess("slow", 10*time.Second)
-	if got := u.attemptTimeout("slow"); got != 3*time.Second {
-		t.Errorf("timeout = %v, want MaxTimeout clamp", got)
-	}
-	// Disabled layer imposes no per-attempt deadline at all.
-	d := newUpstream(UpstreamConfig{Disable: true})
-	d.observeSuccess("x", time.Millisecond)
-	if got := d.attemptTimeout("x"); got != 0 {
-		t.Errorf("disabled timeout = %v, want 0", got)
-	}
-}
-
-func TestUpstreamDisableRoundRobins(t *testing.T) {
-	u := newUpstream(UpstreamConfig{Disable: true})
-	first, _ := u.order([]transport.Addr{"a", "b", "c"}, epoch)
-	second, _ := u.order([]transport.Addr{"a", "b", "c"}, epoch)
-	if first[0] == second[0] {
-		t.Errorf("disabled selection did not rotate: %v then %v", first, second)
-	}
-}
-
-func TestRetryBudgetContext(t *testing.T) {
-	ctx := context.Background()
-	if !takeAttempt(ctx) {
-		t.Fatal("budget-less context denied an attempt")
-	}
-	b := withRetryBudget(ctx, 2)
-	if !takeAttempt(b) || !takeAttempt(b) {
-		t.Fatal("budget denied attempts within its allowance")
-	}
-	if takeAttempt(b) {
-		t.Fatal("budget allowed a third attempt out of 2")
-	}
-	if withRetryBudget(ctx, 0) != ctx {
-		t.Error("zero budget should leave the context unbounded")
-	}
-}
+// The upstream selector's own unit tests (ordering, quarantine, backoff,
+// timeouts, the retry-budget context) live with the selector in
+// internal/resolve. The tests here exercise the upstream behaviour end to
+// end through the CachingServer policy shell.
 
 // TestNoCreditOnTotalFailure is the regression test for the
 // credit-accounting bug: queryZone used to award renewal credit before
@@ -211,7 +56,7 @@ func killHost(f *fixture, addr, zone string) {
 	})
 }
 
-// TestQuarantineSkipAndRecovery covers the tentpole behaviour end to
+// TestQuarantineSkipAndRecovery covers the upstream behaviour end to
 // end: a failing server is quarantined and skipped while healthy peers
 // exist, and remains reachable by failover once its peers die too.
 func TestQuarantineSkipAndRecovery(t *testing.T) {
@@ -377,102 +222,4 @@ func TestStaleCNAMEChainChased(t *testing.T) {
 	if st := f.cs.Stats(); st.StaleAnswers < 2 {
 		t.Errorf("StaleAnswers = %d, want both chain entries counted", st.StaleAnswers)
 	}
-}
-
-// TestAAAAGlueFallback is the regression test for renewal extending AAAA
-// glue that selection could never use: a name server with only an AAAA
-// record must still be reachable via deepestKnownZone and zoneAddrs.
-func TestAAAAGlueFallback(t *testing.T) {
-	f := newFixture(t, Config{})
-	nsSet := []dnswire.RR{rrNS("v6.test.", 3600, "ns1.v6.test.")}
-	f.cs.cache.Put(nsSet, cache.CredAuthority, true)
-	f.cs.cache.Put([]dnswire.RR{rrAAAA("ns1.v6.test.", 3600, "2001:db8::53")}, cache.CredAuthority, true)
-
-	zname, addrs := f.cs.deepestKnownZone(dnswire.MustName("www.v6.test."), dnswire.TypeA, false)
-	if zname != dnswire.MustName("v6.test.") {
-		t.Fatalf("deepestKnownZone = %s, want v6.test.", zname)
-	}
-	if len(addrs) != 1 || addrs[0] != transport.Addr("2001:db8::53") {
-		t.Errorf("addrs = %v, want the AAAA glue address", addrs)
-	}
-
-	if got := f.cs.zoneAddrs(nsSet); len(got) != 1 || got[0] != transport.Addr("2001:db8::53") {
-		t.Errorf("zoneAddrs = %v, want the AAAA glue address", got)
-	}
-}
-
-// TestAGluePreferredOverAAAA: AAAA is strictly a fallback; when both
-// families are cached only the A addresses are used (matching the
-// simulator's IPv4-only universe).
-func TestAGluePreferredOverAAAA(t *testing.T) {
-	f := newFixture(t, Config{})
-	nsSet := []dnswire.RR{rrNS("v6.test.", 3600, "ns1.v6.test.")}
-	f.cs.cache.Put(nsSet, cache.CredAuthority, true)
-	f.cs.cache.Put([]dnswire.RR{rrA("ns1.v6.test.", 3600, "10.6.6.6")}, cache.CredAuthority, true)
-	f.cs.cache.Put([]dnswire.RR{rrAAAA("ns1.v6.test.", 3600, "2001:db8::53")}, cache.CredAuthority, true)
-
-	_, addrs := f.cs.deepestKnownZone(dnswire.MustName("www.v6.test."), dnswire.TypeA, false)
-	if len(addrs) != 1 || addrs[0] != transport.Addr("10.6.6.6") {
-		t.Errorf("addrs = %v, want only the A glue", addrs)
-	}
-}
-
-// TestBudgetExhaustionError: exchangeFailover surfaces the sentinel so
-// callers can tell budget exhaustion from ordinary unreachability.
-func TestBudgetExhaustionError(t *testing.T) {
-	dead := transport.Exchanger(func(context.Context, transport.Addr, *dnswire.Message) (*dnswire.Message, error) {
-		return nil, transport.ErrTimeout
-	})
-	cs, err := NewCachingServer(Config{
-		Transport: dead,
-		Clock:     simclock.NewVirtual(epoch),
-		RootHints: []ServerRef{{Host: dnswire.MustName("a."), Addr: "10.0.0.1"}},
-	})
-	if err != nil {
-		t.Fatalf("NewCachingServer: %v", err)
-	}
-	ctx := withRetryBudget(context.Background(), 1)
-	q := dnswire.NewQuery(1, dnswire.MustName("x."), dnswire.TypeA)
-	_, xerr := cs.exchangeFailover(ctx, []transport.Addr{"10.0.0.1", "10.0.0.2"}, q)
-	if !errors.Is(xerr, errBudgetExhausted) {
-		t.Errorf("error = %v, want errBudgetExhausted in the chain", xerr)
-	}
-	if st := cs.Stats(); st.BudgetExhausted != 1 {
-		t.Errorf("BudgetExhausted = %d, want 1", st.BudgetExhausted)
-	}
-}
-
-// TestUpstreamConcurrentAccess hammers the selection state from many
-// goroutines so the -race pass covers concurrent observe/order/timeout
-// updates (queries, renewals, and prefetches share one upstream).
-func TestUpstreamConcurrentAccess(t *testing.T) {
-	u := newUpstream(UpstreamConfig{})
-	servers := []transport.Addr{"10.0.0.1:53", "10.0.0.2:53", "10.0.0.3:53"}
-	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
-
-	var wg sync.WaitGroup
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for i := 0; i < 500; i++ {
-				addr := servers[(g+i)%len(servers)]
-				now := epoch.Add(time.Duration(i) * time.Millisecond)
-				switch i % 4 {
-				case 0:
-					u.observeSuccess(addr, time.Duration(10+i%40)*time.Millisecond)
-				case 1:
-					u.observeFailure(addr, now)
-				case 2:
-					if ordered, _ := u.order(servers, now); len(ordered) != len(servers) {
-						t.Errorf("order returned %d servers, want %d", len(ordered), len(servers))
-					}
-				case 3:
-					u.attemptTimeout(addr)
-					u.quarantined(addr, now)
-				}
-			}
-		}(g)
-	}
-	wg.Wait()
 }

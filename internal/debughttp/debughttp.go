@@ -1,0 +1,125 @@
+// Package debughttp serves the resolver's introspection endpoints over
+// HTTP for operators and load tools (cmd/dnsperf -debug-url):
+//
+//	GET /debug/stats    server counters, cache occupancy, and per-stage /
+//	                    per-kind latency summaries from finished traces
+//	GET /debug/queries  the most recent trace summaries, newest first
+//	                    (?n=K limits the count)
+//
+// Everything is read-only JSON assembled from snapshots; handlers never
+// touch resolver locks beyond the snapshot calls themselves, so leaving
+// the endpoint enabled costs a query nothing.
+package debughttp
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"resilientdns/internal/metrics"
+	"resilientdns/internal/resolve"
+)
+
+// Options wires the endpoint to a running server. Any field may be nil;
+// the corresponding section is simply omitted.
+type Options struct {
+	// Stats returns the server's counter snapshot (core.Stats).
+	Stats func() any
+	// CacheStats returns the cache occupancy snapshot.
+	CacheStats func() any
+	// Latency returns the per-stage / per-kind histograms
+	// (Resolver.LatencySnapshots).
+	Latency func() map[string]metrics.HistogramSnapshot
+	// Ring retains recent trace summaries for /debug/queries.
+	Ring *resolve.Ring
+}
+
+// LatencySummary is one histogram reduced to the numbers an operator
+// reads first.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanUS int64   `json:"mean_us"`
+	P50US  int64   `json:"p50_us"`
+	P95US  int64   `json:"p95_us"`
+	P99US  int64   `json:"p99_us"`
+	SumMS  float64 `json:"sum_ms"`
+}
+
+// statsPayload is the /debug/stats response shape.
+type statsPayload struct {
+	Server  any                       `json:"server,omitempty"`
+	Cache   any                       `json:"cache,omitempty"`
+	Latency map[string]LatencySummary `json:"latency,omitempty"`
+}
+
+// New returns the debug mux.
+func New(o Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, req *http.Request) {
+		p := statsPayload{}
+		if o.Stats != nil {
+			p.Server = o.Stats()
+		}
+		if o.CacheStats != nil {
+			p.Cache = o.CacheStats()
+		}
+		if o.Latency != nil {
+			p.Latency = make(map[string]LatencySummary)
+			for key, s := range o.Latency() {
+				if s.Count == 0 {
+					continue // never-exercised stages just add noise
+				}
+				p.Latency[key] = LatencySummary{
+					Count:  s.Count,
+					MeanUS: s.Mean().Microseconds(),
+					P50US:  s.Quantile(0.50).Microseconds(),
+					P95US:  s.Quantile(0.95).Microseconds(),
+					P99US:  s.Quantile(0.99).Microseconds(),
+					SumMS:  float64(s.Sum.Microseconds()) / 1e3,
+				}
+			}
+		}
+		writeJSON(w, p)
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, req *http.Request) {
+		n := 0 // 0 = everything retained
+		if v := req.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = parsed
+		}
+		var recent []resolve.TraceSummary
+		if o.Ring != nil {
+			recent = o.Ring.Recent(n)
+		}
+		if recent == nil {
+			recent = []resolve.TraceSummary{}
+		}
+		writeJSON(w, recent)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// A write error here means the client hung up; nothing to do.
+	_ = enc.Encode(v)
+}
+
+// SortedLatencyKeys returns the latency map's keys in display order:
+// stages first (pipeline order is alphabetically scrambled, but stable
+// sorting beats arbitrary map order), then kinds.
+func SortedLatencyKeys(m map[string]LatencySummary) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

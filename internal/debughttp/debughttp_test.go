@@ -1,0 +1,82 @@
+package debughttp
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"resilientdns/internal/metrics"
+	"resilientdns/internal/resolve"
+)
+
+func TestStatsEndpoint(t *testing.T) {
+	var h metrics.Histogram
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	var empty metrics.Histogram
+
+	mux := New(Options{
+		Stats: func() any { return map[string]int{"queries_in": 7} },
+		Latency: func() map[string]metrics.HistogramSnapshot {
+			return map[string]metrics.HistogramSnapshot{
+				"stage/iterate":    h.Snapshot(),
+				"stage/chain_walk": empty.Snapshot(),
+			}
+		},
+	})
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var p struct {
+		Server  map[string]int            `json:"server"`
+		Latency map[string]LatencySummary `json:"latency"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if p.Server["queries_in"] != 7 {
+		t.Errorf("server stats = %v", p.Server)
+	}
+	it, ok := p.Latency["stage/iterate"]
+	if !ok || it.Count != 2 || it.MeanUS != 2000 {
+		t.Errorf("stage/iterate = %+v, want count 2 mean 2000µs", it)
+	}
+	if _, ok := p.Latency["stage/chain_walk"]; ok {
+		t.Error("empty histogram was not omitted")
+	}
+}
+
+func TestQueriesEndpoint(t *testing.T) {
+	ring := resolve.NewRing(8)
+	for i := uint64(1); i <= 5; i++ {
+		ring.Observe(resolve.TraceSummary{ID: i, Kind: "query"})
+	}
+	mux := New(Options{Ring: ring})
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/queries?n=2", nil))
+	var got []resolve.TraceSummary
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(got) != 2 || got[0].ID != 5 || got[1].ID != 4 {
+		t.Fatalf("queries = %+v, want the 2 newest (5, 4)", got)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/queries?n=bogus", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad n: status = %d, want 400", rec.Code)
+	}
+
+	// No ring configured: an empty list, not a null or a panic.
+	rec = httptest.NewRecorder()
+	New(Options{}).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/queries", nil))
+	if body := rec.Body.String(); body != "[]\n" {
+		t.Errorf("no-ring body = %q, want []", body)
+	}
+}

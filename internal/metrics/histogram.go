@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histogramBuckets covers latencies from <1µs up through bucket upper
+// bounds of 2^38µs (~76h) — far beyond any per-query timeout.
+const histogramBuckets = 40
+
+// Histogram is a lock-free latency histogram with power-of-two bucket
+// boundaries in microseconds: bucket 0 holds samples under 1µs and
+// bucket i holds samples in [2^(i-1), 2^i) µs. All fields are atomic, so
+// the trace layer records from every query/renewal/prefetch goroutine
+// without synchronisation; Snapshot reads a consistent-enough copy for
+// reporting. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNano atomic.Int64
+	buckets [histogramBuckets]atomic.Uint64
+}
+
+// Observe folds one duration sample into the histogram. Negative
+// samples clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNano.Add(d.Nanoseconds())
+	idx := bits.Len64(uint64(d.Microseconds()))
+	if idx >= histogramBuckets {
+		idx = histogramBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+}
+
+// Snapshot copies the histogram into a plain value for reporting.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sumNano.Load()),
+	}
+	s.Buckets = make([]uint64, histogramBuckets)
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a plain-value copy of a Histogram.
+type HistogramSnapshot struct {
+	// Count is the number of samples; Sum their total duration.
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	// Buckets[i] counts samples in [2^(i-1), 2^i) microseconds
+	// (Buckets[0]: under 1µs).
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean sample duration, or 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns an upper bound for the q-th quantile (q in [0, 1]):
+// the upper boundary of the bucket where the cumulative count crosses
+// q·Count. An empty snapshot returns 0.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			return bucketUpperBound(i)
+		}
+	}
+	return bucketUpperBound(len(s.Buckets) - 1)
+}
+
+// bucketUpperBound returns bucket i's exclusive upper bound as a
+// duration: 1µs for bucket 0, 2^i µs beyond.
+func bucketUpperBound(i int) time.Duration {
+	if i <= 0 {
+		return time.Microsecond
+	}
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}

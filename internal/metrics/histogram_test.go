@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Microsecond)
+	h.Observe(100 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count)
+	}
+	wantSum := 200*time.Microsecond + 3*time.Millisecond
+	if s.Sum != wantSum {
+		t.Errorf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+	if mean := s.Mean(); mean != wantSum/3 {
+		t.Errorf("Mean = %v, want %v", mean, wantSum/3)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	// The median bucket holds the 100µs samples: its upper bound is
+	// below 1ms. The p99 falls in the 50ms samples' bucket.
+	if q := s.Quantile(0.5); q >= time.Millisecond {
+		t.Errorf("p50 = %v, want < 1ms", q)
+	}
+	if q := s.Quantile(0.99); q < 25*time.Millisecond {
+		t.Errorf("p99 = %v, want a bucket covering 50ms", q)
+	}
+	// Degenerate inputs.
+	var empty HistogramSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+	if m := empty.Mean(); m != 0 {
+		t.Errorf("empty mean = %v, want 0", m)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)         // clamps into the lowest bucket
+	h.Observe(300 * 24 * time.Hour) // clamps into the highest bucket
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count)
+	}
+	if s.Buckets[0] != 1 || s.Buckets[len(s.Buckets)-1] != 1 {
+		t.Errorf("extremes not clamped to the edge buckets: %v", s.Buckets)
+	}
+}
+
+// TestHistogramConcurrent hammers Observe/Snapshot for the -race pass:
+// the histogram sits on the traced hot path and must be lock-free safe.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Microsecond)
+				if i%100 == 0 {
+					h.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Errorf("Count = %d, want 8000", s.Count)
+	}
+}

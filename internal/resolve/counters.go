@@ -1,0 +1,58 @@
+package resolve
+
+import "sync/atomic"
+
+// Counters are the pipeline's cumulative event counts. They cover the
+// upstream-facing half of the server's statistics; the owning server
+// keeps its own frontend counters (queries in, coalesced, renewals) and
+// merges the two snapshots.
+type Counters struct {
+	// QueriesOut counts queries sent to authoritative servers, renewal
+	// refetches included; QueriesOutFailed the ones that timed out or
+	// were unreachable.
+	QueriesOut       atomic.Uint64
+	QueriesOutFailed atomic.Uint64
+
+	// Referrals counts referral responses followed.
+	Referrals atomic.Uint64
+	// StaleAnswers counts expired records served under ServeStale.
+	StaleAnswers atomic.Uint64
+	// PrefetchQueries counts early refreshes issued by Prefetch.
+	PrefetchQueries atomic.Uint64
+
+	// Retries counts upstream failover attempts beyond the first within
+	// a single fetch.
+	Retries atomic.Uint64
+	// QuarantineSkips counts quarantined servers deprioritized behind a
+	// healthy one during selection.
+	QuarantineSkips atomic.Uint64
+	// BudgetExhausted counts failover loops cut short by the retry
+	// budget.
+	BudgetExhausted atomic.Uint64
+}
+
+// CounterSnapshot is a plain-value copy of Counters.
+type CounterSnapshot struct {
+	QueriesOut       uint64
+	QueriesOutFailed uint64
+	Referrals        uint64
+	StaleAnswers     uint64
+	PrefetchQueries  uint64
+	Retries          uint64
+	QuarantineSkips  uint64
+	BudgetExhausted  uint64
+}
+
+// snapshot reads every counter.
+func (c *Counters) snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		QueriesOut:       c.QueriesOut.Load(),
+		QueriesOutFailed: c.QueriesOutFailed.Load(),
+		Referrals:        c.Referrals.Load(),
+		StaleAnswers:     c.StaleAnswers.Load(),
+		PrefetchQueries:  c.PrefetchQueries.Load(),
+		Retries:          c.Retries.Load(),
+		QuarantineSkips:  c.QuarantineSkips.Load(),
+		BudgetExhausted:  c.BudgetExhausted.Load(),
+	}
+}

@@ -1,15 +1,17 @@
-package core
+package resolve
 
 import (
 	"resilientdns/internal/cache"
 	"resilientdns/internal/dnswire"
 )
 
-// ingest caches every usable record in resp, applying RFC 2181 credibility
-// ranking and marking infrastructure RRsets (zone NS sets and the address
-// records of the servers they name) so the refresh and renewal schemes
-// know what they may extend.
-func (cs *CachingServer) ingest(resp *dnswire.Message, fromZone dnswire.Name, qname dnswire.Name) {
+// Ingest is the Validate/Ingest stage's cache half: it stores every
+// usable record in resp, applying RFC 2181 credibility ranking and
+// marking infrastructure RRsets (zone NS sets and the address records of
+// the servers they name) so the refresh and renewal schemes know what
+// they may extend. Exported so the renewal scheduler (internal/core) can
+// ingest refetch responses through the same rules.
+func (r *Resolver) Ingest(resp *dnswire.Message, fromZone dnswire.Name, qname dnswire.Name) {
 	aa := resp.Flags.Authoritative
 
 	// Collect the name-server host names mentioned by NS records anywhere
@@ -36,7 +38,7 @@ func (cs *CachingServer) ingest(resp *dnswire.Message, fromZone dnswire.Name, qn
 		}
 		t := set[0].Type()
 		infra := t == dnswire.TypeNS || t == dnswire.TypeDNSKEY || t == dnswire.TypeDS
-		cs.putInfraAware(set, cache.CredAnswer, infra)
+		r.putInfraAware(set, cache.CredAnswer, infra)
 	}
 
 	// Authority section: the child's own copy of its IRRs when the answer
@@ -48,22 +50,22 @@ func (cs *CachingServer) ingest(resp *dnswire.Message, fromZone dnswire.Name, qn
 	for _, set := range groupRRSets(resp.Authority) {
 		switch set[0].Type() {
 		case dnswire.TypeNS:
-			cs.putInfraAware(set, cred, true)
+			r.putInfraAware(set, cred, true)
 			if cred == cache.CredReferral {
 				// A referral is the parent vouching for the delegation.
-				cs.parentMu.Lock()
-				cs.parentSeen[set[0].Name] = cs.cfg.Clock.Now()
-				cs.parentMu.Unlock()
+				r.parentMu.Lock()
+				r.parentSeen[set[0].Name] = r.cfg.Clock.Now()
+				r.parentMu.Unlock()
 			}
 		case dnswire.TypeDS:
 			// Parent-side DS is infrastructure, like NS and glue.
-			cs.putInfraAware(set, cred, true)
+			r.putInfraAware(set, cred, true)
 		case dnswire.TypeSOA, dnswire.TypeRRSIG:
 			// SOA in negative answers is not cached as data; the
 			// negative-cache layer handles the outcome itself. RRSIGs
 			// are consumed in-line, not cached.
 		default:
-			cs.cache.Put(set, cred, false)
+			r.cache.Put(set, cred, false)
 		}
 	}
 
@@ -77,26 +79,28 @@ func (cs *CachingServer) ingest(resp *dnswire.Message, fromZone dnswire.Name, qn
 		if !nsHosts[set[0].Name] {
 			continue
 		}
-		cs.putInfraAware(set, cred, true)
+		r.putInfraAware(set, cred, true)
 	}
 
 	// Renewal bookkeeping: any newly cached zone IRR gets a scheduler
 	// entry keyed to its expiry.
-	if cs.cfg.Renewal != nil {
+	if h := r.cfg.Hooks.InfraCached; h != nil {
 		for owner := range nsOwners {
-			if e := cs.cache.Peek(owner, dnswire.TypeNS); e != nil && e.Infra {
-				cs.scheduleRenewal(owner, e.Expires)
+			if e := r.cache.Peek(owner, dnswire.TypeNS); e != nil && e.Infra {
+				h(owner, e.Expires)
 			}
 		}
 	}
 }
 
-// putInfraAware stores a set and, for infrastructure NS sets, keeps the
-// renewal scheduler in sync.
-func (cs *CachingServer) putInfraAware(set []dnswire.RR, cred cache.Credibility, infra bool) {
-	e := cs.cache.Put(set, cred, infra)
-	if e != nil && infra && cs.cfg.Renewal != nil && e.Key.Type == dnswire.TypeNS {
-		cs.scheduleRenewal(e.Key.Name, e.Expires)
+// putInfraAware stores a set and, for infrastructure NS sets, fires the
+// InfraCached hook so the renewal scheduler stays in sync.
+func (r *Resolver) putInfraAware(set []dnswire.RR, cred cache.Credibility, infra bool) {
+	e := r.cache.Put(set, cred, infra)
+	if e != nil && infra && e.Key.Type == dnswire.TypeNS {
+		if h := r.cfg.Hooks.InfraCached; h != nil {
+			h(e.Key.Name, e.Expires)
+		}
 	}
 }
 

@@ -1,0 +1,52 @@
+package resolve
+
+import (
+	"time"
+
+	"resilientdns/internal/cache"
+	"resilientdns/internal/dnswire"
+)
+
+// negEntry caches a negative resolution outcome.
+type negEntry struct {
+	rcode   dnswire.RCode
+	expires time.Time
+}
+
+// negativeStore remembers a negative outcome when negative caching is on.
+func (r *Resolver) negativeStore(qname dnswire.Name, qtype dnswire.Type, rcode dnswire.RCode) {
+	if r.cfg.NegativeTTL <= 0 {
+		return
+	}
+	r.negMu.Lock()
+	defer r.negMu.Unlock()
+	if r.negative == nil {
+		r.negative = make(map[cache.Key]negEntry)
+	}
+	r.negative[cache.Key{Name: qname, Type: qtype}] = negEntry{
+		rcode:   rcode,
+		expires: r.cfg.Clock.Now().Add(r.cfg.NegativeTTL),
+	}
+}
+
+// negativeLookup returns a cached negative outcome, if one is live.
+func (r *Resolver) negativeLookup(qname dnswire.Name, qtype dnswire.Type, now time.Time) (dnswire.RCode, bool) {
+	if r.cfg.NegativeTTL <= 0 {
+		return 0, false
+	}
+	r.negMu.Lock()
+	defer r.negMu.Unlock()
+	if r.negative == nil {
+		return 0, false
+	}
+	key := cache.Key{Name: qname, Type: qtype}
+	e, ok := r.negative[key]
+	if !ok {
+		return 0, false
+	}
+	if !e.expires.After(now) {
+		delete(r.negative, key)
+		return 0, false
+	}
+	return e.rcode, true
+}

@@ -1,0 +1,494 @@
+package resolve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"resilientdns/internal/cache"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+)
+
+// Lookup is the CacheLookup stage: it attempts to answer qname/qtype
+// purely from live cached data — the lock-free hot path, which never
+// enters the slow path's coalescing or upstream machinery. It returns
+// (nil, nil) when upstream work is (or may be) needed. The lookup
+// sequence per CNAME hop mirrors resolveOne's cache section exactly, so
+// cache counters and gap tombstones behave as if the slow path had run.
+func (r *Resolver) Lookup(tr *Trace, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	sp := tr.StartStage(StageCacheLookup)
+	defer sp.End()
+	now := r.cfg.Clock.Now()
+	cr := walkChain(qname, qtype, r.cfg.MaxCNAME, func(cur dnswire.Name) chainStep {
+		if e := r.cache.Get(cur, qtype); e != nil {
+			if r.prefetchDue(e, now) {
+				if r.pf == nil {
+					// Inline-prefetch mode: let the slow path issue the
+					// prefetch before serving the hit.
+					return chainStep{outcome: chainMiss}
+				}
+				// Async mode: serve the hit now, refresh in background.
+				r.pf.enqueue(cache.Key{Name: cur, Type: qtype})
+			}
+			return chainStep{rrs: e.RRsWithRemainingTTL(now), outcome: chainDone, fromCache: true}
+		}
+		if qtype != dnswire.TypeCNAME {
+			if e := r.cache.Get(cur, dnswire.TypeCNAME); e != nil {
+				return chainStep{rrs: e.RRsWithRemainingTTL(now), outcome: chainFollow, fromCache: true}
+			}
+		}
+		if rcode, ok := r.negativeLookup(cur, qtype, now); ok {
+			return chainStep{rcode: rcode, outcome: chainDone, fromCache: true}
+		}
+		return chainStep{outcome: chainMiss}
+	})
+	switch {
+	case cr.err != nil:
+		return nil, cr.err
+	case cr.exhausted:
+		// A fully cached CNAME chain longer than MaxCNAME: fail exactly
+		// as the slow path would.
+		return nil, chainTooLong(qname)
+	case cr.miss:
+		return nil, nil // the slow path takes over
+	}
+	tr.MarkCacheHit()
+	return &Result{RCode: cr.rcode, Answer: cr.answer, FromCache: true}, nil
+}
+
+// prefetchDue reports whether a cache hit falls in the prefetch window
+// (the last tenth of the entry's TTL).
+func (r *Resolver) prefetchDue(e *cache.Entry, now time.Time) bool {
+	return r.cfg.Prefetch && e.Expires.Sub(now) <= e.OrigTTL/10
+}
+
+// ResolveChain is the ChainWalk stage: it resolves qname/qtype fully,
+// chasing CNAMEs across zones, entering Iterate for every link the cache
+// cannot answer.
+func (r *Resolver) ResolveChain(ctx context.Context, tr *Trace, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	sp := tr.StartStage(StageChainWalk)
+	defer sp.End()
+	cr := walkChain(qname, qtype, r.cfg.MaxCNAME, func(cur dnswire.Name) chainStep {
+		res, err := r.resolveOne(ctx, tr, cur, qtype, 0)
+		if err != nil {
+			return chainStep{err: err}
+		}
+		out := chainFollow
+		if res.RCode != dnswire.RCodeNoError {
+			out = chainDone
+		}
+		return chainStep{rrs: res.Answer, rcode: res.RCode, outcome: out, fromCache: res.FromCache}
+	})
+	switch {
+	case cr.err != nil:
+		return nil, cr.err
+	case cr.exhausted:
+		return nil, chainTooLong(qname)
+	}
+	return &Result{RCode: cr.rcode, Answer: cr.answer, FromCache: cr.fromCache}, nil
+}
+
+// resolveOne resolves a single (name, type) without CNAME chasing across
+// calls: a cached or received CNAME is returned for the caller to chase.
+// depth counts nested glue resolutions.
+func (r *Resolver) resolveOne(ctx context.Context, tr *Trace, qname dnswire.Name, qtype dnswire.Type, depth int) (*Result, error) {
+	now := r.cfg.Clock.Now()
+	// Cache: exact answer, then a cached CNAME.
+	if e := r.cache.Get(qname, qtype); e != nil {
+		r.maybePrefetch(ctx, tr, e, qname, qtype, depth, now)
+		return &Result{RCode: dnswire.RCodeNoError, Answer: e.RRsWithRemainingTTL(now), FromCache: true}, nil
+	}
+	if qtype != dnswire.TypeCNAME {
+		if e := r.cache.Get(qname, dnswire.TypeCNAME); e != nil {
+			return &Result{RCode: dnswire.RCodeNoError, Answer: e.RRsWithRemainingTTL(now), FromCache: true}, nil
+		}
+	}
+	if rcode, ok := r.negativeLookup(qname, qtype, now); ok {
+		return &Result{RCode: rcode, FromCache: true}, nil
+	}
+	validate := r.cfg.ValidateDNSSEC && depth == 0
+	res, _, err := r.iterate(ctx, tr, qname, qtype, depth, validate, false)
+	if err != nil && r.cfg.ServeStale > 0 {
+		// StaleFallback stage. Retry using stale IRRs first: expired
+		// NS/glue still point at child servers that may be alive even
+		// though the upper hierarchy is not (the serve-stale baseline's
+		// main power in this attack).
+		sp := tr.StartStage(StageStaleFallback)
+		res2, _, err2 := r.iterate(ctx, tr, qname, qtype, depth, validate, true)
+		if err2 == nil {
+			sp.End()
+			return res2, nil
+		}
+		stale := r.staleAnswer(tr, qname, qtype)
+		sp.End()
+		if stale != nil {
+			return stale, nil
+		}
+	}
+	return res, err
+}
+
+// maybePrefetch refreshes a cache entry early when a query arrives in the
+// last tenth of its TTL (unbound-style prefetch). Inline mode refetches
+// before the cached data is returned, so the caller still gets the
+// (valid) cached answer even if the refetch fails; async mode hands the
+// key to the background pool and returns immediately.
+func (r *Resolver) maybePrefetch(ctx context.Context, tr *Trace, e *cache.Entry, qname dnswire.Name, qtype dnswire.Type, depth int, now time.Time) {
+	if !r.cfg.Prefetch || depth > 0 {
+		return
+	}
+	if e.Expires.Sub(now) > e.OrigTTL/10 {
+		return
+	}
+	if r.pf != nil {
+		r.pf.enqueue(cache.Key{Name: qname, Type: qtype})
+		return
+	}
+	r.counters.PrefetchQueries.Add(1)
+	// A fresh fetch restarts the entry's lifetime; failures are harmless
+	// (the cached copy is still live). The explicit Extend covers the
+	// cache's conservative replacement rules for identical data.
+	if _, _, err := r.iterate(ctx, tr, qname, qtype, depth+1, false, false); err == nil {
+		r.cache.Extend(qname, qtype)
+	}
+}
+
+// staleAnswer serves an expired cached answer after live resolution
+// failed, per the serve-stale baseline. A stale CNAME is not returned
+// bare: the chain is chased through the stale cache, up to MaxCNAME hops,
+// so the client receives the terminal records whenever they are still
+// held. When only a prefix of the chain is cached the partial chain is
+// returned (ending in a CNAME) and ResolveChain chases the tail, trying
+// live resolution first for each remaining hop.
+func (r *Resolver) staleAnswer(tr *Trace, qname dnswire.Name, qtype dnswire.Type) *Result {
+	cr := walkChain(qname, qtype, r.cfg.MaxCNAME, func(cur dnswire.Name) chainStep {
+		e := r.cache.GetStale(cur, qtype)
+		if e == nil && qtype != dnswire.TypeCNAME {
+			e = r.cache.GetStale(cur, dnswire.TypeCNAME)
+		}
+		if e == nil {
+			return chainStep{outcome: chainMiss}
+		}
+		r.counters.StaleAnswers.Add(1)
+		rrs := make([]dnswire.RR, len(e.RRs))
+		copy(rrs, e.RRs)
+		for i := range rrs {
+			rrs[i].TTL = StaleServeTTL
+		}
+		return chainStep{rrs: rrs, outcome: chainFollow, fromCache: true}
+	})
+	// A miss mid-chain or an exhausted walk both yield the partial chain:
+	// the caller's ResolveChain chases whatever tail remains.
+	if len(cr.answer) == 0 {
+		return nil
+	}
+	tr.MarkStale()
+	return &Result{RCode: dnswire.RCodeNoError, Answer: cr.answer, FromCache: true}
+}
+
+// iterate is the Iterate stage: it walks the DNS hierarchy from the
+// deepest zone with cached IRRs down to the zone authoritative for qname.
+func (r *Resolver) iterate(ctx context.Context, tr *Trace, qname dnswire.Name, qtype dnswire.Type, depth int, validate, stale bool) (*Result, *dnswire.Message, error) {
+	sp := tr.StartStage(StageIterate)
+	defer sp.End()
+	var lastErr error
+	prevZone := dnswire.Name("")
+	for step := 0; step < r.cfg.MaxReferrals; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("%w: %s %s: %v", ErrResolutionFailed, qname, qtype, err)
+		}
+		zname, servers := r.deepestKnownZone(qname, qtype, stale)
+		if zname == prevZone {
+			// A referral that does not descend (e.g. the child's servers
+			// have no resolvable addresses) would loop forever.
+			return nil, nil, fmt.Errorf("%w: %s %s: no progress below zone %s",
+				ErrResolutionFailed, qname, qtype, zname)
+		}
+		prevZone = zname
+		resp, err := r.queryZone(ctx, tr, zname, servers, qname, qtype)
+		if err != nil {
+			lastErr = err
+			if zname.IsRoot() {
+				// Even the root hints failed: the query is lost (§3).
+				return nil, nil, fmt.Errorf("%w: %s %s: %v", ErrResolutionFailed, qname, qtype, err)
+			}
+			// The zone's cached IRRs are stale or its servers are down;
+			// discard them and climb to an ancestor (§4 "Long TTL": in
+			// the worst case the parent zone must be queried to reset
+			// the IRR).
+			r.cache.Evict(zname, dnswire.TypeNS)
+			continue
+		}
+
+		isp := tr.StartStage(StageValidateIngest)
+		r.Ingest(resp, zname, qname)
+		isp.End()
+
+		switch {
+		case resp.RCode == dnswire.RCodeNXDomain:
+			r.negativeStore(qname, qtype, dnswire.RCodeNXDomain)
+			return &Result{RCode: dnswire.RCodeNXDomain}, resp, nil
+
+		case resp.RCode != dnswire.RCodeNoError:
+			// Lame or broken server; treat the zone as unusable.
+			lastErr = fmt.Errorf("resolve: %s from %s", resp.RCode, zname)
+			if zname.IsRoot() {
+				return nil, nil, fmt.Errorf("%w: %v", ErrResolutionFailed, lastErr)
+			}
+			r.cache.Evict(zname, dnswire.TypeNS)
+			continue
+
+		case answersQuestion(resp, qname, qtype):
+			if validate && r.validator != nil {
+				vsp := tr.StartStage(StageValidateIngest)
+				verr := r.validateAnswer(ctx, tr, zname, resp, depth)
+				vsp.End()
+				if verr != nil {
+					return nil, nil, fmt.Errorf("%w: %v", ErrResolutionFailed, verr)
+				}
+			}
+			return &Result{RCode: dnswire.RCodeNoError, Answer: relevantAnswers(resp, qname, qtype)}, resp, nil
+
+		case isReferral(resp, zname):
+			r.counters.Referrals.Add(1)
+			r.resolveMissingGlue(ctx, tr, referralChild(resp, zname), depth)
+			continue // deepestKnownZone now finds the child's IRRs
+
+		default:
+			// Authoritative empty answer: NODATA.
+			r.negativeStore(qname, qtype, dnswire.RCodeNoError)
+			return &Result{RCode: dnswire.RCodeNoError}, resp, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("referral limit exceeded")
+	}
+	return nil, nil, fmt.Errorf("%w: %s %s: %v", ErrResolutionFailed, qname, qtype, lastErr)
+}
+
+// deepestKnownZone returns the deepest ancestor zone of qname whose IRRs
+// (NS plus at least one server address) are cached, falling back to the
+// root hints.
+func (r *Resolver) deepestKnownZone(qname dnswire.Name, qtype dnswire.Type, stale bool) (dnswire.Name, []transport.Addr) {
+	now := r.cfg.Clock.Now()
+	get := func(name dnswire.Name, t dnswire.Type) *cache.Entry {
+		if e := r.cache.Get(name, t); e != nil {
+			return e
+		}
+		if stale {
+			return r.cache.GetStale(name, t)
+		}
+		return nil
+	}
+	for _, anc := range qname.Ancestors() {
+		if anc.IsRoot() {
+			break
+		}
+		if qtype == dnswire.TypeDS && anc == qname {
+			// The parent side is authoritative for the DS RRset at a
+			// delegation; never ask the child about its own DS.
+			continue
+		}
+		e := get(anc, dnswire.TypeNS)
+		if e == nil {
+			continue
+		}
+		if iv := r.cfg.ParentRecheckInterval; iv > 0 && !stale {
+			if seen, ok := r.parentLastSeen(anc); !ok || now.Sub(seen) > iv {
+				// The delegation is overdue for confirmation: pretend the
+				// IRRs are unknown so resolution re-visits the parent.
+				continue
+			}
+		}
+		var addrs []transport.Addr
+		for _, rr := range e.RRs {
+			host := rr.Data.(dnswire.NS).Host
+			if ae := get(host, dnswire.TypeA); ae != nil {
+				for _, arr := range ae.RRs {
+					addrs = append(addrs, r.cfg.AddrMapper(arr.Data.(dnswire.A).Addr))
+				}
+				continue
+			}
+			// No A glue for this host: fall back to cached AAAA glue, which
+			// renewal keeps alive alongside A (renewZone extends both).
+			if ae := get(host, dnswire.TypeAAAA); ae != nil {
+				for _, arr := range ae.RRs {
+					addrs = append(addrs, r.cfg.AddrMapper(arr.Data.(dnswire.AAAA).Addr))
+				}
+			}
+		}
+		if len(addrs) > 0 {
+			return anc, addrs
+		}
+	}
+	return dnswire.Root, r.cfg.RootAddrs
+}
+
+// parentLastSeen returns when zone's delegation was last confirmed by its
+// parent.
+func (r *Resolver) parentLastSeen(zone dnswire.Name) (time.Time, bool) {
+	r.parentMu.Lock()
+	defer r.parentMu.Unlock()
+	seen, ok := r.parentSeen[zone]
+	return seen, ok
+}
+
+// queryZone sends (qname, qtype) to the zone's servers through the fetch
+// engine. The ZoneQueried hook (renewal credit) fires only after a
+// validated response arrives: a query that every server fails never
+// earns the zone credit towards renewing IRRs that evidently cannot be
+// refetched. No lock is held across the exchange round-trips.
+func (r *Resolver) queryZone(ctx context.Context, tr *Trace, zname dnswire.Name, servers []transport.Addr, qname dnswire.Name, qtype dnswire.Type) (*dnswire.Message, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("%w: no addresses for zone %s", transport.ErrServerUnreachable, zname)
+	}
+	resp, err := r.engine.Fetch(ctx, tr, servers, qname, qtype)
+	if err != nil {
+		return nil, err
+	}
+	if h := r.cfg.Hooks.ZoneQueried; h != nil {
+		h(zname)
+	}
+	return resp, nil
+}
+
+// Refetch sends a NS query for zone to its own servers through the fetch
+// engine, sharing its RTT estimates and quarantine state. Unlike
+// resolution queries, refetches do not fire the ZoneQueried hook: only
+// genuine demand keeps a zone alive, otherwise renewal would sustain
+// itself forever. The renewal scheduler (internal/core) is the caller.
+func (r *Resolver) Refetch(ctx context.Context, tr *Trace, zone dnswire.Name, addrs []transport.Addr) (*dnswire.Message, error) {
+	if len(addrs) == 0 {
+		return nil, transport.ErrServerUnreachable
+	}
+	return r.engine.Fetch(ctx, tr, addrs, zone, dnswire.TypeNS)
+}
+
+// ZoneAddrs collects the cached addresses of the NS hosts in set. Hosts
+// with no A record fall back to cached AAAA glue (renewal extends both
+// families, so either may be the one still alive).
+func (r *Resolver) ZoneAddrs(set []dnswire.RR) []transport.Addr {
+	var addrs []transport.Addr
+	for _, rr := range set {
+		ns, ok := rr.Data.(dnswire.NS)
+		if !ok {
+			continue
+		}
+		if ae := r.cache.Peek(ns.Host, dnswire.TypeA); ae != nil {
+			for _, arr := range ae.RRs {
+				addrs = append(addrs, r.cfg.AddrMapper(arr.Data.(dnswire.A).Addr))
+			}
+			continue
+		}
+		if ae := r.cache.Peek(ns.Host, dnswire.TypeAAAA); ae != nil {
+			for _, arr := range ae.RRs {
+				addrs = append(addrs, r.cfg.AddrMapper(arr.Data.(dnswire.AAAA).Addr))
+			}
+		}
+	}
+	return addrs
+}
+
+// answersQuestion reports whether resp's answer section covers (qname,
+// qtype), directly or through a CNAME.
+func answersQuestion(resp *dnswire.Message, qname dnswire.Name, qtype dnswire.Type) bool {
+	for _, rr := range resp.Answer {
+		if rr.Name == qname && (rr.Type() == qtype || rr.Type() == dnswire.TypeCNAME) {
+			return true
+		}
+	}
+	return false
+}
+
+// relevantAnswers extracts the answer-section records that belong to the
+// question's CNAME chain.
+func relevantAnswers(resp *dnswire.Message, qname dnswire.Name, qtype dnswire.Type) []dnswire.RR {
+	var out []dnswire.RR
+	cur := qname
+	for hops := 0; hops <= len(resp.Answer); hops++ {
+		matched := false
+		for _, rr := range resp.Answer {
+			if rr.Name != cur {
+				continue
+			}
+			if rr.Type() == qtype {
+				out = append(out, rr)
+				matched = true
+			}
+		}
+		if matched {
+			return out
+		}
+		// Follow one CNAME link.
+		advanced := false
+		for _, rr := range resp.Answer {
+			if rr.Name == cur && rr.Type() == dnswire.TypeCNAME {
+				out = append(out, rr)
+				cur = rr.Data.(dnswire.CNAME).Target
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return out
+		}
+	}
+	return out
+}
+
+// referralChild returns the child zone a referral from zname points at.
+func referralChild(resp *dnswire.Message, zname dnswire.Name) dnswire.Name {
+	for _, rr := range resp.Authority {
+		if rr.Type() == dnswire.TypeNS && rr.Name != zname && rr.Name.IsSubdomainOf(zname) {
+			return rr.Name
+		}
+	}
+	return ""
+}
+
+// resolveMissingGlue resolves address records for the child zone's name
+// servers when the referral carried no usable glue (out-of-bailiwick
+// servers). Failures are tolerated: iterate detects lack of progress.
+func (r *Resolver) resolveMissingGlue(ctx context.Context, tr *Trace, child dnswire.Name, depth int) {
+	if child == "" || depth >= maxGlueDepth {
+		return
+	}
+	e := r.cache.Peek(child, dnswire.TypeNS)
+	if e == nil {
+		return
+	}
+	// Any live cached address already makes the zone usable. Get (not
+	// Peek) so that an expired glue record does not masquerade as usable.
+	for _, rr := range e.RRs {
+		host := rr.Data.(dnswire.NS).Host
+		if r.cache.Get(host, dnswire.TypeA) != nil {
+			return
+		}
+	}
+	for _, rr := range e.RRs {
+		host := rr.Data.(dnswire.NS).Host
+		if host.IsSubdomainOf(child) {
+			// In-bailiwick without glue: unresolvable without the child
+			// zone itself; skip.
+			continue
+		}
+		if _, err := r.resolveOne(ctx, tr, host, dnswire.TypeA, depth+1); err == nil {
+			return
+		}
+	}
+}
+
+// isReferral reports whether resp is a downward referral from zname.
+func isReferral(resp *dnswire.Message, zname dnswire.Name) bool {
+	if len(resp.Answer) != 0 || resp.Flags.Authoritative {
+		return false
+	}
+	for _, rr := range resp.Authority {
+		if rr.Type() == dnswire.TypeNS && rr.Name != zname && rr.Name.IsSubdomainOf(zname) {
+			return true
+		}
+	}
+	return false
+}

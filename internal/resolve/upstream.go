@@ -1,4 +1,4 @@
-package core
+package resolve
 
 import (
 	"context"
@@ -12,11 +12,11 @@ import (
 	"resilientdns/internal/transport"
 )
 
-// UpstreamConfig tunes the upstream robustness layer shared by the query,
-// renewal, and prefetch paths: RTT-aware server selection, per-attempt
-// timeouts derived from SRTT + 4·RTTVAR, failure quarantine with
-// exponential backoff, and a bounded retry budget per resolution. The
-// zero value enables the layer with the defaults below.
+// UpstreamConfig tunes the upstream robustness layer shared by every
+// fetch path: RTT-aware server selection, per-attempt timeouts derived
+// from SRTT + 4·RTTVAR, failure quarantine with exponential backoff, and
+// a bounded retry budget per resolution. The zero value enables the
+// layer with the defaults below.
 type UpstreamConfig struct {
 	// Disable reverts to the pre-layer behaviour — blind round-robin
 	// rotation with the transport's own flat timeout, no quarantine, no
@@ -61,7 +61,20 @@ const (
 
 // errBudgetExhausted reports that a resolution spent its whole upstream
 // retry budget without completing.
-var errBudgetExhausted = errors.New("core: upstream retry budget exhausted")
+var errBudgetExhausted = errors.New("resolve: upstream retry budget exhausted")
+
+// ServerState is one authoritative server's exported selection state:
+// the RFC 6298 RTT estimate, the consecutive-failure count, and the
+// quarantine release time. The persistence subsystem checkpoints it so a
+// restarted server resumes with the upstream knowledge it had.
+type ServerState struct {
+	Addr            transport.Addr
+	SRTT            time.Duration
+	RTTVar          time.Duration
+	Samples         uint64
+	Fails           int
+	QuarantineUntil time.Time
+}
 
 // serverState is the per-server book-keeping behind selection: a smoothed
 // RTT estimate, the consecutive-failure count, and the quarantine release
@@ -256,11 +269,11 @@ func (u *upstream) observeFailure(addr transport.Addr, now time.Time) {
 
 // export returns a copy of every server's selection state, sorted by
 // address so checkpoints are deterministic.
-func (u *upstream) export() []UpstreamServerState {
+func (u *upstream) export() []ServerState {
 	u.mu.Lock()
-	out := make([]UpstreamServerState, 0, len(u.servers))
+	out := make([]ServerState, 0, len(u.servers))
 	for addr, st := range u.servers {
-		out = append(out, UpstreamServerState{
+		out = append(out, ServerState{
 			Addr:            addr,
 			SRTT:            st.rtt.SRTT(),
 			RTTVar:          st.rtt.RTTVar(),
@@ -276,7 +289,7 @@ func (u *upstream) export() []UpstreamServerState {
 
 // restore rebuilds per-server state from a checkpoint, overwriting any
 // state already accumulated for the same addresses.
-func (u *upstream) restore(states []UpstreamServerState) {
+func (u *upstream) restore(states []ServerState) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	for _, s := range states {
@@ -314,9 +327,10 @@ type retryBudget struct {
 
 type retryBudgetKey struct{}
 
-// withRetryBudget installs a fresh budget of n attempts into ctx; n <= 0
-// leaves ctx unbounded.
-func withRetryBudget(ctx context.Context, n int) context.Context {
+// WithRetryBudget installs a fresh budget of n attempts into ctx; n <= 0
+// leaves ctx unbounded. The owning server installs one budget per
+// coalesced flight and one per renewal refetch cycle.
+func WithRetryBudget(ctx context.Context, n int) context.Context {
 	if n <= 0 {
 		return ctx
 	}

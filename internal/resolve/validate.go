@@ -1,4 +1,4 @@
-package core
+package resolve
 
 import (
 	"context"
@@ -13,7 +13,7 @@ const maxChainDepth = 8
 
 // ErrBogus reports a DNSSEC validation failure: the zone chain is signed
 // but the data does not verify.
-var ErrBogus = errors.New("core: DNSSEC validation failed (bogus)")
+var ErrBogus = errors.New("resolve: DNSSEC validation failed (bogus)")
 
 // The dnssec.Validator mutates its trust-anchor map while validating
 // delegations, so every call into it (and every insecure-map access) is
@@ -21,42 +21,42 @@ var ErrBogus = errors.New("core: DNSSEC validation failed (bogus)")
 // network I/O — the accessors below each take it for one step only.
 
 // zoneTrusted reports whether zname already has trusted keys.
-func (cs *CachingServer) zoneTrusted(zname dnswire.Name) bool {
-	cs.secMu.Lock()
-	defer cs.secMu.Unlock()
-	return len(cs.validator.TrustedKeys(zname)) > 0
+func (r *Resolver) zoneTrusted(zname dnswire.Name) bool {
+	r.secMu.Lock()
+	defer r.secMu.Unlock()
+	return len(r.validator.TrustedKeys(zname)) > 0
 }
 
 // zoneInsecure reports whether zname is cached as provably unsigned.
-func (cs *CachingServer) zoneInsecure(zname dnswire.Name) bool {
-	cs.secMu.Lock()
-	defer cs.secMu.Unlock()
-	return cs.insecure[zname]
+func (r *Resolver) zoneInsecure(zname dnswire.Name) bool {
+	r.secMu.Lock()
+	defer r.secMu.Unlock()
+	return r.insecure[zname]
 }
 
 // markInsecure caches zname as provably unsigned.
-func (cs *CachingServer) markInsecure(zname dnswire.Name) {
-	cs.secMu.Lock()
-	defer cs.secMu.Unlock()
-	cs.insecure[zname] = true
+func (r *Resolver) markInsecure(zname dnswire.Name) {
+	r.secMu.Lock()
+	defer r.secMu.Unlock()
+	r.insecure[zname] = true
 }
 
 // ensureTrusted establishes the DS→DNSKEY chain from the trust anchors
 // down to zname. It returns whether the zone is securely delegated
 // (false = provably unsigned/insecure, which is acceptable) or an error
 // when the chain is bogus or unreachable.
-func (cs *CachingServer) ensureTrusted(ctx context.Context, zname dnswire.Name, depth int) (bool, error) {
-	if cs.validator == nil {
+func (r *Resolver) ensureTrusted(ctx context.Context, tr *Trace, zname dnswire.Name, depth int) (bool, error) {
+	if r.validator == nil {
 		return false, nil
 	}
-	if cs.zoneTrusted(zname) {
+	if r.zoneTrusted(zname) {
 		return true, nil
 	}
 	if zname.IsRoot() {
 		// The root is only ever trusted via the configured anchors.
 		return false, nil
 	}
-	if cs.zoneInsecure(zname) {
+	if r.zoneInsecure(zname) {
 		return false, nil
 	}
 	if depth > maxChainDepth {
@@ -64,14 +64,14 @@ func (cs *CachingServer) ensureTrusted(ctx context.Context, zname dnswire.Name, 
 	}
 
 	// 1. The DS set for zname, served authoritatively by the parent side.
-	dsSet, dsSig, err := cs.fetchRRSetWithSig(ctx, zname, dnswire.TypeDS, depth)
+	dsSet, dsSig, err := r.fetchRRSetWithSig(ctx, tr, zname, dnswire.TypeDS, depth)
 	if err != nil {
 		return false, fmt.Errorf("fetching DS for %s: %w", zname, err)
 	}
 	if len(dsSet) == 0 {
 		// No DS: an insecure delegation. (Without NSEC we accept the
 		// parent's negative answer at face value.)
-		cs.markInsecure(zname)
+		r.markInsecure(zname)
 		return false, nil
 	}
 	sig, ok := dsSig.Data.(dnswire.RRSIG)
@@ -80,27 +80,27 @@ func (cs *CachingServer) ensureTrusted(ctx context.Context, zname dnswire.Name, 
 	}
 
 	// 2. The signer (the parent zone) must itself be trusted.
-	parentSecure, err := cs.ensureTrusted(ctx, sig.SignerName, depth+1)
+	parentSecure, err := r.ensureTrusted(ctx, tr, sig.SignerName, depth+1)
 	if err != nil {
 		return false, err
 	}
 	if !parentSecure {
-		cs.markInsecure(zname)
+		r.markInsecure(zname)
 		return false, nil
 	}
 
 	// 3. The child's self-signed DNSKEY set must match the DS.
-	keySet, keySig, err := cs.fetchRRSetWithSig(ctx, zname, dnswire.TypeDNSKEY, depth)
+	keySet, keySig, err := r.fetchRRSetWithSig(ctx, tr, zname, dnswire.TypeDNSKEY, depth)
 	if err != nil {
 		return false, fmt.Errorf("fetching DNSKEY for %s: %w", zname, err)
 	}
 	if len(keySet) == 0 {
 		return false, fmt.Errorf("%w: signed delegation %s publishes no DNSKEY", ErrBogus, zname)
 	}
-	now := cs.cfg.Clock.Now()
-	cs.secMu.Lock()
-	err = cs.validator.ValidateDelegation(sig.SignerName, zname, dsSet, dsSig, keySet, keySig, now)
-	cs.secMu.Unlock()
+	now := r.cfg.Clock.Now()
+	r.secMu.Lock()
+	err = r.validator.ValidateDelegation(sig.SignerName, zname, dsSet, dsSig, keySet, keySig, now)
+	r.secMu.Unlock()
 	if err != nil {
 		return false, fmt.Errorf("%w: %v", ErrBogus, err)
 	}
@@ -110,8 +110,8 @@ func (cs *CachingServer) ensureTrusted(ctx context.Context, zname dnswire.Name, 
 // fetchRRSetWithSig resolves (qname, qtype) over the network and returns
 // the RRset together with its covering RRSIG from the same response. An
 // authoritative negative answer returns an empty set and no error.
-func (cs *CachingServer) fetchRRSetWithSig(ctx context.Context, qname dnswire.Name, qtype dnswire.Type, depth int) ([]dnswire.RR, dnswire.RR, error) {
-	res, raw, err := cs.iterate(ctx, qname, qtype, depth+1, false, false)
+func (r *Resolver) fetchRRSetWithSig(ctx context.Context, tr *Trace, qname dnswire.Name, qtype dnswire.Type, depth int) ([]dnswire.RR, dnswire.RR, error) {
+	res, raw, err := r.iterate(ctx, tr, qname, qtype, depth+1, false, false)
 	if err != nil {
 		return nil, dnswire.RR{}, err
 	}
@@ -137,15 +137,15 @@ func (cs *CachingServer) fetchRRSetWithSig(ctx context.Context, qname dnswire.Na
 // validateAnswer verifies the RRSIGs over every answer RRset in resp,
 // walking the trust chain as needed. Insecure (unsigned) zones pass
 // unvalidated, matching standard resolver behaviour.
-func (cs *CachingServer) validateAnswer(ctx context.Context, zname dnswire.Name, resp *dnswire.Message, depth int) error {
-	secure, err := cs.ensureTrusted(ctx, zname, depth)
+func (r *Resolver) validateAnswer(ctx context.Context, tr *Trace, zname dnswire.Name, resp *dnswire.Message, depth int) error {
+	secure, err := r.ensureTrusted(ctx, tr, zname, depth)
 	if err != nil {
 		return err
 	}
 	if !secure {
 		return nil
 	}
-	now := cs.cfg.Clock.Now()
+	now := r.cfg.Clock.Now()
 	for _, set := range groupRRSets(resp.Answer) {
 		if set[0].Type() == dnswire.TypeRRSIG {
 			continue
@@ -156,16 +156,16 @@ func (cs *CachingServer) validateAnswer(ctx context.Context, zname dnswire.Name,
 				ErrBogus, set[0].Name, set[0].Type(), zname)
 		}
 		signer := sigRR.Data.(dnswire.RRSIG).SignerName
-		signerSecure, err := cs.ensureTrusted(ctx, signer, depth)
+		signerSecure, err := r.ensureTrusted(ctx, tr, signer, depth)
 		if err != nil {
 			return err
 		}
 		if !signerSecure {
 			continue // cross-zone CNAME target in an unsigned zone
 		}
-		cs.secMu.Lock()
-		err = cs.validator.ValidateRRSet(signer, sigRR, set, now)
-		cs.secMu.Unlock()
+		r.secMu.Lock()
+		err = r.validator.ValidateRRSet(signer, sigRR, set, now)
+		r.secMu.Unlock()
 		if err != nil {
 			return fmt.Errorf("%w: %s %s: %v", ErrBogus, set[0].Name, set[0].Type(), err)
 		}
@@ -188,16 +188,16 @@ func findSig(rrs []dnswire.RR, owner dnswire.Name, t dnswire.Type) (dnswire.RR, 
 
 // SecureZone reports whether zname currently has a validated key chain
 // (true), is known insecure (false), with ok=false when undetermined.
-func (cs *CachingServer) SecureZone(zname dnswire.Name) (secure, known bool) {
-	if cs.validator == nil {
+func (r *Resolver) SecureZone(zname dnswire.Name) (secure, known bool) {
+	if r.validator == nil {
 		return false, false
 	}
-	cs.secMu.Lock()
-	defer cs.secMu.Unlock()
-	if len(cs.validator.TrustedKeys(zname)) > 0 {
+	r.secMu.Lock()
+	defer r.secMu.Unlock()
+	if len(r.validator.TrustedKeys(zname)) > 0 {
 		return true, true
 	}
-	if cs.insecure[zname] {
+	if r.insecure[zname] {
 		return false, true
 	}
 	return false, false
