@@ -26,6 +26,8 @@ import (
 	"resilientdns/internal/core"
 	"resilientdns/internal/debughttp"
 	"resilientdns/internal/dnswire"
+	"resilientdns/internal/guard"
+	"resilientdns/internal/metrics"
 	"resilientdns/internal/persist"
 	"resilientdns/internal/resolve"
 	"resilientdns/internal/transport"
@@ -94,6 +96,11 @@ func run() error {
 	persistDir := flag.String("persist-dir", "", "directory for crash-safe cache persistence: snapshot + journal, replayed on startup (empty = off)")
 	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "interval between full cache snapshots when -persist-dir is set (0 = journal only)")
 	sweep := flag.Duration("sweep", time.Minute, "interval between background sweeps of expired cache entries (0 = lazy expiry only)")
+	clientRPS := flag.Float64("client-rps", 0, "per-client-address UDP query rate limit in queries/s (0 = off)")
+	clientBurst := flag.Float64("client-burst", 0, "per-client token-bucket burst depth (0 = 2×-client-rps)")
+	slip := flag.Int("slip", 2, "answer every Nth rate-limited UDP query with a minimal TC=1 reply instead of dropping it (0 = never; needs -client-rps)")
+	maxClients := flag.Int("max-clients", 65536, "rate-limiter client-slot bound; least recently seen clients are evicted past it")
+	overloadCacheOnly := flag.Bool("overload-cache-only", false, "answer queries arriving while all -max-inflight slots are busy from cache/stale data only, instead of dropping them")
 	flag.Parse()
 
 	if *roots == "" {
@@ -217,18 +224,40 @@ func run() error {
 		}()
 	}
 
-	udp := &transport.UDPServer{Handler: cs, MaxInflight: *maxInflight}
+	// The guard wraps the frontend only when a guard feature is on, so
+	// with the flags at their defaults the serving path is unchanged.
+	// Counters always exist: the UDP server still counts sheds and
+	// FORMERRs with the guard off.
+	guardCounters := &metrics.GuardCounters{}
+	guardOn := *clientRPS > 0 || *overloadCacheOnly
+	var udpHandler transport.Handler = cs
+	udp := &transport.UDPServer{MaxInflight: *maxInflight, Counters: guardCounters}
+	if guardOn {
+		g := guard.New(cs, guard.Config{
+			ClientRPS:           *clientRPS,
+			ClientBurst:         *clientBurst,
+			Slip:                *slip,
+			MaxClients:          *maxClients,
+			CacheOnlyOnOverload: *overloadCacheOnly,
+			Counters:            guardCounters,
+		})
+		udpHandler = g
+		udp.Overload = g.HandleOverload
+	}
+	udp.Handler = udpHandler
 	addr, err := udp.Listen(*listen)
 	if err != nil {
 		return err
 	}
+	// TCP is deliberately unguarded: slip pushes clients there, the
+	// connection itself provides backpressure, and sources are real.
 	tcp := &transport.TCPServer{Handler: cs, MaxInflight: *maxInflight}
 	if _, err := tcp.Listen(addr); err != nil {
 		udp.Close()
 		return err
 	}
-	fmt.Printf("caching server on %s (udp+tcp, refresh=%v renewal=%s max-inflight=%d selection=%v)\n",
-		addr, *refresh, *renewal, *maxInflight, !*noSelection)
+	fmt.Printf("caching server on %s (udp+tcp, refresh=%v renewal=%s max-inflight=%d selection=%v guard=%v)\n",
+		addr, *refresh, *renewal, *maxInflight, !*noSelection, guardOn)
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
@@ -237,6 +266,7 @@ func run() error {
 			Handler: debughttp.New(debughttp.Options{
 				Stats:      func() any { return cs.Stats() },
 				CacheStats: func() any { return cs.CacheStats() },
+				Guard:      func() any { return guardCounters.Snapshot() },
 				Latency:    cs.Resolver().LatencySnapshots,
 				Ring:       ring,
 			}),
@@ -260,9 +290,11 @@ func run() error {
 				case <-t.C:
 					st := cs.Stats()
 					cst := cs.CacheStats()
-					fmt.Printf("in=%d out=%d coalesced=%d failed=%d renewals=%d retries=%d quarantine-skips=%d budget-exhausted=%d cached: zones=%d records=%d\n",
+					gs := guardCounters.Snapshot()
+					fmt.Printf("in=%d out=%d coalesced=%d failed=%d renewals=%d retries=%d quarantine-skips=%d budget-exhausted=%d cached: zones=%d records=%d guard: limited=%d slips=%d shed=%d cache-only=%d formerr=%d\n",
 						st.QueriesIn, st.QueriesOut, st.Coalesced, st.Failed, st.Renewals,
-						st.Retries, st.QuarantineSkips, st.BudgetExhausted, cst.Zones, cst.Records)
+						st.Retries, st.QuarantineSkips, st.BudgetExhausted, cst.Zones, cst.Records,
+						gs.RateLimited, gs.Slips, gs.Shed, gs.CacheOnly, gs.FormErr)
 				}
 			}
 		}()
@@ -305,6 +337,10 @@ func run() error {
 	fmt.Printf("final: in=%d out=%d coalesced=%d failed=%d renewals=%d retries=%d cached: zones=%d records=%d stale=%d\n",
 		st.QueriesIn, st.QueriesOut, st.Coalesced, st.Failed, st.Renewals, st.Retries,
 		cst.Zones, cst.Records, cst.StaleEntries)
+	if gs := guardCounters.Snapshot(); gs.Allowed+gs.RateLimited+gs.Shed+gs.CacheOnly+gs.FormErr > 0 {
+		fmt.Printf("guard: allowed=%d limited=%d slips=%d shed=%d cache-only=%d (miss=%d) formerr=%d evicted=%d\n",
+			gs.Allowed, gs.RateLimited, gs.Slips, gs.Shed, gs.CacheOnly, gs.CacheOnlyMiss, gs.FormErr, gs.ClientsEvicted)
+	}
 	if store != nil {
 		ps := store.Counters()
 		fmt.Printf("persist: snapshots=%d (%d records, %d bytes) journal=%d records (%d bytes) recoveries=%d replayed=%d dropped=%d\n",

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -70,6 +71,10 @@ func run() error {
 	concurrency := flag.Int("concurrency", 8, "concurrent query workers")
 	timeout := flag.Duration("timeout", time.Second, "per-query timeout")
 	unique := flag.Bool("unique", false, "prefix every query name with a unique label (cache-miss-heavy load)")
+	rate := flag.Float64("rate", 0, "paced queries/s per legit worker (0 = as fast as replies allow)")
+	abusers := flag.Int("abusers", 0, "abusive flooding clients: fire-and-forget workers sending unique names (forcing recursion) from -abuse-source, replies ignored")
+	abuseQPS := flag.Float64("abuse-qps", 1000, "queries/s per abuser (0 = unthrottled)")
+	abuseSource := flag.String("abuse-source", "127.0.0.99", "local IP the abusers bind, so the server sees them as one client address")
 	debugURL := flag.String("debug-url", "", "dnscache -debug-addr base URL (e.g. http://127.0.0.1:8053); prints the server-side per-stage latency breakdown after the run")
 	flag.Parse()
 
@@ -83,9 +88,15 @@ func run() error {
 		return err
 	}
 
-	stats := runLoad(context.Background(), transport.Addr(*server), names,
-		*duration, *concurrency, *timeout, *unique)
+	ctx := context.Background()
+	abuseSent := runAbusers(ctx, *server, names[0], *duration, *abusers, *abuseQPS, *abuseSource)
+	stats := runLoad(ctx, transport.Addr(*server), names,
+		*duration, *concurrency, *timeout, *unique, *rate)
 	stats.print(os.Stdout)
+	if *abusers > 0 {
+		fmt.Printf("abuse sent:   %d (%.0f qps from %s across %d abusers)\n",
+			abuseSent.Load(), float64(abuseSent.Load())/duration.Seconds(), *abuseSource, *abusers)
+	}
 
 	after, err := fetchLatency(*debugURL)
 	if err != nil {
@@ -97,6 +108,57 @@ func run() error {
 		return fmt.Errorf("no queries completed")
 	}
 	return nil
+}
+
+// runAbusers starts the abusive-client mix: n workers flooding the server
+// with unique query names (every query forces a full recursion — the
+// NXNSAttack shape) from a shared source address, never reading replies.
+// It returns immediately; the returned counter accumulates sends until
+// duration elapses, and the legit load runs concurrently.
+func runAbusers(ctx context.Context, server string, base dnswire.Name,
+	duration time.Duration, n int, qps float64, source string) *atomic.Uint64 {
+	sent := &atomic.Uint64{}
+	if n <= 0 {
+		return sent
+	}
+	var interval time.Duration
+	if qps > 0 {
+		interval = time.Duration(float64(time.Second) / qps)
+	}
+	deadline := time.Now().Add(duration)
+	for w := 0; w < n; w++ {
+		go func(worker int) {
+			laddr, err := net.ResolveUDPAddr("udp", source+":0")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dnsperf: abuser source %s: %v\n", source, err)
+				return
+			}
+			dialer := net.Dialer{LocalAddr: laddr}
+			conn, err := dialer.DialContext(ctx, "udp", server)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dnsperf: abuser dial: %v\n", err)
+				return
+			}
+			defer conn.Close()
+			for i := 0; time.Now().Before(deadline); i++ {
+				qname := dnswire.Name(fmt.Sprintf("a%dw%d.%s", i, worker, base))
+				q := dnswire.NewQuery(uint16(i), qname, dnswire.TypeA)
+				q.Flags.RecursionDesired = true
+				wire, err := q.Pack()
+				if err != nil {
+					continue
+				}
+				if _, err := conn.Write(wire); err != nil {
+					continue
+				}
+				sent.Add(1)
+				if interval > 0 {
+					time.Sleep(interval)
+				}
+			}
+		}(w)
+	}
+	return sent
 }
 
 // fetchLatency reads the latency section of the server's /debug/stats.
@@ -225,13 +287,20 @@ func max64(a, b uint64) uint64 {
 
 // runLoad drives the workers and returns aggregated statistics. With
 // unique set, every query name gets a distinct leading label so each
-// query forces a full resolution (cache-miss-heavy load).
+// query forces a full resolution (cache-miss-heavy load). A non-zero
+// rate paces each worker to that many queries/s, modelling legitimate
+// clients that query at their own tempo rather than as fast as the
+// server answers.
 func runLoad(ctx context.Context, server transport.Addr, names []dnswire.Name,
-	duration time.Duration, concurrency int, timeout time.Duration, unique bool) *loadStats {
+	duration time.Duration, concurrency int, timeout time.Duration, unique bool, rate float64) *loadStats {
 	stats := &loadStats{perWorker: make([]uint64, concurrency)}
 	deadline := time.Now().Add(duration)
 	ctx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < concurrency; w++ {
@@ -250,6 +319,9 @@ func runLoad(ctx context.Context, server transport.Addr, names []dnswire.Name,
 				resp, err := tr.Exchange(ctx, server, q)
 				success := err == nil && resp.RCode != dnswire.RCodeServFail
 				stats.record(worker, time.Since(start), success)
+				if sleep := interval - time.Since(start); interval > 0 && sleep > 0 {
+					time.Sleep(sleep)
+				}
 			}
 		}(w)
 	}

@@ -34,12 +34,14 @@ import (
 const name = "onepath"
 
 // defaultPkgs is the resolver side of the repo: the policy shell, the
-// pipeline, and the simulator that drives them. Packages that sit
+// pipeline, the simulator that drives them, and the client-facing guard
+// (which must answer from cache, never fetch). Packages that sit
 // below the resolver (transport, stub, xfer) legitimately exchange on
 // their own behalf and are not listed.
 const defaultPkgs = "resilientdns/internal/core," +
 	"resilientdns/internal/resolve," +
-	"resilientdns/internal/sim"
+	"resilientdns/internal/sim," +
+	"resilientdns/internal/guard"
 
 var Analyzer = &analysis.Analyzer{
 	Name: name,

@@ -48,7 +48,8 @@ const defaultPkgs = "resilientdns/internal/sim," +
 	"resilientdns/internal/experiments," +
 	"resilientdns/internal/workload," +
 	"resilientdns/internal/topology," +
-	"resilientdns/internal/attack"
+	"resilientdns/internal/attack," +
+	"resilientdns/internal/guard"
 
 var Analyzer = &analysis.Analyzer{
 	Name: name,

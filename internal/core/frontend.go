@@ -14,10 +14,33 @@ const frontendTimeout = 5 * time.Second
 
 // HandleQuery implements transport.Handler, making the caching server
 // directly servable over UDP to stub resolvers: the full CS role from the
-// paper (Fig. 1), with recursion available.
+// paper (Fig. 1), with recursion available. Queries with RD=0 are served
+// from cached data only — a stub probing the cache must not trigger
+// upstream fetches — and answered REFUSED when nothing cached applies.
 func (cs *CachingServer) HandleQuery(q *dnswire.Message) *dnswire.Message {
+	return cs.handle(q, false)
+}
+
+// HandleQueryCacheOnly answers q without any upstream work regardless of
+// its RD flag: the guard layer's overload degraded mode, where the
+// paper's cache and stale-serving machinery keeps answering while
+// recursion capacity is saturated. A query nothing cached can answer
+// gets SERVFAIL (transient — the client should retry), unlike an RD=0
+// miss's REFUSED (deliberate policy).
+func (cs *CachingServer) HandleQueryCacheOnly(q *dnswire.Message) *dnswire.Message {
+	return cs.handle(q, true)
+}
+
+// handle is the shared frontend: protocol validation, the
+// recursive/cache-only routing decision, and reply assembly.
+func (cs *CachingServer) handle(q *dnswire.Message, overloadCacheOnly bool) *dnswire.Message {
 	resp := q.Reply()
 	resp.Flags.RecursionAvailable = true
+	// RFC 6891: a response to a query carrying an OPT record must carry
+	// one too, advertising our receive capability.
+	if _, ok := q.EDNS0PayloadSize(); ok {
+		resp.SetEDNS0(dnswire.DefaultEDNS0PayloadSize)
+	}
 	if len(q.Question) != 1 || q.Opcode != dnswire.OpcodeQuery {
 		resp.RCode = dnswire.RCodeFormErr
 		return resp
@@ -25,6 +48,27 @@ func (cs *CachingServer) HandleQuery(q *dnswire.Message) *dnswire.Message {
 	question := q.Question[0]
 	if question.Class != dnswire.ClassIN {
 		resp.RCode = dnswire.RCodeRefused
+		return resp
+	}
+
+	if overloadCacheOnly || !q.Flags.RecursionDesired {
+		res, err := cs.ResolveCacheOnly(question.Name, question.Type)
+		switch {
+		case err != nil:
+			resp.RCode = dnswire.RCodeServFail
+		case res == nil && overloadCacheOnly:
+			// Degraded mode and nothing cached: shed with SERVFAIL so
+			// the client retries once capacity returns.
+			resp.RCode = dnswire.RCodeServFail
+		case res == nil:
+			// RD=0 and nothing cached: we will not recurse on the
+			// stub's behalf.
+			resp.RCode = dnswire.RCodeRefused
+		default:
+			resp.RCode = res.RCode
+			resp.Answer = append(resp.Answer, res.Answer...)
+			resp.Authority = append(resp.Authority, res.Authority...)
+		}
 		return resp
 	}
 
@@ -37,6 +81,7 @@ func (cs *CachingServer) HandleQuery(q *dnswire.Message) *dnswire.Message {
 	}
 	resp.RCode = res.RCode
 	resp.Answer = append(resp.Answer, res.Answer...)
+	resp.Authority = append(resp.Authority, res.Authority...)
 	return resp
 }
 

@@ -170,6 +170,29 @@ func (cs *CachingServer) Resolve(ctx context.Context, qname dnswire.Name, qtype 
 	return res, nil
 }
 
+// ResolveCacheOnly answers one stub-resolver query from cached data
+// alone — live cache, negative cache, then stale records when serve-stale
+// is on — never touching upstream. It serves RD=0 probes and the guard's
+// overload degraded mode. A nil result (no error) means nothing cached
+// could answer; the caller picks the refusal rcode.
+func (cs *CachingServer) ResolveCacheOnly(qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	cs.stats.queriesIn.Add(1)
+	tr := cs.resolver.NewTrace(resolve.KindQuery, qname, qtype)
+	res, err := cs.resolver.LookupCacheOnly(tr, qname, qtype)
+	cs.resolver.FinishTrace(tr, res, err)
+	if err != nil {
+		cs.stats.failed.Add(1)
+		return nil, err
+	}
+	if res == nil {
+		cs.stats.failed.Add(1)
+		return nil, nil
+	}
+	cs.stats.resolved.Add(1)
+	cs.stats.cacheAnswered.Add(1)
+	return res, nil
+}
+
 // updateCredit applies the renewal policy on a query to zname; it is the
 // pipeline's ZoneQueried hook.
 func (cs *CachingServer) updateCredit(zname dnswire.Name) {

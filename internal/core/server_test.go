@@ -98,6 +98,17 @@ func newFixture(t testing.TB, cfg Config) *fixture {
 	edu.MustAdd(rrNS("oob.edu.", 3600, "ns1.com."))
 
 	ucla := zone.New(dnswire.MustName("ucla.edu."))
+	ucla.MustAdd(dnswire.RR{
+		Name:  dnswire.MustName("ucla.edu."),
+		Class: dnswire.ClassIN,
+		TTL:   3600,
+		Data: dnswire.SOA{
+			MName:   dnswire.MustName("ns1.ucla.edu."),
+			RName:   dnswire.MustName("hostmaster.ucla.edu."),
+			Serial:  1,
+			Minimum: 60,
+		},
+	})
 	ucla.MustAdd(rrNS("ucla.edu.", 3600, "ns1.ucla.edu."))
 	ucla.MustAdd(rrNS("ucla.edu.", 3600, "ns2.ucla.edu."))
 	ucla.MustAdd(rrA("ns1.ucla.edu.", 3600, "10.0.2.1"))

@@ -31,6 +31,9 @@ type Options struct {
 	// Latency returns the per-stage / per-kind histograms
 	// (Resolver.LatencySnapshots).
 	Latency func() map[string]metrics.HistogramSnapshot
+	// Guard returns the client-facing guard layer's decision counters
+	// (metrics.GuardStats).
+	Guard func() any
 	// Ring retains recent trace summaries for /debug/queries.
 	Ring *resolve.Ring
 }
@@ -50,6 +53,7 @@ type LatencySummary struct {
 type statsPayload struct {
 	Server  any                       `json:"server,omitempty"`
 	Cache   any                       `json:"cache,omitempty"`
+	Guard   any                       `json:"guard,omitempty"`
 	Latency map[string]LatencySummary `json:"latency,omitempty"`
 }
 
@@ -63,6 +67,9 @@ func New(o Options) http.Handler {
 		}
 		if o.CacheStats != nil {
 			p.Cache = o.CacheStats()
+		}
+		if o.Guard != nil {
+			p.Guard = o.Guard()
 		}
 		if o.Latency != nil {
 			p.Latency = make(map[string]LatencySummary)

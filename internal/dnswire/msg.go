@@ -127,9 +127,11 @@ func (m *Message) String() string {
 	return b.String()
 }
 
-// TruncatedCopy returns a copy of the message with all record sections
+// TruncatedCopy returns a copy of the message with the record sections
 // dropped and the TC bit set, for serving over size-limited UDP (the
-// client retries over TCP).
+// client retries over TCP). OPT pseudo-records survive the truncation:
+// RFC 6891 §7 requires a response to an EDNS0 query to remain an EDNS0
+// response even when truncated.
 func (m *Message) TruncatedCopy() *Message {
 	t := &Message{
 		ID:     m.ID,
@@ -139,6 +141,11 @@ func (m *Message) TruncatedCopy() *Message {
 	}
 	t.Flags.Truncated = true
 	t.Question = append(t.Question, m.Question...)
+	for _, rr := range m.Additional {
+		if rr.Type() == TypeOPT {
+			t.Additional = append(t.Additional, rr)
+		}
+	}
 	return t
 }
 
@@ -384,6 +391,43 @@ func decodeName(msg []byte, off int) (Name, int, error) {
 	}
 }
 
+// Header is a decoded DNS message header, the 12 fixed bytes every
+// message starts with. It lets a server classify a packet (query vs
+// response, opcode, ID to echo) even when the rest fails to parse.
+type Header struct {
+	ID     uint16
+	Flags  Flags
+	Opcode Opcode
+	RCode  RCode
+}
+
+// UnpackHeader decodes just the fixed header of a wire-format message.
+// It fails only when b is shorter than the 12-byte header.
+func UnpackHeader(b []byte) (Header, error) {
+	if len(b) < headerLen {
+		return Header{}, fmt.Errorf("%w: %d-byte header", ErrTruncatedMessage, len(b))
+	}
+	var h Header
+	h.ID = uint16(b[0])<<8 | uint16(b[1])
+	flags := uint16(b[2])<<8 | uint16(b[3])
+	h.Flags, h.Opcode, h.RCode = decodeFlags(flags)
+	return h, nil
+}
+
+// decodeFlags splits the header's second 16-bit word into its flag bits,
+// opcode, and rcode.
+func decodeFlags(flags uint16) (Flags, Opcode, RCode) {
+	var f Flags
+	f.Response = flags&(1<<15) != 0
+	f.Authoritative = flags&(1<<10) != 0
+	f.Truncated = flags&(1<<9) != 0
+	f.RecursionDesired = flags&(1<<8) != 0
+	f.RecursionAvailable = flags&(1<<7) != 0
+	f.AuthenticData = flags&(1<<5) != 0
+	f.CheckingDisabled = flags&(1<<4) != 0
+	return f, Opcode(flags >> 11 & 0xF), RCode(flags & 0xF)
+}
+
 // Unpack decodes a wire-format DNS message.
 func Unpack(b []byte) (*Message, error) {
 	u := &unpacker{msg: b}
@@ -397,15 +441,7 @@ func Unpack(b []byte) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.Flags.Response = flags&(1<<15) != 0
-	m.Opcode = Opcode(flags >> 11 & 0xF)
-	m.Flags.Authoritative = flags&(1<<10) != 0
-	m.Flags.Truncated = flags&(1<<9) != 0
-	m.Flags.RecursionDesired = flags&(1<<8) != 0
-	m.Flags.RecursionAvailable = flags&(1<<7) != 0
-	m.Flags.AuthenticData = flags&(1<<5) != 0
-	m.Flags.CheckingDisabled = flags&(1<<4) != 0
-	m.RCode = RCode(flags & 0xF)
+	m.Flags, m.Opcode, m.RCode = decodeFlags(flags)
 
 	var counts [4]uint16
 	for i := range counts {

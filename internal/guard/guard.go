@@ -1,0 +1,189 @@
+// Package guard is the client-facing overload and abuse protection layer
+// sitting between the transport servers and the resolution pipeline. It
+// keeps the paper's cache path answering under client floods with two
+// mechanisms:
+//
+//   - a sharded, memory-bounded per-client token-bucket rate limiter with
+//     RRL-style slip: every Nth rate-limited UDP query is answered with a
+//     minimal TC=1 reply instead of dropped, so a legitimate client
+//     sharing a hot (NATed or spoofed) address can retry over TCP;
+//   - overload admission control: when the UDP server's inflight capacity
+//     is saturated, queries degrade to cache/stale-only answering — the
+//     paper's long-TTL and serve-stale machinery becomes the degraded
+//     mode — instead of blocking the read loop or being dropped.
+//
+// The guard never talks upstream itself (the onepath analyzer enforces
+// this) and takes time only from a simclock.Clock (wallclock analyzer),
+// so it composes with the deterministic simulator. TCP is deliberately
+// not rate-limited here: slip exists precisely to push clients to TCP,
+// where connection backpressure bounds load and source addresses cannot
+// be spoofed.
+package guard
+
+import (
+	"net"
+	"net/netip"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/metrics"
+	"resilientdns/internal/simclock"
+)
+
+// Backend is the query surface the guard protects: the caching server's
+// frontend, with its normal and cache-only entry points.
+type Backend interface {
+	HandleQuery(q *dnswire.Message) *dnswire.Message
+	HandleQueryCacheOnly(q *dnswire.Message) *dnswire.Message
+}
+
+// Config parameterises a Guard.
+type Config struct {
+	// ClientRPS is each client address's sustained query budget per
+	// second; 0 or negative disables per-client rate limiting.
+	ClientRPS float64
+	// ClientBurst is the token-bucket depth (instantaneous burst);
+	// defaults to 2×ClientRPS.
+	ClientBurst float64
+	// Slip answers every Nth rate-limited query with a minimal TC=1
+	// reply instead of dropping it (RRL slip). 0 disables slipping; 1
+	// slips every rate-limited query.
+	Slip int
+	// MaxClients bounds the limiter's tracked client slots; the least
+	// recently seen client is evicted at the bound. Default 65536.
+	MaxClients int
+	// CacheOnlyOnOverload serves queries arriving while inflight work is
+	// saturated from cached data only (live, negative, then stale)
+	// instead of dropping them.
+	CacheOnlyOnOverload bool
+	// Clock supplies time; defaults to the wall clock.
+	Clock simclock.Clock
+	// Counters receives the guard's decision counts; optional.
+	Counters *metrics.GuardCounters
+}
+
+// Guard wraps a Backend with per-client rate limiting and overload
+// degradation. It implements transport.Handler and transport.AddrHandler.
+type Guard struct {
+	backend   Backend
+	limiter   *limiter // nil when rate limiting is off
+	cacheOnly bool
+	counters  *metrics.GuardCounters
+	clock     simclock.Clock
+}
+
+// New builds a Guard around backend.
+func New(backend Backend, cfg Config) *Guard {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.Counters == nil {
+		cfg.Counters = &metrics.GuardCounters{}
+	}
+	g := &Guard{
+		backend:   backend,
+		cacheOnly: cfg.CacheOnlyOnOverload,
+		counters:  cfg.Counters,
+		clock:     cfg.Clock,
+	}
+	if cfg.ClientRPS > 0 {
+		g.limiter = newLimiter(cfg.ClientRPS, cfg.ClientBurst, cfg.Slip, cfg.MaxClients, cfg.Counters)
+	}
+	return g
+}
+
+// HandleQuery serves a query with no usable source address (TCP, or a
+// transport that does not report one): it passes straight through — TCP
+// provides its own backpressure and unspoofable sources.
+func (g *Guard) HandleQuery(q *dnswire.Message) *dnswire.Message {
+	return g.backend.HandleQuery(q)
+}
+
+// HandleQueryFrom serves one UDP query, applying the per-client rate
+// limit. A nil response means drop (send nothing).
+func (g *Guard) HandleQueryFrom(q *dnswire.Message, from net.Addr) *dnswire.Message {
+	if resp, limited := g.admit(q, from); limited {
+		return resp
+	}
+	return g.backend.HandleQuery(q)
+}
+
+// HandleOverload serves a query that arrived while inflight work was
+// saturated: the rate limit still applies (an abusive client gets no
+// degraded service either), then the query is answered from cache only —
+// never recursing, never dropping a cache hit — or shed when degraded
+// answering is off. Called synchronously from the UDP read loop, so it
+// must not block; the cache-only path takes no locks across I/O.
+func (g *Guard) HandleOverload(q *dnswire.Message, from net.Addr) *dnswire.Message {
+	if resp, limited := g.admit(q, from); limited {
+		return resp
+	}
+	if !g.cacheOnly {
+		g.counters.Shed.Add(1)
+		return nil
+	}
+	g.counters.CacheOnly.Add(1)
+	resp := g.backend.HandleQueryCacheOnly(q)
+	if resp != nil && resp.RCode == dnswire.RCodeServFail && len(resp.Answer) == 0 {
+		g.counters.CacheOnlyMiss.Add(1)
+	}
+	return resp
+}
+
+// admit runs the rate limiter for one query. limited=false means the
+// query may proceed; limited=true means it must not, and resp (possibly
+// nil) is what to send instead: nil to drop, or a minimal TC=1 slip
+// reply pushing the client to TCP.
+func (g *Guard) admit(q *dnswire.Message, from net.Addr) (resp *dnswire.Message, limited bool) {
+	if g.limiter == nil {
+		return nil, false
+	}
+	addr, ok := clientAddr(from)
+	if !ok {
+		// No attributable source: fail open, the admission control
+		// behind us still bounds total work.
+		return nil, false
+	}
+	switch g.limiter.admit(addr, g.clock.Now()) {
+	case decisionDrop:
+		g.counters.RateLimited.Add(1)
+		return nil, true
+	case decisionSlip:
+		g.counters.RateLimited.Add(1)
+		g.counters.Slips.Add(1)
+		return slipReply(q), true
+	}
+	g.counters.Allowed.Add(1)
+	return nil, false
+}
+
+// slipReply builds the minimal truncated reply for a slipped query: just
+// the question with TC=1, inviting a retry over TCP (RRL slip).
+func slipReply(q *dnswire.Message) *dnswire.Message {
+	resp := q.Reply()
+	resp.Flags.RecursionAvailable = true
+	resp.Flags.Truncated = true
+	return resp
+}
+
+// clientAddr extracts the client IP — ports are not identity: one abuser
+// rotating source ports must land in one bucket.
+func clientAddr(from net.Addr) (netip.Addr, bool) {
+	var ip net.IP
+	switch a := from.(type) {
+	case *net.UDPAddr:
+		ip = a.IP
+	case *net.TCPAddr:
+		ip = a.IP
+	default:
+		ap, err := netip.ParseAddrPort(from.String())
+		if err != nil {
+			return netip.Addr{}, false
+		}
+		return ap.Addr().Unmap(), true
+	}
+	addr, ok := netip.AddrFromSlice(ip)
+	if !ok {
+		return netip.Addr{}, false
+	}
+	return addr.Unmap(), true
+}

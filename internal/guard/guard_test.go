@@ -1,0 +1,244 @@
+package guard
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/metrics"
+	"resilientdns/internal/simclock"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// fakeBackend answers every query NoError and records which entry point
+// served it.
+type fakeBackend struct {
+	queries, cacheOnly int
+}
+
+func (b *fakeBackend) HandleQuery(q *dnswire.Message) *dnswire.Message {
+	b.queries++
+	resp := q.Reply()
+	resp.Answer = append(resp.Answer, dnswire.RR{
+		Name:  q.Question[0].Name,
+		Class: dnswire.ClassIN,
+		TTL:   60,
+		Data:  dnswire.A{Addr: netip.MustParseAddr("10.0.0.1")},
+	})
+	return resp
+}
+
+func (b *fakeBackend) HandleQueryCacheOnly(q *dnswire.Message) *dnswire.Message {
+	b.cacheOnly++
+	resp := q.Reply()
+	resp.RCode = dnswire.RCodeServFail // miss shape: SERVFAIL, no answer
+	return resp
+}
+
+func testQuery(id uint16) *dnswire.Message {
+	q := dnswire.NewQuery(id, dnswire.MustName("www.example.com."), dnswire.TypeA)
+	q.Flags.RecursionDesired = true
+	return q
+}
+
+func udpAddr(ip string) net.Addr {
+	return &net.UDPAddr{IP: net.ParseIP(ip), Port: 5353}
+}
+
+func TestLimiterAllowsUnderBudgetAndDropsOver(t *testing.T) {
+	clk := simclock.NewVirtual(epoch)
+	be := &fakeBackend{}
+	g := New(be, Config{ClientRPS: 10, ClientBurst: 5, Clock: clk})
+
+	// Burst depth 5: the first five queries pass, the sixth is limited.
+	for i := 0; i < 5; i++ {
+		if resp := g.HandleQueryFrom(testQuery(uint16(i)), udpAddr("192.0.2.1")); resp == nil || resp.Flags.Truncated {
+			t.Fatalf("query %d not served: %v", i, resp)
+		}
+	}
+	if resp := g.HandleQueryFrom(testQuery(6), udpAddr("192.0.2.1")); resp != nil {
+		t.Fatalf("over-budget query served: %v", resp)
+	}
+	// A different client has its own bucket.
+	if resp := g.HandleQueryFrom(testQuery(7), udpAddr("192.0.2.2")); resp == nil {
+		t.Fatal("second client rate-limited by the first's bucket")
+	}
+	// Refill: 10 qps × 0.5 s = 5 tokens.
+	clk.Advance(500 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if resp := g.HandleQueryFrom(testQuery(uint16(10+i)), udpAddr("192.0.2.1")); resp == nil || resp.Flags.Truncated {
+			t.Fatalf("post-refill query %d not served: %v", i, resp)
+		}
+	}
+	if resp := g.HandleQueryFrom(testQuery(20), udpAddr("192.0.2.1")); resp != nil {
+		t.Fatal("refill exceeded the burst depth")
+	}
+}
+
+// TestSlipRatio drives a drained bucket and checks the slip cadence:
+// every Nth rate-limited query gets a minimal TC=1 reply, the rest drop.
+func TestSlipRatio(t *testing.T) {
+	const limited = 120
+	for _, tc := range []struct {
+		slip      int
+		wantSlips int
+	}{
+		{slip: 0, wantSlips: 0},
+		{slip: 1, wantSlips: limited},
+		{slip: 2, wantSlips: limited / 2},
+		{slip: 3, wantSlips: limited / 3},
+		{slip: 10, wantSlips: limited / 10},
+	} {
+		t.Run(fmt.Sprintf("slip=%d", tc.slip), func(t *testing.T) {
+			clk := simclock.NewVirtual(epoch)
+			counters := &metrics.GuardCounters{}
+			g := New(&fakeBackend{}, Config{
+				ClientRPS: 1, ClientBurst: 1, Slip: tc.slip,
+				Clock: clk, Counters: counters,
+			})
+			g.HandleQueryFrom(testQuery(0), udpAddr("192.0.2.9")) // drain the bucket
+
+			slips := 0
+			for i := 0; i < limited; i++ {
+				resp := g.HandleQueryFrom(testQuery(uint16(i)), udpAddr("192.0.2.9"))
+				if resp != nil {
+					if !resp.Flags.Truncated {
+						t.Fatalf("limited query %d served untruncated", i)
+					}
+					if len(resp.Answer) != 0 || len(resp.Authority) != 0 {
+						t.Fatalf("slip reply %d not minimal: %v", i, resp)
+					}
+					slips++
+				}
+			}
+			if slips != tc.wantSlips {
+				t.Errorf("slips = %d, want %d", slips, tc.wantSlips)
+			}
+			gs := counters.Snapshot()
+			if gs.Slips != uint64(tc.wantSlips) || gs.RateLimited != limited {
+				t.Errorf("counters = %+v, want %d slips of %d limited", gs, tc.wantSlips, limited)
+			}
+		})
+	}
+}
+
+// TestSlipResetOnAllow checks an allowed query restarts the slip cadence:
+// the limited-streak counter is per streak, not forever.
+func TestSlipResetOnAllow(t *testing.T) {
+	clk := simclock.NewVirtual(epoch)
+	g := New(&fakeBackend{}, Config{ClientRPS: 1, ClientBurst: 1, Slip: 2, Clock: clk})
+	addr := udpAddr("192.0.2.9")
+
+	g.HandleQueryFrom(testQuery(0), addr) // drain
+	if resp := g.HandleQueryFrom(testQuery(1), addr); resp != nil {
+		t.Fatal("first limited query should drop (streak 1 of 2)")
+	}
+	clk.Advance(time.Second) // refill one token
+	if resp := g.HandleQueryFrom(testQuery(2), addr); resp == nil || resp.Flags.Truncated {
+		t.Fatal("refilled query should be served")
+	}
+	// Streak restarted: the next limited query is 1 of 2 again → drop.
+	if resp := g.HandleQueryFrom(testQuery(3), addr); resp != nil {
+		t.Fatal("post-allow limited query should drop (streak restarted)")
+	}
+	if resp := g.HandleQueryFrom(testQuery(4), addr); resp == nil || !resp.Flags.Truncated {
+		t.Fatal("second limited query in the streak should slip")
+	}
+}
+
+func TestLimiterEvictsLRUAtBound(t *testing.T) {
+	clk := simclock.NewVirtual(epoch)
+	counters := &metrics.GuardCounters{}
+	// MaxClients 64 → one slot per shard: every shard evicts on its
+	// second distinct client.
+	g := New(&fakeBackend{}, Config{ClientRPS: 100, MaxClients: 64, Clock: clk, Counters: counters})
+	for i := 0; i < 1000; i++ {
+		g.HandleQueryFrom(testQuery(uint16(i)), udpAddr(fmt.Sprintf("10.%d.%d.%d", i>>16, (i>>8)&0xff, i&0xff)))
+	}
+	if n := g.limiter.clientCount(); n > 64 {
+		t.Errorf("limiter tracks %d clients, bound is 64", n)
+	}
+	if counters.Snapshot().ClientsEvicted == 0 {
+		t.Error("no evictions counted despite exceeding the bound")
+	}
+}
+
+func TestOverloadCacheOnlyAndShed(t *testing.T) {
+	clk := simclock.NewVirtual(epoch)
+
+	// Degraded mode off: overload arrivals are shed and counted.
+	counters := &metrics.GuardCounters{}
+	be := &fakeBackend{}
+	g := New(be, Config{Clock: clk, Counters: counters})
+	if resp := g.HandleOverload(testQuery(1), udpAddr("192.0.2.1")); resp != nil {
+		t.Fatalf("shed query got a response: %v", resp)
+	}
+	if gs := counters.Snapshot(); gs.Shed != 1 || be.cacheOnly != 0 {
+		t.Errorf("shed=%d cacheOnly=%d, want 1 shed and no cache-only call", gs.Shed, be.cacheOnly)
+	}
+
+	// Degraded mode on: the query reaches the cache-only entry point and
+	// the miss (SERVFAIL, no answer) is counted.
+	counters = &metrics.GuardCounters{}
+	be = &fakeBackend{}
+	g = New(be, Config{CacheOnlyOnOverload: true, Clock: clk, Counters: counters})
+	resp := g.HandleOverload(testQuery(2), udpAddr("192.0.2.1"))
+	if resp == nil || resp.RCode != dnswire.RCodeServFail {
+		t.Fatalf("degraded answer = %v, want the backend's SERVFAIL", resp)
+	}
+	if be.cacheOnly != 1 || be.queries != 0 {
+		t.Errorf("backend calls: cacheOnly=%d queries=%d, want 1/0", be.cacheOnly, be.queries)
+	}
+	if gs := counters.Snapshot(); gs.CacheOnly != 1 || gs.CacheOnlyMiss != 1 || gs.Shed != 0 {
+		t.Errorf("counters = %+v, want CacheOnly=1 CacheOnlyMiss=1 Shed=0", gs)
+	}
+}
+
+// TestOverloadStillRateLimits: an abusive client gets no degraded-mode
+// service either.
+func TestOverloadStillRateLimits(t *testing.T) {
+	clk := simclock.NewVirtual(epoch)
+	be := &fakeBackend{}
+	g := New(be, Config{ClientRPS: 1, ClientBurst: 1, CacheOnlyOnOverload: true, Clock: clk})
+	g.HandleOverload(testQuery(0), udpAddr("192.0.2.1")) // drains the bucket
+	if resp := g.HandleOverload(testQuery(1), udpAddr("192.0.2.1")); resp != nil {
+		t.Fatalf("rate-limited overload query served: %v", resp)
+	}
+	if be.cacheOnly != 1 {
+		t.Errorf("cache-only calls = %d, want 1 (the limited query must not reach the backend)", be.cacheOnly)
+	}
+}
+
+func TestGuardDisabledIsTransparent(t *testing.T) {
+	be := &fakeBackend{}
+	g := New(be, Config{}) // no rate limit, no degraded mode
+	for i := 0; i < 100; i++ {
+		if resp := g.HandleQueryFrom(testQuery(uint16(i)), udpAddr("192.0.2.1")); resp == nil || resp.Flags.Truncated {
+			t.Fatalf("query %d not passed through: %v", i, resp)
+		}
+	}
+	if be.queries != 100 {
+		t.Errorf("backend saw %d queries, want all 100", be.queries)
+	}
+}
+
+func TestClientAddrIdentity(t *testing.T) {
+	udp4 := &net.UDPAddr{IP: net.ParseIP("192.0.2.7"), Port: 1111}
+	udp4b := &net.UDPAddr{IP: net.ParseIP("192.0.2.7"), Port: 2222}
+	a1, ok1 := clientAddr(udp4)
+	a2, ok2 := clientAddr(udp4b)
+	if !ok1 || !ok2 || a1 != a2 {
+		t.Errorf("same IP, different ports → %v/%v vs %v/%v, want one identity", a1, ok1, a2, ok2)
+	}
+	tcp := &net.TCPAddr{IP: net.ParseIP("192.0.2.7"), Port: 3333}
+	if a3, ok := clientAddr(tcp); !ok || a3 != a1 {
+		t.Errorf("TCP addr maps to %v, want %v", a3, a1)
+	}
+	if _, ok := clientAddr(&net.UnixAddr{Name: "@x", Net: "unix"}); ok {
+		t.Error("unparseable source claimed an identity")
+	}
+}

@@ -334,3 +334,61 @@ func (p *PersistCounters) Snapshot() PersistStats {
 		RecoveryLatency: time.Duration(p.RecoveryNanos.Load()),
 	}
 }
+
+// GuardCounters counts the client-facing guard layer's decisions: what
+// the per-client rate limiter and the overload admission control did with
+// incoming queries. All fields are atomic so the UDP read loop and the
+// per-query goroutines can bump them without extra synchronisation. Use
+// Snapshot to read a consistent-enough copy for reporting.
+type GuardCounters struct {
+	// Allowed counts queries the rate limiter passed through.
+	Allowed atomic.Uint64
+	// RateLimited counts queries a client's exhausted token bucket
+	// dropped (silently, apart from slips).
+	RateLimited atomic.Uint64
+	// Slips counts rate-limited queries answered with a minimal TC=1
+	// reply instead of dropped (RRL slip), steering real clients behind
+	// a hot address to TCP.
+	Slips atomic.Uint64
+	// Shed counts queries dropped because the server's inflight capacity
+	// was saturated and no degraded mode could answer them.
+	Shed atomic.Uint64
+	// CacheOnly counts saturated-inflight queries served in the cache/
+	// stale-only degraded mode instead of shed.
+	CacheOnly atomic.Uint64
+	// CacheOnlyMiss counts degraded-mode queries nothing cached could
+	// answer (refused with SERVFAIL).
+	CacheOnlyMiss atomic.Uint64
+	// FormErr counts malformed packets answered with FORMERR (header
+	// parsed, rest did not).
+	FormErr atomic.Uint64
+	// ClientsEvicted counts rate-limiter client slots recycled at the
+	// memory bound (LRU eviction).
+	ClientsEvicted atomic.Uint64
+}
+
+// GuardStats is a plain-value snapshot of GuardCounters.
+type GuardStats struct {
+	Allowed        uint64 `json:"allowed"`
+	RateLimited    uint64 `json:"rate_limited"`
+	Slips          uint64 `json:"slips"`
+	Shed           uint64 `json:"shed"`
+	CacheOnly      uint64 `json:"cache_only"`
+	CacheOnlyMiss  uint64 `json:"cache_only_miss"`
+	FormErr        uint64 `json:"form_err"`
+	ClientsEvicted uint64 `json:"clients_evicted"`
+}
+
+// Snapshot reads every counter into an exported GuardStats value.
+func (g *GuardCounters) Snapshot() GuardStats {
+	return GuardStats{
+		Allowed:        g.Allowed.Load(),
+		RateLimited:    g.RateLimited.Load(),
+		Slips:          g.Slips.Load(),
+		Shed:           g.Shed.Load(),
+		CacheOnly:      g.CacheOnly.Load(),
+		CacheOnlyMiss:  g.CacheOnlyMiss.Load(),
+		FormErr:        g.FormErr.Load(),
+		ClientsEvicted: g.ClientsEvicted.Load(),
+	}
+}

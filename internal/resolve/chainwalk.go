@@ -30,7 +30,10 @@ const (
 
 // chainStep is one mode-specific lookup result for the current name.
 type chainStep struct {
-	rrs       []dnswire.RR
+	rrs []dnswire.RR
+	// authority carries authority-section records for a terminal step
+	// (the SOA of a negative answer); only meaningful with chainDone.
+	authority []dnswire.RR
 	rcode     dnswire.RCode
 	outcome   chainOutcome
 	fromCache bool
@@ -40,6 +43,7 @@ type chainStep struct {
 // chainResult is the walk's accumulated outcome.
 type chainResult struct {
 	answer    []dnswire.RR
+	authority []dnswire.RR
 	rcode     dnswire.RCode
 	fromCache bool
 	// miss reports the walk stopped on a chainMiss; missAt names where.
@@ -72,6 +76,7 @@ func walkChain(qname dnswire.Name, qtype dnswire.Type, maxHops int, step func(cu
 			return res
 		case chainDone:
 			res.rcode = st.rcode
+			res.authority = st.authority
 			return res
 		case chainFollow:
 			if target, ok := cnameTarget(st.rrs, cur, qtype); ok {
@@ -79,6 +84,7 @@ func walkChain(qname dnswire.Name, qtype dnswire.Type, maxHops int, step func(cu
 				continue
 			}
 			res.rcode = st.rcode
+			res.authority = st.authority
 			return res
 		}
 	}

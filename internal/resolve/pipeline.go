@@ -39,8 +39,8 @@ func (r *Resolver) Lookup(tr *Trace, qname dnswire.Name, qtype dnswire.Type) (*R
 				return chainStep{rrs: e.RRsWithRemainingTTL(now), outcome: chainFollow, fromCache: true}
 			}
 		}
-		if rcode, ok := r.negativeLookup(cur, qtype, now); ok {
-			return chainStep{rcode: rcode, outcome: chainDone, fromCache: true}
+		if rcode, soa, ok := r.negativeLookup(cur, qtype, now); ok {
+			return chainStep{rcode: rcode, authority: soa, outcome: chainDone, fromCache: true}
 		}
 		return chainStep{outcome: chainMiss}
 	})
@@ -55,7 +55,69 @@ func (r *Resolver) Lookup(tr *Trace, qname dnswire.Name, qtype dnswire.Type) (*R
 		return nil, nil // the slow path takes over
 	}
 	tr.MarkCacheHit()
-	return &Result{RCode: cr.rcode, Answer: cr.answer, FromCache: true}, nil
+	return &Result{RCode: cr.rcode, Answer: cr.answer, Authority: cr.authority, FromCache: true}, nil
+}
+
+// LookupCacheOnly answers qname/qtype without any upstream work: live
+// cache first, then the negative cache, then — when serve-stale is on —
+// expired records per link. It returns (nil, nil) when nothing cached
+// can answer; the caller decides what a miss means (REFUSED for an RD=0
+// probe, SERVFAIL in overload degraded mode). Unlike Lookup, a hit in
+// the prefetch window is always served (never deferred to the slow
+// path): the whole point of this mode is to never drop a cache hit.
+func (r *Resolver) LookupCacheOnly(tr *Trace, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	sp := tr.StartStage(StageCacheLookup)
+	defer sp.End()
+	tr.MarkCacheOnly()
+	now := r.cfg.Clock.Now()
+	stale := false
+	cr := walkChain(qname, qtype, r.cfg.MaxCNAME, func(cur dnswire.Name) chainStep {
+		if e := r.cache.Get(cur, qtype); e != nil {
+			if r.prefetchDue(e, now) && r.pf != nil {
+				r.pf.enqueue(cache.Key{Name: cur, Type: qtype})
+			}
+			return chainStep{rrs: e.RRsWithRemainingTTL(now), outcome: chainDone, fromCache: true}
+		}
+		if qtype != dnswire.TypeCNAME {
+			if e := r.cache.Get(cur, dnswire.TypeCNAME); e != nil {
+				return chainStep{rrs: e.RRsWithRemainingTTL(now), outcome: chainFollow, fromCache: true}
+			}
+		}
+		if rcode, soa, ok := r.negativeLookup(cur, qtype, now); ok {
+			return chainStep{rcode: rcode, authority: soa, outcome: chainDone, fromCache: true}
+		}
+		if r.cfg.ServeStale > 0 {
+			e := r.cache.GetStale(cur, qtype)
+			if e == nil && qtype != dnswire.TypeCNAME {
+				e = r.cache.GetStale(cur, dnswire.TypeCNAME)
+			}
+			if e != nil {
+				r.counters.StaleAnswers.Add(1)
+				stale = true
+				rrs := make([]dnswire.RR, len(e.RRs))
+				copy(rrs, e.RRs)
+				for i := range rrs {
+					rrs[i].TTL = StaleServeTTL
+				}
+				return chainStep{rrs: rrs, outcome: chainFollow, fromCache: true}
+			}
+		}
+		return chainStep{outcome: chainMiss}
+	})
+	switch {
+	case cr.err != nil:
+		return nil, cr.err
+	case cr.exhausted:
+		return nil, chainTooLong(qname)
+	case cr.miss:
+		return nil, nil // nothing cached; the caller refuses or sheds
+	}
+	if stale {
+		tr.MarkStale()
+	} else {
+		tr.MarkCacheHit()
+	}
+	return &Result{RCode: cr.rcode, Answer: cr.answer, Authority: cr.authority, FromCache: true}, nil
 }
 
 // prefetchDue reports whether a cache hit falls in the prefetch window
@@ -79,7 +141,7 @@ func (r *Resolver) ResolveChain(ctx context.Context, tr *Trace, qname dnswire.Na
 		if res.RCode != dnswire.RCodeNoError {
 			out = chainDone
 		}
-		return chainStep{rrs: res.Answer, rcode: res.RCode, outcome: out, fromCache: res.FromCache}
+		return chainStep{rrs: res.Answer, authority: res.Authority, rcode: res.RCode, outcome: out, fromCache: res.FromCache}
 	})
 	switch {
 	case cr.err != nil:
@@ -87,7 +149,7 @@ func (r *Resolver) ResolveChain(ctx context.Context, tr *Trace, qname dnswire.Na
 	case cr.exhausted:
 		return nil, chainTooLong(qname)
 	}
-	return &Result{RCode: cr.rcode, Answer: cr.answer, FromCache: cr.fromCache}, nil
+	return &Result{RCode: cr.rcode, Answer: cr.answer, Authority: cr.authority, FromCache: cr.fromCache}, nil
 }
 
 // resolveOne resolves a single (name, type) without CNAME chasing across
@@ -105,8 +167,8 @@ func (r *Resolver) resolveOne(ctx context.Context, tr *Trace, qname dnswire.Name
 			return &Result{RCode: dnswire.RCodeNoError, Answer: e.RRsWithRemainingTTL(now), FromCache: true}, nil
 		}
 	}
-	if rcode, ok := r.negativeLookup(qname, qtype, now); ok {
-		return &Result{RCode: rcode, FromCache: true}, nil
+	if rcode, soa, ok := r.negativeLookup(qname, qtype, now); ok {
+		return &Result{RCode: rcode, Authority: soa, FromCache: true}, nil
 	}
 	validate := r.cfg.ValidateDNSSEC && depth == 0
 	res, _, err := r.iterate(ctx, tr, qname, qtype, depth, validate, false)
@@ -228,8 +290,9 @@ func (r *Resolver) iterate(ctx context.Context, tr *Trace, qname dnswire.Name, q
 
 		switch {
 		case resp.RCode == dnswire.RCodeNXDomain:
-			r.negativeStore(qname, qtype, dnswire.RCodeNXDomain)
-			return &Result{RCode: dnswire.RCodeNXDomain}, resp, nil
+			soa := r.negativeSOA(resp)
+			r.negativeStore(qname, qtype, dnswire.RCodeNXDomain, soa)
+			return &Result{RCode: dnswire.RCodeNXDomain, Authority: soa}, resp, nil
 
 		case resp.RCode != dnswire.RCodeNoError:
 			// Lame or broken server; treat the zone as unusable.
@@ -258,8 +321,9 @@ func (r *Resolver) iterate(ctx context.Context, tr *Trace, qname dnswire.Name, q
 
 		default:
 			// Authoritative empty answer: NODATA.
-			r.negativeStore(qname, qtype, dnswire.RCodeNoError)
-			return &Result{RCode: dnswire.RCodeNoError}, resp, nil
+			soa := r.negativeSOA(resp)
+			r.negativeStore(qname, qtype, dnswire.RCodeNoError, soa)
+			return &Result{RCode: dnswire.RCodeNoError, Authority: soa}, resp, nil
 		}
 	}
 	if lastErr == nil {

@@ -48,7 +48,7 @@ func TestStageBoundaries(t *testing.T) {
 			name: "negative-hit",
 			cfg:  Config{NegativeTTL: time.Minute},
 			setup: func(r *Resolver, clk *simclock.Virtual) {
-				r.negativeStore(www, dnswire.TypeA, dnswire.RCodeNXDomain)
+				r.negativeStore(www, dnswire.TypeA, dnswire.RCodeNXDomain, nil)
 			},
 			wantHot: true,
 			check: func(t *testing.T, r *Resolver, res *Result, err error) {

@@ -114,6 +114,10 @@ type Result struct {
 	RCode dnswire.RCode
 	// Answer holds the answer-section records (CNAME chains included).
 	Answer []dnswire.RR
+	// Authority holds authority-section records for the reply: the SOA
+	// of a negative answer (NXDOMAIN/NODATA, RFC 2308), without which a
+	// downstream stub cannot negative-cache the outcome.
+	Authority []dnswire.RR
 	// FromCache reports that no authoritative query was needed.
 	FromCache bool
 }

@@ -90,6 +90,7 @@ type Trace struct {
 	coalesced bool
 	cacheHit  bool
 	stale     bool
+	cacheOnly bool
 
 	stageNanos [numStages]int64
 	stageDepth [numStages]int
@@ -217,6 +218,14 @@ func (tr *Trace) MarkStale() {
 	}
 }
 
+// MarkCacheOnly records that the query was restricted to cached data
+// (an RD=0 probe, or the guard's overload degraded mode).
+func (tr *Trace) MarkCacheOnly() {
+	if tr != nil {
+		tr.cacheOnly = true
+	}
+}
+
 // RecordAttempt logs one upstream exchange attempt.
 func (tr *Trace) RecordAttempt(server transport.Addr, rtt time.Duration, err error) {
 	if tr == nil {
@@ -242,6 +251,7 @@ type TraceSummary struct {
 	Coalesced bool      `json:"coalesced,omitempty"`
 	CacheHit  bool      `json:"cache_hit,omitempty"`
 	Stale     bool      `json:"stale,omitempty"`
+	CacheOnly bool      `json:"cache_only,omitempty"`
 	// StageMicros maps stage name → microseconds, nonzero stages only.
 	StageMicros map[string]int64 `json:"stages_us,omitempty"`
 	Attempts    []AttemptSummary `json:"attempts,omitempty"`
@@ -267,6 +277,7 @@ func (tr *Trace) summary() TraceSummary {
 		Coalesced: tr.coalesced,
 		CacheHit:  tr.cacheHit,
 		Stale:     tr.stale,
+		CacheOnly: tr.cacheOnly,
 	}
 	for s := Stage(0); s < numStages; s++ {
 		if n := tr.stageNanos[s]; n > 0 {

@@ -7,6 +7,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"net"
 
 	"resilientdns/internal/dnswire"
 )
@@ -62,6 +63,15 @@ type HandlerFunc func(q *dnswire.Message) *dnswire.Message
 
 // HandleQuery implements Handler.
 func (f HandlerFunc) HandleQuery(q *dnswire.Message) *dnswire.Message { return f(q) }
+
+// AddrHandler is a Handler that also wants the client's source address —
+// the hook for per-client policy such as the guard layer's rate limiter.
+// Servers that know the source (UDP) prefer HandleQueryFrom when the
+// handler implements it; a nil response means send nothing.
+type AddrHandler interface {
+	Handler
+	HandleQueryFrom(q *dnswire.Message, from net.Addr) *dnswire.Message
+}
 
 // Pipe is a Transport that delivers queries directly to in-process
 // handlers, with no latency or failures. It is intended for unit tests.

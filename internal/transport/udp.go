@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"resilientdns/internal/dnswire"
+	"resilientdns/internal/metrics"
 )
 
 // UDP is a Transport over real UDP sockets. The zero value is ready to
@@ -18,6 +19,10 @@ type UDP struct {
 	// Timeout caps each exchange; a context deadline tightens it further
 	// (the earlier of the two wins) but never extends it.
 	Timeout time.Duration
+	// LocalAddr binds outgoing sockets to a specific local address (e.g.
+	// "127.0.0.99:0"), letting load generators present distinct client
+	// addresses to a server under test. Empty means kernel-chosen.
+	LocalAddr string
 }
 
 // Exchange implements Transport: it sends the query over a fresh UDP
@@ -35,7 +40,15 @@ func (u *UDP) Exchange(ctx context.Context, server Addr, query *dnswire.Message)
 		deadline = d
 	}
 
-	conn, err := net.Dial("udp", string(server))
+	var dialer net.Dialer
+	if u.LocalAddr != "" {
+		laddr, err := net.ResolveUDPAddr("udp", u.LocalAddr)
+		if err != nil {
+			return nil, fmt.Errorf("transport: bad LocalAddr %q: %v", u.LocalAddr, err)
+		}
+		dialer.LocalAddr = laddr
+	}
+	conn, err := dialer.DialContext(ctx, "udp", string(server))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrServerUnreachable, err)
 	}
@@ -81,16 +94,28 @@ const DefaultMaxInflight = 1024
 
 // UDPServer serves DNS queries over a UDP socket using a Handler. Each
 // query is handled on its own goroutine, bounded by MaxInflight, so one
-// slow recursive resolution never blocks the socket read loop.
+// slow recursive resolution never blocks the socket read loop. When the
+// Handler also implements AddrHandler, queries are dispatched with their
+// source address so per-client policy (the guard layer) can apply.
 type UDPServer struct {
 	Handler Handler
 	// MaxPayload truncates responses larger than this many bytes (TC bit
 	// set, sections dropped); defaults to the classic 512.
 	MaxPayload int
-	// MaxInflight bounds the number of queries being handled at once;
-	// the read loop blocks (letting the kernel buffer absorb bursts)
-	// when the pool is exhausted. Defaults to DefaultMaxInflight.
+	// MaxInflight bounds the number of queries being handled at once.
+	// Defaults to DefaultMaxInflight.
 	MaxInflight int
+	// Overload, when set, is consulted — synchronously, on the read loop
+	// — for queries arriving while all MaxInflight slots are busy,
+	// instead of blocking the read loop behind the slowest resolution
+	// (head-of-line blocking). It returns the degraded-mode response to
+	// send, or nil to drop the query. It must not block. When nil,
+	// saturated-arrival queries are dropped and counted.
+	Overload func(q *dnswire.Message, from net.Addr) *dnswire.Message
+	// Counters receives drop/FORMERR accounting; optional. When Overload
+	// is set it owns the shed accounting and Counters.Shed is not bumped
+	// here (a single source for each count).
+	Counters *metrics.GuardCounters
 
 	mu   sync.Mutex
 	conn net.PacketConn
@@ -134,26 +159,82 @@ func (s *UDPServer) serve(conn net.PacketConn) {
 		// (dnswire.Unpack copies every byte slice out of the wire
 		// buffer), so buf can be reused for the next packet.
 		query, err := dnswire.Unpack(buf[:n])
-		if err != nil || query.Flags.Response {
+		if err != nil {
+			s.replyFormErr(conn, buf[:n], from)
 			continue
 		}
-		sem <- struct{}{}
-		s.wg.Add(1)
-		go func(query *dnswire.Message, from net.Addr) {
-			defer s.wg.Done()
-			defer func() { <-sem }()
-			s.respond(conn, query, from)
-		}(query, from)
+		if query.Flags.Response {
+			continue // a response is never a query; never answer one
+		}
+		select {
+		case sem <- struct{}{}:
+			s.wg.Add(1)
+			go func(query *dnswire.Message, from net.Addr) {
+				defer s.wg.Done()
+				defer func() { <-sem }()
+				s.respond(conn, query, from)
+			}(query, from)
+		default:
+			// Every inflight slot is busy. Blocking here would stall the
+			// read loop behind the slowest resolution; instead shed —
+			// or hand the query to the overload hook for a degraded
+			// (cache-only) answer.
+			if s.Overload != nil {
+				if resp := s.Overload(query, from); resp != nil {
+					s.writeResponse(conn, query, resp, from)
+				}
+			} else if s.Counters != nil {
+				s.Counters.Shed.Add(1)
+			}
+		}
 	}
+}
+
+// replyFormErr answers a packet that failed to parse. If even the fixed
+// header is unreadable there is nothing to echo, and a packet claiming to
+// be a response must never be answered (a reply loop between two servers
+// otherwise ping-pongs forever) — both stay silently dropped. Otherwise
+// the client gets FORMERR so it can tell a broken query from a dead
+// server, and the counter keeps garbage floods visible.
+func (s *UDPServer) replyFormErr(conn net.PacketConn, pkt []byte, from net.Addr) {
+	h, err := dnswire.UnpackHeader(pkt)
+	if err != nil || h.Flags.Response {
+		return
+	}
+	if s.Counters != nil {
+		s.Counters.FormErr.Add(1)
+	}
+	resp := &dnswire.Message{
+		ID:     h.ID,
+		Opcode: h.Opcode,
+		Flags:  dnswire.Flags{Response: true},
+		RCode:  dnswire.RCodeFormErr,
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	conn.WriteTo(wire, from)
 }
 
 // respond handles one query and writes the response. PacketConn.WriteTo
 // is safe for concurrent use, so responders never coordinate.
 func (s *UDPServer) respond(conn net.PacketConn, query *dnswire.Message, from net.Addr) {
-	resp := s.Handler.HandleQuery(query)
+	var resp *dnswire.Message
+	if ah, ok := s.Handler.(AddrHandler); ok {
+		resp = ah.HandleQueryFrom(query, from)
+	} else {
+		resp = s.Handler.HandleQuery(query)
+	}
 	if resp == nil {
 		return
 	}
+	s.writeResponse(conn, query, resp, from)
+}
+
+// writeResponse packs resp, applies the UDP payload limit (honouring the
+// client's EDNS0 advertisement, truncating past it), and sends.
+func (s *UDPServer) writeResponse(conn net.PacketConn, query, resp *dnswire.Message, from net.Addr) {
 	wire, err := resp.Pack()
 	if err != nil {
 		return
