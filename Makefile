@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race check bench fuzz
+.PHONY: build vet lint test race check bench fuzz mesh-test
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,16 @@ lint:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
+# mesh-test runs the multi-process mesh integration test: real dnscache
+# binaries on real sockets, peer-fetching through an upstream outage.
+mesh-test:
+	DNSCACHE_MESH_PROC=1 $(GO) test -race -run TestMeshMultiProcess -v ./cmd/dnscache
+
 # check is what CI runs: the race detector and dnslint gate every PR.
-check: build vet lint race
+check: build vet lint race mesh-test
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .
@@ -29,3 +37,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzUnpack -fuzztime=30s ./internal/dnswire
 	$(GO) test -run='^$$' -fuzz=FuzzCanonicalName -fuzztime=30s ./internal/dnswire
 	$(GO) test -run='^$$' -fuzz=FuzzParseStore -fuzztime=30s ./internal/persist
+	$(GO) test -run='^$$' -fuzz=FuzzMeshFrame -fuzztime=30s ./internal/mesh

@@ -17,6 +17,8 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"runtime"
+	rtdebug "runtime/debug"
 	"strings"
 	"sync"
 	"syscall"
@@ -27,9 +29,11 @@ import (
 	"resilientdns/internal/debughttp"
 	"resilientdns/internal/dnswire"
 	"resilientdns/internal/guard"
+	"resilientdns/internal/mesh"
 	"resilientdns/internal/metrics"
 	"resilientdns/internal/persist"
 	"resilientdns/internal/resolve"
+	"resilientdns/internal/simclock"
 	"resilientdns/internal/transport"
 )
 
@@ -61,6 +65,32 @@ func (s *jsonLogSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.f.Close()
+}
+
+// buildSection returns the /debug/stats "build" payload builder: module
+// version, VCS revision, Go version, and process uptime — what an
+// operator needs to tell which binary a fleet member is actually
+// running.
+func buildSection(start time.Time) func() any {
+	return func() any {
+		out := map[string]any{
+			"go":       runtime.Version(),
+			"uptime_s": int64(time.Since(start) / time.Second),
+		}
+		if bi, ok := rtdebug.ReadBuildInfo(); ok {
+			out["path"] = bi.Main.Path
+			if bi.Main.Version != "" {
+				out["version"] = bi.Main.Version
+			}
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision", "vcs.time", "vcs.modified":
+					out[s.Key] = s.Value
+				}
+			}
+		}
+		return out
+	}
 }
 
 func main() {
@@ -101,7 +131,13 @@ func run() error {
 	slip := flag.Int("slip", 2, "answer every Nth rate-limited UDP query with a minimal TC=1 reply instead of dropping it (0 = never; needs -client-rps)")
 	maxClients := flag.Int("max-clients", 65536, "rate-limiter client-slot bound; least recently seen clients are evicted past it")
 	overloadCacheOnly := flag.Bool("overload-cache-only", false, "answer queries arriving while all -max-inflight slots are busy from cache/stale data only, instead of dropping them")
+	glueBudget := flag.Int("glue-budget", 0, "max out-of-bailiwick name-server address resolutions one query may spend across sibling NS names (0 = default 16, negative = unlimited)")
+	meshListen := flag.String("mesh-listen", "", "UDP address for the cooperative resolver mesh (empty = mesh off)")
+	meshPeers := flag.String("mesh-peers", "", "comma-separated mesh peer addresses (host:port), with -mesh-listen")
+	meshKey := flag.String("mesh-key", "", "shared fleet HMAC key authenticating mesh frames (required with -mesh-listen)")
+	meshOwnerRenewal := flag.Bool("mesh-owner-renewal", false, "defer TTL renewals for zones a live mesh peer owns under the rendezvous hash")
 	flag.Parse()
+	start := time.Now()
 
 	if *roots == "" {
 		return fmt.Errorf("-root is required (e.g. -root 198.41.0.4:53)")
@@ -116,6 +152,13 @@ func run() error {
 	policy, err := core.ParsePolicy(*renewal, *credit)
 	if err != nil {
 		return err
+	}
+	meshOn := *meshListen != ""
+	if meshOn && *meshKey == "" {
+		return fmt.Errorf("-mesh-listen requires -mesh-key (the fleet's shared frame-authentication key)")
+	}
+	if !meshOn && (*meshPeers != "" || *meshOwnerRenewal) {
+		return fmt.Errorf("-mesh-peers and -mesh-owner-renewal need -mesh-listen")
 	}
 
 	// Open the persistence store before building the server so its change
@@ -153,7 +196,7 @@ func run() error {
 		sink = qlog
 	}
 
-	cs, err := core.NewCachingServer(core.Config{
+	coreCfg := core.Config{
 		// The transport timeout matches -max-timeout so the upstream
 		// layer's per-attempt deadline (passed via context) is what
 		// actually bounds each exchange.
@@ -171,6 +214,7 @@ func run() error {
 		AsyncPrefetch:   *prefetchAsync,
 		PrefetchWorkers: *prefetchWorkers,
 		PrefetchQueue:   *prefetchQueue,
+		MaxGlueFetches:  *glueBudget,
 		TraceSink:       sink,
 		AddrMapper: func(a netip.Addr) transport.Addr {
 			return transport.Addr(fmt.Sprintf("%s:%d", a, *port))
@@ -183,13 +227,84 @@ func run() error {
 			RetryBudget: *retryBudget,
 		},
 		OnCacheChange: onChange,
-	})
+	}
+	// The mesh node needs the caching server as its backend, and the
+	// caching server's hooks need the node: wire the hooks as closures
+	// over a node variable assigned before any traffic is served.
+	var node *mesh.Node
+	meshCounters := &metrics.MeshCounters{}
+	if meshOn {
+		coreCfg.RenewalOwner = func(zone dnswire.Name) bool { return node.OwnsRenewal(zone) }
+		coreCfg.OnRenewed = func(zone dnswire.Name) { node.GossipZone(zone) }
+		coreCfg.PeerFetch = func(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) *core.Result {
+			msg := node.PeerFetch(ctx, qname, qtype)
+			if msg == nil {
+				return nil
+			}
+			return &core.Result{
+				RCode:     msg.RCode,
+				Answer:    msg.Answer,
+				Authority: msg.Authority,
+				FromCache: true,
+			}
+		}
+	}
+	cs, err := core.NewCachingServer(coreCfg)
 	if err != nil {
 		return err
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+
+	// Bring the mesh up before the renewal loop and listeners start, so
+	// the hook closures above never see a nil node.
+	var meshConn *mesh.Conn
+	if meshOn {
+		meshConn, err = mesh.ListenUDP(*meshListen)
+		if err != nil {
+			return err
+		}
+		var peers []string
+		for _, p := range strings.Split(*meshPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		node, err = mesh.NewNode(mesh.Config{
+			Self:         meshConn.LocalAddr(),
+			Key:          []byte(*meshKey),
+			Peers:        peers,
+			Transport:    meshConn,
+			Clock:        simclock.Real{},
+			Backend:      cs,
+			OwnerRenewal: *meshOwnerRenewal,
+			Counters:     meshCounters,
+		})
+		if err != nil {
+			meshConn.Close()
+			return err
+		}
+		go func() {
+			if err := meshConn.Serve(node); err != nil {
+				fmt.Fprintln(os.Stderr, "dnscache: mesh:", err)
+			}
+		}()
+		go func() {
+			t := time.NewTicker(mesh.DefaultProbeInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case now := <-t.C:
+					node.Tick(now)
+				}
+			}
+		}()
+		fmt.Printf("mesh on %s (peers=%d owner-renewal=%v)\n",
+			meshConn.LocalAddr(), len(peers), *meshOwnerRenewal)
+	}
 
 	if store != nil {
 		rep, err := store.Recover(cs)
@@ -233,6 +348,12 @@ func run() error {
 	var udpHandler transport.Handler = cs
 	udp := &transport.UDPServer{MaxInflight: *maxInflight, Counters: guardCounters}
 	if guardOn {
+		// Handshake-confirmed mesh peers bypass the per-client bucket: a
+		// cooperating fleet member must never be rate-limited mid-attack.
+		var peerExempt func(netip.Addr) bool
+		if meshOn {
+			peerExempt = node.IsPeerIP
+		}
 		g := guard.New(cs, guard.Config{
 			ClientRPS:           *clientRPS,
 			ClientBurst:         *clientBurst,
@@ -240,6 +361,7 @@ func run() error {
 			MaxClients:          *maxClients,
 			CacheOnlyOnOverload: *overloadCacheOnly,
 			Counters:            guardCounters,
+			PeerExempt:          peerExempt,
 		})
 		udpHandler = g
 		udp.Overload = g.HandleOverload
@@ -261,15 +383,21 @@ func run() error {
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
+		opts := debughttp.Options{
+			Stats:      func() any { return cs.Stats() },
+			CacheStats: func() any { return cs.CacheStats() },
+			Guard:      func() any { return guardCounters.Snapshot() },
+			Build:      buildSection(start),
+			Latency:    cs.Resolver().LatencySnapshots,
+			Ring:       ring,
+		}
+		if meshOn {
+			opts.Mesh = func() any { return meshCounters.Snapshot() }
+			opts.Peers = func() any { return node.Snapshot() }
+		}
 		debugSrv = &http.Server{
-			Addr: *debugAddr,
-			Handler: debughttp.New(debughttp.Options{
-				Stats:      func() any { return cs.Stats() },
-				CacheStats: func() any { return cs.CacheStats() },
-				Guard:      func() any { return guardCounters.Snapshot() },
-				Latency:    cs.Resolver().LatencySnapshots,
-				Ring:       ring,
-			}),
+			Addr:    *debugAddr,
+			Handler: debughttp.New(opts),
 		}
 		go func() {
 			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -307,6 +435,9 @@ func run() error {
 	// Close waits for every in-flight handler goroutine to finish.
 	fmt.Println("shutting down: draining in-flight queries")
 	cancel()
+	if meshConn != nil {
+		_ = meshConn.Close()
+	}
 	udp.Close()
 	tcp.Close()
 	if debugSrv != nil {
@@ -337,9 +468,16 @@ func run() error {
 	fmt.Printf("final: in=%d out=%d coalesced=%d failed=%d renewals=%d retries=%d cached: zones=%d records=%d stale=%d\n",
 		st.QueriesIn, st.QueriesOut, st.Coalesced, st.Failed, st.Renewals, st.Retries,
 		cst.Zones, cst.Records, cst.StaleEntries)
-	if gs := guardCounters.Snapshot(); gs.Allowed+gs.RateLimited+gs.Shed+gs.CacheOnly+gs.FormErr > 0 {
-		fmt.Printf("guard: allowed=%d limited=%d slips=%d shed=%d cache-only=%d (miss=%d) formerr=%d evicted=%d\n",
-			gs.Allowed, gs.RateLimited, gs.Slips, gs.Shed, gs.CacheOnly, gs.CacheOnlyMiss, gs.FormErr, gs.ClientsEvicted)
+	if gs := guardCounters.Snapshot(); gs.Allowed+gs.RateLimited+gs.Shed+gs.CacheOnly+gs.FormErr+gs.PeerExempt > 0 {
+		fmt.Printf("guard: allowed=%d limited=%d slips=%d shed=%d cache-only=%d (miss=%d) formerr=%d evicted=%d peer-exempt=%d\n",
+			gs.Allowed, gs.RateLimited, gs.Slips, gs.Shed, gs.CacheOnly, gs.CacheOnlyMiss, gs.FormErr, gs.ClientsEvicted, gs.PeerExempt)
+	}
+	if meshOn {
+		ms := meshCounters.Snapshot()
+		fmt.Printf("mesh: frames-in=%d bad-mac=%d unconfirmed=%d pings=%d ping-failures=%d irr-push sent=%d recv=%d ingested=%d fetch sent=%d hits=%d served=%d renewals-deferred=%d\n",
+			ms.FramesIn, ms.FramesBadMAC, ms.FramesUnconfirmed, ms.PingsSent, ms.PingFailures,
+			ms.IRRPushesSent, ms.IRRPushesReceived, ms.IRRIngested,
+			ms.FetchesSent, ms.FetchHits, ms.FetchesServed, st.RenewalDeferred)
 	}
 	if store != nil {
 		ps := store.Counters()

@@ -83,9 +83,12 @@ func run() error {
 		return err
 	}
 
-	before, err := fetchLatency(*debugURL)
+	before, err := fetchStats(*debugURL)
 	if err != nil {
 		return err
+	}
+	if before != nil {
+		printBuild(os.Stdout, before.Build)
 	}
 
 	ctx := context.Background()
@@ -98,11 +101,11 @@ func run() error {
 			abuseSent.Load(), float64(abuseSent.Load())/duration.Seconds(), *abuseSource, *abusers)
 	}
 
-	after, err := fetchLatency(*debugURL)
+	after, err := fetchStats(*debugURL)
 	if err != nil {
 		return err
 	}
-	printStageBreakdown(os.Stdout, before, after)
+	printStageBreakdown(os.Stdout, before.latency(), after.latency())
 
 	if stats.sent == 0 {
 		return fmt.Errorf("no queries completed")
@@ -161,9 +164,26 @@ func runAbusers(ctx context.Context, server string, base dnswire.Name,
 	return sent
 }
 
-// fetchLatency reads the latency section of the server's /debug/stats.
-// An empty URL returns nil (the feature is off).
-func fetchLatency(baseURL string) (map[string]debughttp.LatencySummary, error) {
+// debugStats is the slice of the server's /debug/stats payload dnsperf
+// reads: the build/uptime section and the latency histograms.
+type debugStats struct {
+	Build   map[string]any                      `json:"build"`
+	Latency map[string]debughttp.LatencySummary `json:"latency"`
+}
+
+// latency returns the latency map, tolerating a nil receiver (debug
+// endpoint off) so the breakdown printer can treat both snapshots
+// uniformly.
+func (d *debugStats) latency() map[string]debughttp.LatencySummary {
+	if d == nil {
+		return nil
+	}
+	return d.Latency
+}
+
+// fetchStats reads the server's /debug/stats. An empty URL returns nil
+// (the feature is off).
+func fetchStats(baseURL string) (*debugStats, error) {
 	if baseURL == "" {
 		return nil, nil
 	}
@@ -176,16 +196,37 @@ func fetchLatency(baseURL string) (map[string]debughttp.LatencySummary, error) {
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("debug endpoint: %s returned %s", url, resp.Status)
 	}
-	var payload struct {
-		Latency map[string]debughttp.LatencySummary `json:"latency"`
-	}
+	var payload debugStats
 	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
 		return nil, fmt.Errorf("debug endpoint: %w", err)
 	}
 	if payload.Latency == nil {
 		payload.Latency = map[string]debughttp.LatencySummary{}
 	}
-	return payload.Latency, nil
+	return &payload, nil
+}
+
+// printBuild reports which binary the target server is running and for
+// how long — catches the classic load-test footgun of benchmarking a
+// stale fleet member.
+func printBuild(w *os.File, build map[string]any) {
+	if len(build) == 0 {
+		return
+	}
+	var parts []string
+	for _, key := range []string{"path", "version", "go", "vcs.revision", "vcs.modified"} {
+		if v, ok := build[key]; ok {
+			s := fmt.Sprint(v)
+			if key == "vcs.revision" && len(s) > 12 {
+				s = s[:12]
+			}
+			parts = append(parts, s)
+		}
+	}
+	if up, ok := build["uptime_s"]; ok {
+		parts = append(parts, fmt.Sprintf("up %vs", up))
+	}
+	fmt.Fprintf(w, "server build: %s\n", strings.Join(parts, " "))
 }
 
 // printStageBreakdown reports where the server spent resolution time

@@ -34,14 +34,17 @@ import (
 const name = "onepath"
 
 // defaultPkgs is the resolver side of the repo: the policy shell, the
-// pipeline, the simulator that drives them, and the client-facing guard
-// (which must answer from cache, never fetch). Packages that sit
+// pipeline, the simulator that drives them, the client-facing guard
+// (which must answer from cache, never fetch), and the cooperative mesh
+// (whose peer calls go through its own mesh.Transport.Call, never a DNS
+// Transport.Exchange). Packages that sit
 // below the resolver (transport, stub, xfer) legitimately exchange on
 // their own behalf and are not listed.
 const defaultPkgs = "resilientdns/internal/core," +
 	"resilientdns/internal/resolve," +
 	"resilientdns/internal/sim," +
-	"resilientdns/internal/guard"
+	"resilientdns/internal/guard," +
+	"resilientdns/internal/mesh"
 
 var Analyzer = &analysis.Analyzer{
 	Name: name,

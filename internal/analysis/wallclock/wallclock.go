@@ -49,7 +49,8 @@ const defaultPkgs = "resilientdns/internal/sim," +
 	"resilientdns/internal/workload," +
 	"resilientdns/internal/topology," +
 	"resilientdns/internal/attack," +
-	"resilientdns/internal/guard"
+	"resilientdns/internal/guard," +
+	"resilientdns/internal/mesh"
 
 var Analyzer = &analysis.Analyzer{
 	Name: name,

@@ -67,6 +67,11 @@ type Entry struct {
 	// records of its name servers. Only these are eligible for the
 	// paper's refresh and renewal treatment.
 	Infra bool
+	// Origin records where the set was learned from: an authoritative
+	// upstream response, or a fleet peer's gossip/fetch. Peer-learned
+	// entries persist and restore with the tag so a restarted node
+	// still knows which records it never confirmed upstream itself.
+	Origin Origin
 	// OrigTTL is the (possibly clamped) TTL the set arrived with.
 	OrigTTL time.Duration
 	// Expires is when the entry leaves the cache.
@@ -74,6 +79,18 @@ type Entry struct {
 	// StoredAt is when the entry was first inserted or last replaced.
 	StoredAt time.Time
 }
+
+// Origin labels where a cache entry's data was learned from.
+type Origin uint8
+
+const (
+	// OriginUpstream is the default: data from an authoritative server,
+	// validated by the fetch engine.
+	OriginUpstream Origin = iota
+	// OriginPeer marks data ingested from a cooperating mesh peer
+	// (IRR gossip or a peer-fetch answer).
+	OriginPeer
+)
 
 // GapFunc observes a tombstone hit: a lookup for key arrived gap after the
 // previous entry (with the given original TTL) expired. Used for Fig. 3.
@@ -284,6 +301,13 @@ func minTTL(rrs []dnswire.RR) time.Duration {
 //   - otherwise the arriving copy is ignored (vanilla DNS behaviour: the
 //     cached TTL keeps counting down).
 func (c *Cache) Put(rrs []dnswire.RR, cred Credibility, infra bool) *Entry {
+	return c.PutOrigin(rrs, cred, infra, OriginUpstream)
+}
+
+// PutOrigin is Put with an explicit data origin. A TTL refresh keeps
+// the existing entry's origin (only the timer changes, not the data);
+// a replacement installs the new copy's origin.
+func (c *Cache) PutOrigin(rrs []dnswire.RR, cred Credibility, infra bool, origin Origin) *Entry {
 	if len(rrs) == 0 {
 		return nil
 	}
@@ -330,6 +354,7 @@ func (c *Cache) Put(rrs []dnswire.RR, cred Credibility, infra bool) *Entry {
 		RRs:      append([]dnswire.RR(nil), rrs...),
 		Cred:     cred,
 		Infra:    infra,
+		Origin:   origin,
 		OrigTTL:  ttl,
 		Expires:  now.Add(ttl),
 		StoredAt: now,
@@ -683,6 +708,7 @@ type RestoreEntry struct {
 	RRs      []dnswire.RR
 	Cred     Credibility
 	Infra    bool
+	Origin   Origin
 	OrigTTL  time.Duration
 	Expires  time.Time
 	StoredAt time.Time
@@ -727,6 +753,7 @@ func (c *Cache) Restore(re RestoreEntry) bool {
 		RRs:      append([]dnswire.RR(nil), re.RRs...),
 		Cred:     re.Cred,
 		Infra:    re.Infra,
+		Origin:   re.Origin,
 		OrigTTL:  ttl,
 		Expires:  expires,
 		StoredAt: re.StoredAt,

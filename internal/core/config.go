@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net/netip"
 	"time"
 
@@ -92,6 +93,12 @@ type Config struct {
 	MaxReferrals int
 	// MaxCNAME bounds CNAME chain chasing (default 8).
 	MaxCNAME int
+	// MaxGlueFetches caps one client query's aggregate out-of-bailiwick
+	// name-server address resolutions, across sibling NS names as well
+	// as nesting (the NXNSAttack fanout bound; see
+	// resolve.Config.MaxGlueFetches). Zero means the default (16);
+	// negative disables the cap.
+	MaxGlueFetches int
 
 	// OnGap observes IRR expiry-to-reuse gaps (Fig. 3).
 	OnGap cache.GapFunc
@@ -136,4 +143,20 @@ type Config struct {
 	// (see resolve.Sink). Nil disables tracing entirely; the simulator
 	// never sets it, keeping its runs deterministic and overhead-free.
 	TraceSink resolve.Sink
+
+	// RenewalOwner, when set, is consulted before the renewal scheduler
+	// spends a credit on a zone: false defers the refetch (another
+	// fleet member owns the zone's renewal duty and its gossip will
+	// keep this cache warm). The mesh's rendezvous-hash ownership hangs
+	// off this hook; nil (the default, and always in the simulator's
+	// solo runs) renews everything locally.
+	RenewalOwner func(zone dnswire.Name) bool
+	// OnRenewed fires after a successful renewal refetch has been
+	// ingested and extended, so the mesh can gossip the refreshed IRR
+	// set to peers. Called from the renewal loop's goroutine.
+	OnRenewed func(zone dnswire.Name)
+	// PeerFetch is the mesh's last-resort fallback, consulted only
+	// after a resolution has failed every live and stale path (see
+	// resolve.Hooks.PeerFetch). Nil disables it.
+	PeerFetch func(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) *Result
 }

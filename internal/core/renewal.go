@@ -46,8 +46,20 @@ func (q *renewQueue) Pop() any {
 
 // scheduleRenewal enqueues a renewal check for zone shortly before
 // expires. At most one queue entry exists per zone; later expiries are
-// handled by re-queuing on pop.
+// handled by re-queuing on pop. Fleet members check a whole takeover
+// window early: the owner renews at the window's edge so its gossip
+// reaches non-owners with time to spare, and a non-owner whose owner
+// never delivers still has room for a last-chance local renewal.
 func (cs *CachingServer) scheduleRenewal(zone dnswire.Name, expires time.Time) {
+	lead := renewLead
+	if cs.cfg.RenewalOwner != nil {
+		lead = takeoverLead
+	}
+	cs.scheduleRenewalAt(zone, expires.Add(-lead))
+}
+
+// scheduleRenewalAt enqueues a renewal check for zone at exactly due.
+func (cs *CachingServer) scheduleRenewalAt(zone dnswire.Name, due time.Time) {
 	cs.renewMu.Lock()
 	defer cs.renewMu.Unlock()
 	if cs.scheduled[zone] {
@@ -55,8 +67,27 @@ func (cs *CachingServer) scheduleRenewal(zone dnswire.Name, expires time.Time) {
 	}
 	cs.scheduled[zone] = true
 	cs.renew.seq++
-	heap.Push(&cs.renew, &renewItem{due: expires.Add(-renewLead), zone: zone, seq: cs.renew.seq})
+	heap.Push(&cs.renew, &renewItem{due: due, zone: zone, seq: cs.renew.seq})
 }
+
+// Owner-renewal deferral timing. Fleet members consider each zone a full
+// takeoverLead before expiry. The owner renews right away at the window's
+// edge (a few seconds of TTL traded for slack), so in the healthy case
+// its gossip extends every non-owner's copy at the first or second poll
+// and deferral costs only a couple of checks per TTL cycle. A non-owner
+// re-polls every ownerRecheck — long enough for mesh failure detection
+// (DeadAfter×ProbeInterval, ~4 s at defaults) to re-derive ownership away
+// from a dead owner mid-window — and if the entry is still not extended
+// lastChance before expiry, it renews locally anyway: the owner is dead,
+// partitioned, or never had the zone (its client shard never queried it),
+// and starving the zone would turn the dedup win into blackout failures.
+// All three are strictly positive, so a deferral always re-queues in the
+// future and the ProcessDueRenewals drain loop terminates.
+const (
+	takeoverLead = 10 * time.Second
+	ownerRecheck = 2 * time.Second
+	lastChance   = 2 * time.Second
+)
 
 // NextRenewalDue returns the earliest pending renewal check time. The
 // trace-driven simulator uses it to advance the virtual clock precisely to
@@ -103,9 +134,35 @@ func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now t
 	if e == nil || !e.Infra {
 		return false // expired or evicted; nothing to renew
 	}
-	if e.Expires.Add(-renewLead).After(now) {
-		// The entry was refreshed since this check was scheduled; requeue
-		// for the new expiry.
+	lead := renewLead
+	if own := cs.cfg.RenewalOwner; own != nil {
+		// Fleet members act inside the takeover window, not at the
+		// solo renewLead instant: the owner renews at the window's
+		// edge so gossip lands with time to spare.
+		lead = takeoverLead
+		if !own(zone) && e.Expires.Sub(now) > lastChance {
+			// Another fleet member owns this zone's renewal duty:
+			// don't spend a credit — its gossiped refresh will extend
+			// our copy. Poll through the takeover window so a dead
+			// owner's zones are reclaimed once membership re-derives;
+			// when the gossip arrives first, the next check sees the
+			// new expiry and re-queues far out. If the window runs
+			// down to lastChance with no refresh, fall through and
+			// renew locally: the owner is unreachable or never had
+			// the zone, and letting the entry expire would trade the
+			// dedup win for resolution failures.
+			cs.stats.renewalDeferred.Add(1)
+			next := e.Expires.Add(-takeoverLead)
+			if !next.After(now) {
+				next = now.Add(ownerRecheck)
+			}
+			cs.scheduleRenewalAt(zone, next)
+			return false
+		}
+	}
+	if e.Expires.Add(-lead).After(now) {
+		// The entry was refreshed since this check was scheduled;
+		// requeue for the real due time.
 		cs.scheduleRenewal(zone, e.Expires)
 		return false
 	}
@@ -145,6 +202,11 @@ func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now t
 	cs.resolver.FinishTrace(tr, &Result{RCode: dnswire.RCodeNoError}, nil)
 	if ne := cs.cache.Peek(zone, dnswire.TypeNS); ne != nil {
 		cs.scheduleRenewal(zone, ne.Expires)
+	}
+	if h := cs.cfg.OnRenewed; h != nil {
+		// Let the mesh gossip the refreshed IRR set: one owner refetch
+		// warms the whole fleet.
+		h(zone)
 	}
 	return true
 }

@@ -93,6 +93,9 @@ func NewCachingServer(cfg Config) (*CachingServer, error) {
 	if cfg.Renewal != nil {
 		hooks.InfraCached = cs.scheduleRenewal
 	}
+	if cfg.PeerFetch != nil {
+		hooks.PeerFetch = cfg.PeerFetch
+	}
 	r, err := resolve.New(resolve.Config{
 		Transport:             cfg.Transport,
 		Clock:                 cfg.Clock,
@@ -106,6 +109,7 @@ func NewCachingServer(cfg Config) (*CachingServer, error) {
 		PrefetchQueue:         cfg.PrefetchQueue,
 		MaxReferrals:          cfg.MaxReferrals,
 		MaxCNAME:              cfg.MaxCNAME,
+		MaxGlueFetches:        cfg.MaxGlueFetches,
 		ValidateDNSSEC:        cfg.ValidateDNSSEC,
 		TrustAnchors:          cfg.TrustAnchors,
 		AdvertiseEDNS0:        cfg.AdvertiseEDNS0,

@@ -33,6 +33,9 @@ type Stats struct {
 	RenewalFailed uint64
 	// Renewals counts successful renew cycles.
 	Renewals uint64
+	// RenewalDeferred counts due renewals skipped because another fleet
+	// member owns the zone's renewal duty (mesh owner-renewal dedup).
+	RenewalDeferred uint64
 
 	// Referrals counts referral responses followed.
 	Referrals uint64
@@ -50,6 +53,19 @@ type Stats struct {
 	// BudgetExhausted counts failover loops cut short because the
 	// resolution spent its upstream retry budget.
 	BudgetExhausted uint64
+
+	// GlueFetches counts out-of-bailiwick name-server address
+	// resolutions charged against the per-query glue budget;
+	// GlueBudgetExhausted the resolutions skipped once a query's budget
+	// ran out (the NXNS-style fanout bound).
+	GlueFetches         uint64
+	GlueBudgetExhausted uint64
+
+	// PeerFetches counts mesh peer-fetch fallbacks attempted after
+	// local resolution failed; PeerFetchAnswered the ones a fleet
+	// peer's cache could answer.
+	PeerFetches       uint64
+	PeerFetchAnswered uint64
 }
 
 // statCounters is the lock-free internal form of the frontend half of
@@ -57,6 +73,7 @@ type Stats struct {
 type statCounters struct {
 	queriesIn, resolved, failed, cacheAnswered, coalesced atomic.Uint64
 	renewalQueries, renewalFailed, renewals               atomic.Uint64
+	renewalDeferred                                       atomic.Uint64
 }
 
 // Stats returns a snapshot of the counters, merging the frontend half
@@ -74,11 +91,17 @@ func (cs *CachingServer) Stats() Stats {
 		RenewalQueries:   cs.stats.renewalQueries.Load(),
 		RenewalFailed:    cs.stats.renewalFailed.Load(),
 		Renewals:         cs.stats.renewals.Load(),
+		RenewalDeferred:  cs.stats.renewalDeferred.Load(),
 		Referrals:        rc.Referrals,
 		StaleAnswers:     rc.StaleAnswers,
 		PrefetchQueries:  rc.PrefetchQueries,
 		Retries:          rc.Retries,
 		QuarantineSkips:  rc.QuarantineSkips,
 		BudgetExhausted:  rc.BudgetExhausted,
+
+		GlueFetches:         rc.GlueFetches,
+		GlueBudgetExhausted: rc.GlueBudgetExhausted,
+		PeerFetches:         rc.PeerFetches,
+		PeerFetchAnswered:   rc.PeerFetchAnswered,
 	}
 }

@@ -5,6 +5,8 @@
 //	                    per-kind latency summaries from finished traces
 //	GET /debug/queries  the most recent trace summaries, newest first
 //	                    (?n=K limits the count)
+//	GET /debug/peers    the cooperative mesh's membership snapshot
+//	                    (registered only when the mesh is enabled)
 //
 // Everything is read-only JSON assembled from snapshots; handlers never
 // touch resolver locks beyond the snapshot calls themselves, so leaving
@@ -34,6 +36,15 @@ type Options struct {
 	// Guard returns the client-facing guard layer's decision counters
 	// (metrics.GuardStats).
 	Guard func() any
+	// Mesh returns the cooperative-mesh counters (metrics.MeshStats);
+	// also enables the /debug/peers route when Peers is set.
+	Mesh func() any
+	// Peers returns the mesh membership snapshot (mesh.Snapshot) served
+	// at /debug/peers. Nil leaves the route unregistered (404).
+	Peers func() any
+	// Build returns the process build/uptime section (version, VCS
+	// revision, uptime) shown under "build" in /debug/stats.
+	Build func() any
 	// Ring retains recent trace summaries for /debug/queries.
 	Ring *resolve.Ring
 }
@@ -51,9 +62,11 @@ type LatencySummary struct {
 
 // statsPayload is the /debug/stats response shape.
 type statsPayload struct {
+	Build   any                       `json:"build,omitempty"`
 	Server  any                       `json:"server,omitempty"`
 	Cache   any                       `json:"cache,omitempty"`
 	Guard   any                       `json:"guard,omitempty"`
+	Mesh    any                       `json:"mesh,omitempty"`
 	Latency map[string]LatencySummary `json:"latency,omitempty"`
 }
 
@@ -70,6 +83,12 @@ func New(o Options) http.Handler {
 		}
 		if o.Guard != nil {
 			p.Guard = o.Guard()
+		}
+		if o.Mesh != nil {
+			p.Mesh = o.Mesh()
+		}
+		if o.Build != nil {
+			p.Build = o.Build()
 		}
 		if o.Latency != nil {
 			p.Latency = make(map[string]LatencySummary)
@@ -89,6 +108,11 @@ func New(o Options) http.Handler {
 		}
 		writeJSON(w, p)
 	})
+	if o.Peers != nil {
+		mux.HandleFunc("/debug/peers", func(w http.ResponseWriter, req *http.Request) {
+			writeJSON(w, o.Peers())
+		})
+	}
 	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, req *http.Request) {
 		n := 0 // 0 = everything retained
 		if v := req.URL.Query().Get("n"); v != "" {

@@ -80,3 +80,71 @@ func TestQueriesEndpoint(t *testing.T) {
 		t.Errorf("no-ring body = %q, want []", body)
 	}
 }
+
+// TestMeshAndBuildSections: the stats payload carries the mesh counters
+// and build section when configured, and the /debug/peers route exists
+// exactly when a membership source is wired in.
+func TestMeshAndBuildSections(t *testing.T) {
+	mux := New(Options{
+		Stats: func() any { return map[string]int{} },
+		Mesh:  func() any { return map[string]uint64{"frames_in": 42} },
+		Peers: func() any {
+			return map[string]any{"self": "10.9.0.1:7946", "peers": []string{"10.9.0.2:7946"}}
+		},
+		Build: func() any { return map[string]any{"go": "go1.x", "uptime_s": 3} },
+	})
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/stats", nil))
+	var p struct {
+		Build map[string]any    `json:"build"`
+		Mesh  map[string]uint64 `json:"mesh"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if p.Mesh["frames_in"] != 42 {
+		t.Errorf("mesh section = %v, want frames_in 42", p.Mesh)
+	}
+	if p.Build["go"] != "go1.x" {
+		t.Errorf("build section = %v", p.Build)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/peers", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/peers status = %d", rec.Code)
+	}
+	var peers struct {
+		Self  string   `json:"self"`
+		Peers []string `json:"peers"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &peers); err != nil {
+		t.Fatalf("bad peers JSON: %v\n%s", err, rec.Body.String())
+	}
+	if peers.Self != "10.9.0.1:7946" || len(peers.Peers) != 1 {
+		t.Errorf("peers payload = %+v", peers)
+	}
+}
+
+// TestPeersRouteAbsentWithoutMesh: a non-mesh server must 404 the peers
+// route and omit the mesh section rather than serve empty placeholders.
+func TestPeersRouteAbsentWithoutMesh(t *testing.T) {
+	mux := New(Options{Stats: func() any { return map[string]int{} }})
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/peers", nil))
+	if rec.Code != 404 {
+		t.Errorf("/debug/peers on a meshless server = %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/stats", nil))
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["mesh"]; ok {
+		t.Error("meshless stats payload still carries a mesh section")
+	}
+}

@@ -246,9 +246,11 @@ func (s *Suite) Registry() map[string]func() (*Table, error) {
 		"dnssec":            s.DNSSECExtension,
 		"partition":         s.Partition,
 		"servestale":        s.ServeStaleBaseline,
-		// "restart" is runnable by id but intentionally absent from
-		// ExperimentIDs(): it post-dates the frozen results_full.txt.
+		// "restart" and "mesh" are runnable by id but intentionally
+		// absent from ExperimentIDs(): they post-date the frozen
+		// results_full.txt.
 		"restart": s.Restart,
+		"mesh":    s.Mesh,
 	}
 }
 

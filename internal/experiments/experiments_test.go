@@ -47,7 +47,7 @@ func TestRegistryCoversAllIDs(t *testing.T) {
 	// Experiments runnable by id but kept out of `-exp all` (and thus out
 	// of the frozen results_full.txt). Anything else in the registry must
 	// be listed in ExperimentIDs.
-	unlisted := map[string]bool{"restart": true}
+	unlisted := map[string]bool{"restart": true, "mesh": true}
 	listed := make(map[string]bool, len(ExperimentIDs()))
 	for _, id := range ExperimentIDs() {
 		listed[id] = true
@@ -89,6 +89,48 @@ func TestRestartExperimentShape(t *testing.T) {
 	}
 	if replayed == 0 {
 		t.Error("warm restart replayed no entries")
+	}
+}
+
+func TestMeshExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mesh experiment replays three fleet variants")
+	}
+	s := getSuite(t)
+	tbl, err := s.Mesh()
+	if err != nil {
+		t.Fatalf("Mesh: %v", err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("mesh rows = %d, want 3", len(tbl.Rows))
+	}
+	soloFail := parsePct(t, tbl.Rows[0][1])
+	noMeshFail := parsePct(t, tbl.Rows[1][1])
+	meshFail := parsePct(t, tbl.Rows[2][1])
+	var noMeshRenewals, meshRenewals, meshDeferred float64
+	if _, err := sscanFloat(tbl.Rows[1][2], &noMeshRenewals); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tbl.Rows[2][2], &meshRenewals); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tbl.Rows[2][3], &meshDeferred); err != nil {
+		t.Fatal(err)
+	}
+	// The fleet claims under test: ownership dedup collapses aggregate
+	// renewal traffic at least 2x below the independent fleet, and gossip
+	// keeps the mesh fleet's failure rate at or below both baselines.
+	if meshRenewals*2 > noMeshRenewals {
+		t.Errorf("mesh renewals %v not >=2x below no-mesh %v", meshRenewals, noMeshRenewals)
+	}
+	if meshFail > noMeshFail {
+		t.Errorf("mesh fail %.3f%% worse than no-mesh fleet %.3f%%", meshFail, noMeshFail)
+	}
+	if meshFail > soloFail {
+		t.Errorf("mesh fail %.3f%% worse than solo instance %.3f%%", meshFail, soloFail)
+	}
+	if meshDeferred == 0 {
+		t.Error("mesh fleet deferred no renewals: ownership dedup never engaged")
 	}
 }
 

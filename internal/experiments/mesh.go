@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"resilientdns/internal/core"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/mesh"
+	"resilientdns/internal/simclock"
+	"resilientdns/internal/simnet"
+	"resilientdns/internal/workload"
+)
+
+// Mesh is the fleet-blackout experiment: the same trace is served by one
+// solo caching server, by three independent servers with clients sharded
+// across them, and by the same three servers joined into a cooperative
+// mesh (rendezvous-hashed renewal ownership, IRR gossip, peer-fetch
+// fallback). All variants run the combined refresh+A-LFU scheme through
+// a 24-hour root+TLD blackout.
+//
+// The fleet claims under test: the mesh fleet's aggregate upstream
+// renewal traffic collapses to roughly one owner refetch per zone per
+// TTL (at least 2x below the no-mesh fleet), and its attack-window
+// failure rate drops below the no-mesh fleet's because gossip keeps all
+// three caches warm and peer fetch recovers answers a member never
+// cached itself.
+//
+// Registered as "mesh" but deliberately absent from ExperimentIDs(): it
+// post-dates the frozen results_full.txt, so `dnssim -exp all` output
+// stays byte-identical.
+func (s *Suite) Mesh() (*Table, error) {
+	const attackDur = 24 * time.Hour
+	tr := s.traces[0]
+
+	type variant struct {
+		label    string
+		n        int
+		withMesh bool
+	}
+	variants := []variant{
+		{"1 instance, all clients", 1, false},
+		{"3 instances, no mesh", 3, false},
+		{"3 instances, mesh", 3, true},
+	}
+
+	t := &Table{
+		ID:      "mesh",
+		Title:   fmt.Sprintf("Fleet behaviour through a %v root+TLD blackout, Refresh+A-LFU(5), clients sharded across instances (%s)", attackDur, tr.Label),
+		Columns: []string{"fleet", "attack fail %", "renewal queries (aggregate)", "renewals deferred", "peer-fetch answered"},
+		Notes: []string{
+			"mesh fleet aggregate renewal traffic should be >=2x below the no-mesh fleet (one owner refetch per zone per TTL)",
+			"mesh fleet attack failure rate should drop below the no-mesh fleet's: gossip warms all caches, peer fetch recovers the rest",
+		},
+	}
+	for _, v := range variants {
+		out, err := s.runMeshFleet(tr, attackDur, v.n, v.withMesh)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			v.label,
+			pct(ratio(out.attackFail, out.attackQueries)),
+			fmt.Sprintf("%d", out.renewalQueries),
+			fmt.Sprintf("%d", out.renewalDeferred),
+			fmt.Sprintf("%d", out.peerFetchAnswered),
+		})
+	}
+	return t, nil
+}
+
+// meshOutcome aggregates one fleet variant's run.
+type meshOutcome struct {
+	attackQueries, attackFail uint64
+	renewalQueries            uint64
+	renewalDeferred           uint64
+	peerFetchAnswered         uint64
+}
+
+// runMeshFleet replays tr against n caching servers (clients sharded by
+// client id), optionally joined into a cooperative mesh over the
+// deterministic MeshNet fabric sharing the trace's virtual clock.
+func (s *Suite) runMeshFleet(tr workload.Trace, attackDur time.Duration, n int, withMesh bool) (meshOutcome, error) {
+	var out meshOutcome
+	clk := simclock.NewVirtual(tr.Start)
+	net := simnet.New(clk, s.cfg.Seed)
+	net.RTT = 0
+	net.Timeout = 0
+	s.baseTree.InstallOpt(net, true)
+	sched := s.attackFor(s.baseTree, attackDur)
+	net.SetAttack(sched)
+
+	mnet := simnet.NewMeshNet(clk)
+	mnet.RTT = 0
+	mnet.Timeout = 0
+
+	type member struct {
+		cs   *core.CachingServer
+		node *mesh.Node
+	}
+	var addrs []string
+	for i := 0; i < n; i++ {
+		addrs = append(addrs, fmt.Sprintf("10.9.0.%d:7946", i+1))
+	}
+	members := make([]*member, n)
+	for i := 0; i < n; i++ {
+		m := &member{}
+		cfg := core.Config{
+			Transport:  net,
+			Clock:      clk,
+			RootHints:  s.baseTree.RootHints,
+			RefreshTTL: true,
+			Renewal:    core.ALFU{C: 5, MaxDays: core.DefaultLFUMax(5)},
+		}
+		if withMesh {
+			mm := m
+			cfg.RenewalOwner = func(zone dnswire.Name) bool { return mm.node.OwnsRenewal(zone) }
+			cfg.OnRenewed = func(zone dnswire.Name) { mm.node.GossipZone(zone) }
+			cfg.PeerFetch = func(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) *core.Result {
+				msg := mm.node.PeerFetch(ctx, qname, qtype)
+				if msg == nil {
+					return nil
+				}
+				return &core.Result{RCode: msg.RCode, Answer: msg.Answer, Authority: msg.Authority, FromCache: true}
+			}
+		}
+		cs, err := core.NewCachingServer(cfg)
+		if err != nil {
+			return out, fmt.Errorf("experiments: mesh: %w", err)
+		}
+		m.cs = cs
+		if withMesh {
+			var peers []string
+			for _, a := range addrs {
+				if a != addrs[i] {
+					peers = append(peers, a)
+				}
+			}
+			node, err := mesh.NewNode(mesh.Config{
+				Self:         addrs[i],
+				Key:          []byte("experiment-fleet-key"),
+				Peers:        peers,
+				Transport:    mnet.Bind(addrs[i]),
+				Clock:        clk,
+				Backend:      cs,
+				OwnerRenewal: true,
+			})
+			if err != nil {
+				return out, fmt.Errorf("experiments: mesh: %w", err)
+			}
+			m.node = node
+			mnet.Register(addrs[i], node.HandleFrame)
+		}
+		members[i] = m
+	}
+	if withMesh {
+		// One synchronous probe round confirms the full mesh before any
+		// traffic flows; MeshNet RTT is zero so no virtual time passes.
+		for _, m := range members {
+			m.node.Tick(clk.Now())
+		}
+	}
+
+	ctx := context.Background()
+	for _, q := range tr.Queries {
+		// Renewals due on any member before this query fire at their
+		// exact instants, fleet-wide and in global time order, with mesh
+		// probe rounds keeping failure detection current.
+		for {
+			var next time.Time
+			any := false
+			for _, m := range members {
+				if due, ok := m.cs.NextRenewalDue(); ok && !due.After(q.At) && (!any || due.Before(next)) {
+					next, any = due, true
+				}
+			}
+			if !any {
+				break
+			}
+			if next.After(clk.Now()) {
+				clk.AdvanceTo(next)
+			}
+			for _, m := range members {
+				if m.node != nil {
+					m.node.Tick(clk.Now())
+				}
+				m.cs.ProcessDueRenewals(ctx, clk.Now())
+			}
+		}
+		clk.AdvanceTo(q.At)
+		cs := members[q.Client%n].cs
+		_, err := cs.Resolve(ctx, q.Name, q.Type)
+		if sched.Active(q.At) {
+			out.attackQueries++
+			if err != nil {
+				out.attackFail++
+			}
+		}
+	}
+	for _, m := range members {
+		st := m.cs.Stats()
+		out.renewalQueries += st.RenewalQueries
+		out.renewalDeferred += st.RenewalDeferred
+		out.peerFetchAnswered += st.PeerFetchAnswered
+	}
+	return out, nil
+}

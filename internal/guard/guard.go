@@ -59,16 +59,23 @@ type Config struct {
 	Clock simclock.Clock
 	// Counters receives the guard's decision counts; optional.
 	Counters *metrics.GuardCounters
+	// PeerExempt, when set, reports whether a source IP belongs to an
+	// authenticated mesh peer. Peers bypass the per-client token bucket
+	// entirely: a cooperating fleet member must never be rate-limited
+	// or slipped a TC=1 mid-attack, and its query volume must not
+	// pollute a bucket it may share with NATed clients.
+	PeerExempt func(netip.Addr) bool
 }
 
 // Guard wraps a Backend with per-client rate limiting and overload
 // degradation. It implements transport.Handler and transport.AddrHandler.
 type Guard struct {
-	backend   Backend
-	limiter   *limiter // nil when rate limiting is off
-	cacheOnly bool
-	counters  *metrics.GuardCounters
-	clock     simclock.Clock
+	backend    Backend
+	limiter    *limiter // nil when rate limiting is off
+	cacheOnly  bool
+	counters   *metrics.GuardCounters
+	clock      simclock.Clock
+	peerExempt func(netip.Addr) bool
 }
 
 // New builds a Guard around backend.
@@ -80,10 +87,11 @@ func New(backend Backend, cfg Config) *Guard {
 		cfg.Counters = &metrics.GuardCounters{}
 	}
 	g := &Guard{
-		backend:   backend,
-		cacheOnly: cfg.CacheOnlyOnOverload,
-		counters:  cfg.Counters,
-		clock:     cfg.Clock,
+		backend:    backend,
+		cacheOnly:  cfg.CacheOnlyOnOverload,
+		counters:   cfg.Counters,
+		clock:      cfg.Clock,
+		peerExempt: cfg.PeerExempt,
 	}
 	if cfg.ClientRPS > 0 {
 		g.limiter = newLimiter(cfg.ClientRPS, cfg.ClientBurst, cfg.Slip, cfg.MaxClients, cfg.Counters)
@@ -141,6 +149,11 @@ func (g *Guard) admit(q *dnswire.Message, from net.Addr) (resp *dnswire.Message,
 	if !ok {
 		// No attributable source: fail open, the admission control
 		// behind us still bounds total work.
+		return nil, false
+	}
+	if g.peerExempt != nil && g.peerExempt(addr) {
+		// A handshake-confirmed fleet peer: no bucket charged at all.
+		g.counters.PeerExempt.Add(1)
 		return nil, false
 	}
 	switch g.limiter.admit(addr, g.clock.Now()) {

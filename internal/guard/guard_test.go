@@ -242,3 +242,89 @@ func TestClientAddrIdentity(t *testing.T) {
 		t.Error("unparseable source claimed an identity")
 	}
 }
+
+// TestPeerExemptBypassesRateLimit pins the mesh integration contract:
+// handshake-confirmed fleet peers are never rate-limited, slipped, or
+// even charged a bucket, while strangers — including ones sharing traffic
+// volume with peers — stay fully limited.
+func TestPeerExemptBypassesRateLimit(t *testing.T) {
+	peerA := netip.MustParseAddr("10.9.0.2")
+	peerB := netip.MustParseAddr("10.9.0.3")
+	exempt := func(a netip.Addr) bool { return a == peerA || a == peerB }
+
+	cases := []struct {
+		name    string
+		src     string
+		exempt  bool
+		queries int
+	}{
+		{"confirmed peer far over budget", "10.9.0.2", true, 50},
+		{"second confirmed peer", "10.9.0.3", true, 50},
+		{"stranger over budget", "192.0.2.9", false, 50},
+		{"stranger adjacent to peer subnet", "10.9.0.4", false, 50},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := simclock.NewVirtual(epoch)
+			be := &fakeBackend{}
+			ctr := &metrics.GuardCounters{}
+			g := New(be, Config{ClientRPS: 2, ClientBurst: 4, Slip: 2, Clock: clk, Counters: ctr, PeerExempt: exempt})
+
+			served, limited := 0, 0
+			for i := 0; i < tc.queries; i++ {
+				resp := g.HandleQueryFrom(testQuery(uint16(i)), udpAddr(tc.src))
+				switch {
+				case resp == nil || resp.Flags.Truncated:
+					limited++
+				default:
+					served++
+				}
+			}
+			if tc.exempt {
+				if limited != 0 {
+					t.Errorf("peer had %d of %d queries limited/slipped, want 0", limited, tc.queries)
+				}
+				if got := ctr.PeerExempt.Load(); got != uint64(tc.queries) {
+					t.Errorf("PeerExempt counter = %d, want %d", got, tc.queries)
+				}
+				if ctr.RateLimited.Load() != 0 {
+					t.Errorf("peer traffic charged the limiter: RateLimited = %d", ctr.RateLimited.Load())
+				}
+			} else {
+				if limited == 0 {
+					t.Errorf("stranger sent %d queries over a 4-token bucket and was never limited", tc.queries)
+				}
+				if served != 4 {
+					t.Errorf("stranger had %d served, want exactly the 4-token burst", served)
+				}
+				if ctr.PeerExempt.Load() != 0 {
+					t.Errorf("stranger counted as peer-exempt %d times", ctr.PeerExempt.Load())
+				}
+			}
+		})
+	}
+}
+
+// TestPeerExemptDoesNotShareBucket: a peer's volume must not pollute the
+// bucket of a NATed stranger behind the same address family — concretely,
+// heavy peer traffic followed by stranger traffic from a different IP
+// leaves the stranger's own bucket untouched.
+func TestPeerExemptDoesNotShareBucket(t *testing.T) {
+	peer := netip.MustParseAddr("10.9.0.2")
+	clk := simclock.NewVirtual(epoch)
+	be := &fakeBackend{}
+	g := New(be, Config{ClientRPS: 2, ClientBurst: 4, Clock: clk,
+		PeerExempt: func(a netip.Addr) bool { return a == peer }})
+
+	for i := 0; i < 100; i++ {
+		if resp := g.HandleQueryFrom(testQuery(uint16(i)), udpAddr("10.9.0.2")); resp == nil {
+			t.Fatalf("peer query %d dropped", i)
+		}
+	}
+	// The stranger still has its full burst available.
+	for i := 0; i < 4; i++ {
+		if resp := g.HandleQueryFrom(testQuery(uint16(200+i)), udpAddr("192.0.2.1")); resp == nil {
+			t.Fatalf("stranger query %d limited despite a fresh bucket", i)
+		}
+	}
+}

@@ -365,6 +365,10 @@ type GuardCounters struct {
 	// ClientsEvicted counts rate-limiter client slots recycled at the
 	// memory bound (LRU eviction).
 	ClientsEvicted atomic.Uint64
+	// PeerExempt counts queries from handshake-confirmed mesh peers
+	// passed through without charging a token bucket (a cooperating
+	// fleet member must never be rate-limited or slipped a TC=1).
+	PeerExempt atomic.Uint64
 }
 
 // GuardStats is a plain-value snapshot of GuardCounters.
@@ -377,6 +381,7 @@ type GuardStats struct {
 	CacheOnlyMiss  uint64 `json:"cache_only_miss"`
 	FormErr        uint64 `json:"form_err"`
 	ClientsEvicted uint64 `json:"clients_evicted"`
+	PeerExempt     uint64 `json:"peer_exempt"`
 }
 
 // Snapshot reads every counter into an exported GuardStats value.
@@ -390,5 +395,78 @@ func (g *GuardCounters) Snapshot() GuardStats {
 		CacheOnlyMiss:  g.CacheOnlyMiss.Load(),
 		FormErr:        g.FormErr.Load(),
 		ClientsEvicted: g.ClientsEvicted.Load(),
+		PeerExempt:     g.PeerExempt.Load(),
+	}
+}
+
+// MeshCounters counts the cooperative-mesh subsystem's traffic: frame
+// authentication and handshake outcomes, membership probes, IRR gossip,
+// and peer-fetch fallbacks. All fields are atomic; the transport read
+// loop, the probe ticker, and per-query peer fetches bump them
+// concurrently.
+type MeshCounters struct {
+	// FramesIn counts datagrams received on the mesh port.
+	FramesIn atomic.Uint64
+	// FramesBadMAC counts datagrams dropped for failing decode or HMAC
+	// verification (noise, wrong key, or forgery attempts).
+	FramesBadMAC atomic.Uint64
+	// FramesUnconfirmed counts authenticated requests from sources that
+	// had not completed the cookie handshake (answered only with a
+	// challenge, never acted on).
+	FramesUnconfirmed atomic.Uint64
+	// ChallengesSent counts cookie challenges issued.
+	ChallengesSent atomic.Uint64
+	// PingsSent counts membership probes initiated.
+	PingsSent atomic.Uint64
+	// PingFailures counts probes that timed out or failed.
+	PingFailures atomic.Uint64
+	// IRRPushesSent counts IRR sets gossiped to peers after renewals.
+	IRRPushesSent atomic.Uint64
+	// IRRPushesReceived counts IRR pushes arriving from peers.
+	IRRPushesReceived atomic.Uint64
+	// IRRIngested counts received pushes accepted by the validated
+	// ingest path (the rest failed validation and were dropped).
+	IRRIngested atomic.Uint64
+	// FetchesSent counts peer-fetch fallbacks initiated when local
+	// resolution had failed.
+	FetchesSent atomic.Uint64
+	// FetchHits counts peer fetches that returned a usable answer.
+	FetchHits atomic.Uint64
+	// FetchesServed counts peer-fetch requests this node answered from
+	// its own cache or stale data.
+	FetchesServed atomic.Uint64
+}
+
+// MeshStats is a plain-value snapshot of MeshCounters.
+type MeshStats struct {
+	FramesIn          uint64 `json:"frames_in"`
+	FramesBadMAC      uint64 `json:"frames_bad_mac"`
+	FramesUnconfirmed uint64 `json:"frames_unconfirmed"`
+	ChallengesSent    uint64 `json:"challenges_sent"`
+	PingsSent         uint64 `json:"pings_sent"`
+	PingFailures      uint64 `json:"ping_failures"`
+	IRRPushesSent     uint64 `json:"irr_pushes_sent"`
+	IRRPushesReceived uint64 `json:"irr_pushes_received"`
+	IRRIngested       uint64 `json:"irr_ingested"`
+	FetchesSent       uint64 `json:"fetches_sent"`
+	FetchHits         uint64 `json:"fetch_hits"`
+	FetchesServed     uint64 `json:"fetches_served"`
+}
+
+// Snapshot reads every counter into an exported MeshStats value.
+func (m *MeshCounters) Snapshot() MeshStats {
+	return MeshStats{
+		FramesIn:          m.FramesIn.Load(),
+		FramesBadMAC:      m.FramesBadMAC.Load(),
+		FramesUnconfirmed: m.FramesUnconfirmed.Load(),
+		ChallengesSent:    m.ChallengesSent.Load(),
+		PingsSent:         m.PingsSent.Load(),
+		PingFailures:      m.PingFailures.Load(),
+		IRRPushesSent:     m.IRRPushesSent.Load(),
+		IRRPushesReceived: m.IRRPushesReceived.Load(),
+		IRRIngested:       m.IRRIngested.Load(),
+		FetchesSent:       m.FetchesSent.Load(),
+		FetchHits:         m.FetchHits.Load(),
+		FetchesServed:     m.FetchesServed.Load(),
 	}
 }

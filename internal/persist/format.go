@@ -87,6 +87,7 @@ var errCorrupt = errors.New("persist: corrupt record")
 type entryRecord struct {
 	Cred     cache.Credibility
 	Infra    bool
+	Origin   cache.Origin
 	OrigTTL  time.Duration
 	Expires  time.Time
 	StoredAt time.Time
@@ -190,6 +191,9 @@ func encodeEntry(e *cache.Entry) ([]byte, error) {
 	if e.Infra {
 		flags |= 1
 	}
+	if e.Origin == cache.OriginPeer {
+		flags |= 2
+	}
 	b = append(b, flags)
 	b = binary.BigEndian.AppendUint64(b, uint64(e.OrigTTL))
 	b = binary.BigEndian.AppendUint64(b, uint64(e.Expires.UnixNano()))
@@ -211,6 +215,11 @@ func decodeEntry(b []byte) (entryRecord, error) {
 		return rec, errCorrupt
 	}
 	rec.Infra = b[1]&1 != 0
+	if b[1]&2 != 0 {
+		// Flag bit 2 tags peer-learned data; absent in pre-mesh store
+		// files, which therefore decode as OriginUpstream.
+		rec.Origin = cache.OriginPeer
+	}
 	rec.OrigTTL = time.Duration(binary.BigEndian.Uint64(b[2:10]))
 	rec.Expires = time.Unix(0, int64(binary.BigEndian.Uint64(b[10:18])))
 	rec.StoredAt = time.Unix(0, int64(binary.BigEndian.Uint64(b[18:26])))

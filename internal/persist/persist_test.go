@@ -511,3 +511,87 @@ func TestRecoverTwiceFails(t *testing.T) {
 	}
 	st.Close()
 }
+
+// TestEntryOriginRoundTrip pins the peer-origin flag at the codec level:
+// peer-learned entries keep their provenance across encode/decode, and a
+// pre-mesh record (flag bit absent) decodes as upstream-learned.
+func TestEntryOriginRoundTrip(t *testing.T) {
+	base := &cache.Entry{
+		Key:      cache.Key{Name: dnswire.MustName("peer.example."), Type: dnswire.TypeNS},
+		RRs:      []dnswire.RR{rrNS("peer.example.", 3600, "ns1.peer.example.")},
+		Cred:     cache.CredAnswer,
+		Infra:    true,
+		OrigTTL:  time.Hour,
+		Expires:  epoch.Add(time.Hour),
+		StoredAt: epoch,
+	}
+	for _, origin := range []cache.Origin{cache.OriginUpstream, cache.OriginPeer} {
+		e := *base
+		e.Origin = origin
+		b, err := encodeEntry(&e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := decodeEntry(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Origin != origin {
+			t.Errorf("origin %v round-tripped as %v", origin, rec.Origin)
+		}
+		if !rec.Infra {
+			t.Errorf("origin %v: infra flag lost", origin)
+		}
+	}
+
+	// A record written before the mesh existed never has flag bit 2;
+	// clearing it must yield OriginUpstream, not garbage.
+	e := *base
+	e.Origin = cache.OriginPeer
+	b, err := encodeEntry(&e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[1] &^= 2
+	rec, err := decodeEntry(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Origin != cache.OriginUpstream {
+		t.Errorf("pre-mesh record decoded with origin %v, want OriginUpstream", rec.Origin)
+	}
+}
+
+// TestPeerOriginSurvivesRecovery runs the full store path: an entry the
+// mesh ingested from a peer is journaled, recovered after a restart, and
+// still marked peer-learned in the rebuilt cache.
+func TestPeerOriginSurvivesRecovery(t *testing.T) {
+	f := newFixture(t)
+	st := f.open()
+	cs := f.server(st, core.Config{})
+	zone := dnswire.MustName("gossiped.example.")
+	cs.Cache().PutOrigin(
+		[]dnswire.RR{rrNS("gossiped.example.", 3600, "ns1.gossiped.example.")},
+		cache.CredAnswer, true, cache.OriginPeer)
+	if err := st.Checkpoint(cs); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st.Close()
+
+	st2 := f.open()
+	cs2 := f.server(st2, core.Config{})
+	if _, err := st2.Recover(cs2); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer st2.Close()
+	e := cs2.Cache().Peek(zone, dnswire.TypeNS)
+	if e == nil {
+		t.Fatal("peer-learned entry did not survive recovery")
+	}
+	if e.Origin != cache.OriginPeer {
+		t.Errorf("recovered entry origin = %v, want OriginPeer", e.Origin)
+	}
+	if !e.Infra {
+		t.Error("recovered entry lost its infra flag")
+	}
+}

@@ -349,6 +349,7 @@ func (s *Store) Recover(cs *core.CachingServer) (RecoveryReport, error) {
 				RRs:      rec.RRs,
 				Cred:     rec.Cred,
 				Infra:    rec.Infra,
+				Origin:   rec.Origin,
 				OrigTTL:  rec.OrigTTL,
 				Expires:  rec.Expires,
 				StoredAt: rec.StoredAt,

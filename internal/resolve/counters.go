@@ -29,6 +29,19 @@ type Counters struct {
 	// BudgetExhausted counts failover loops cut short by the retry
 	// budget.
 	BudgetExhausted atomic.Uint64
+
+	// GlueFetches counts out-of-bailiwick name-server address
+	// resolutions charged against the per-query glue budget.
+	GlueFetches atomic.Uint64
+	// GlueBudgetExhausted counts glue resolutions skipped because the
+	// query's aggregate budget ran out (the NXNS-style fanout bound).
+	GlueBudgetExhausted atomic.Uint64
+
+	// PeerFetches counts mesh peer-fetch fallbacks attempted after
+	// local resolution failed; PeerFetchAnswered the ones a peer's
+	// cache could answer.
+	PeerFetches       atomic.Uint64
+	PeerFetchAnswered atomic.Uint64
 }
 
 // CounterSnapshot is a plain-value copy of Counters.
@@ -41,6 +54,11 @@ type CounterSnapshot struct {
 	Retries          uint64
 	QuarantineSkips  uint64
 	BudgetExhausted  uint64
+
+	GlueFetches         uint64
+	GlueBudgetExhausted uint64
+	PeerFetches         uint64
+	PeerFetchAnswered   uint64
 }
 
 // snapshot reads every counter.
@@ -54,5 +72,10 @@ func (c *Counters) snapshot() CounterSnapshot {
 		Retries:          c.Retries.Load(),
 		QuarantineSkips:  c.QuarantineSkips.Load(),
 		BudgetExhausted:  c.BudgetExhausted.Load(),
+
+		GlueFetches:         c.GlueFetches.Load(),
+		GlueBudgetExhausted: c.GlueBudgetExhausted.Load(),
+		PeerFetches:         c.PeerFetches.Load(),
+		PeerFetchAnswered:   c.PeerFetchAnswered.Load(),
 	}
 }

@@ -12,6 +12,15 @@ import (
 // they may extend. Exported so the renewal scheduler (internal/core) can
 // ingest refetch responses through the same rules.
 func (r *Resolver) Ingest(resp *dnswire.Message, fromZone dnswire.Name, qname dnswire.Name) {
+	r.IngestFrom(resp, fromZone, qname, cache.OriginUpstream)
+}
+
+// IngestFrom is Ingest with an explicit data origin: the mesh ingests
+// peer-gossiped IRR sets through exactly the same credibility,
+// bailiwick, and TTL-clamping rules, tagged cache.OriginPeer so the
+// cache (and a post-restart recovery) can tell peer-learned data from
+// upstream-confirmed data.
+func (r *Resolver) IngestFrom(resp *dnswire.Message, fromZone dnswire.Name, qname dnswire.Name, origin cache.Origin) {
 	aa := resp.Flags.Authoritative
 
 	// Collect the name-server host names mentioned by NS records anywhere
@@ -38,7 +47,7 @@ func (r *Resolver) Ingest(resp *dnswire.Message, fromZone dnswire.Name, qname dn
 		}
 		t := set[0].Type()
 		infra := t == dnswire.TypeNS || t == dnswire.TypeDNSKEY || t == dnswire.TypeDS
-		r.putInfraAware(set, cache.CredAnswer, infra)
+		r.putInfraAware(set, cache.CredAnswer, infra, origin)
 	}
 
 	// Authority section: the child's own copy of its IRRs when the answer
@@ -50,7 +59,7 @@ func (r *Resolver) Ingest(resp *dnswire.Message, fromZone dnswire.Name, qname dn
 	for _, set := range groupRRSets(resp.Authority) {
 		switch set[0].Type() {
 		case dnswire.TypeNS:
-			r.putInfraAware(set, cred, true)
+			r.putInfraAware(set, cred, true, origin)
 			if cred == cache.CredReferral {
 				// A referral is the parent vouching for the delegation.
 				r.parentMu.Lock()
@@ -59,13 +68,13 @@ func (r *Resolver) Ingest(resp *dnswire.Message, fromZone dnswire.Name, qname dn
 			}
 		case dnswire.TypeDS:
 			// Parent-side DS is infrastructure, like NS and glue.
-			r.putInfraAware(set, cred, true)
+			r.putInfraAware(set, cred, true, origin)
 		case dnswire.TypeSOA, dnswire.TypeRRSIG:
 			// SOA in negative answers is not cached as data; the
 			// negative-cache layer handles the outcome itself. RRSIGs
 			// are consumed in-line, not cached.
 		default:
-			r.cache.Put(set, cred, false)
+			r.cache.PutOrigin(set, cred, false, origin)
 		}
 	}
 
@@ -79,7 +88,7 @@ func (r *Resolver) Ingest(resp *dnswire.Message, fromZone dnswire.Name, qname dn
 		if !nsHosts[set[0].Name] {
 			continue
 		}
-		r.putInfraAware(set, cred, true)
+		r.putInfraAware(set, cred, true, origin)
 	}
 
 	// Renewal bookkeeping: any newly cached zone IRR gets a scheduler
@@ -95,8 +104,8 @@ func (r *Resolver) Ingest(resp *dnswire.Message, fromZone dnswire.Name, qname dn
 
 // putInfraAware stores a set and, for infrastructure NS sets, fires the
 // InfraCached hook so the renewal scheduler stays in sync.
-func (r *Resolver) putInfraAware(set []dnswire.RR, cred cache.Credibility, infra bool) {
-	e := r.cache.Put(set, cred, infra)
+func (r *Resolver) putInfraAware(set []dnswire.RR, cred cache.Credibility, infra bool, origin cache.Origin) {
+	e := r.cache.PutOrigin(set, cred, infra, origin)
 	if e != nil && infra && e.Key.Type == dnswire.TypeNS {
 		if h := r.cfg.Hooks.InfraCached; h != nil {
 			h(e.Key.Name, e.Expires)

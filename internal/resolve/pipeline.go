@@ -132,6 +132,9 @@ func (r *Resolver) prefetchDue(e *cache.Entry, now time.Time) bool {
 func (r *Resolver) ResolveChain(ctx context.Context, tr *Trace, qname dnswire.Name, qtype dnswire.Type) (*Result, error) {
 	sp := tr.StartStage(StageChainWalk)
 	defer sp.End()
+	// One aggregate glue budget for the whole client query: every link
+	// of the chain and every nesting level draws from it.
+	ctx = withGlueBudget(ctx, r.cfg.MaxGlueFetches)
 	cr := walkChain(qname, qtype, r.cfg.MaxCNAME, func(cur dnswire.Name) chainStep {
 		res, err := r.resolveOne(ctx, tr, cur, qtype, 0)
 		if err != nil {
@@ -187,6 +190,23 @@ func (r *Resolver) resolveOne(ctx context.Context, tr *Trace, qname dnswire.Name
 		sp.End()
 		if stale != nil {
 			return stale, nil
+		}
+	}
+	if err != nil && depth == 0 {
+		// Mesh fallback, last before SERVFAIL: every live, quarantined,
+		// and stale path is exhausted, so ask the zone owner peer's
+		// cache (single hop, never recursive — the serving peer answers
+		// strictly from its own cached/stale data).
+		if hook := r.cfg.Hooks.PeerFetch; hook != nil {
+			psp := tr.StartStage(StagePeerFetch)
+			r.counters.PeerFetches.Add(1)
+			pres := hook(ctx, qname, qtype)
+			psp.End()
+			if pres != nil {
+				r.counters.PeerFetchAnswered.Add(1)
+				tr.MarkPeerFetch()
+				return pres, nil
+			}
 		}
 	}
 	return res, err
@@ -538,6 +558,15 @@ func (r *Resolver) resolveMissingGlue(ctx context.Context, tr *Trace, child dnsw
 			// zone itself; skip.
 			continue
 		}
+		// The aggregate budget bounds fanout across sibling NS names,
+		// not just nesting: a delegation naming dozens of unresolvable
+		// out-of-bailiwick servers (the NXNSAttack shape) stops
+		// multiplying upstream traffic once the query's budget is gone.
+		if !takeGlueFetch(ctx) {
+			r.counters.GlueBudgetExhausted.Add(1)
+			return
+		}
+		r.counters.GlueFetches.Add(1)
 		if _, err := r.resolveOne(ctx, tr, host, dnswire.TypeA, depth+1); err == nil {
 			return
 		}

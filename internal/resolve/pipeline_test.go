@@ -2,6 +2,7 @@ package resolve
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -172,5 +173,76 @@ func TestGlueDepthBounded(t *testing.T) {
 	r.resolveMissingGlue(context.Background(), nil, dnswire.MustName("child.test."), 0)
 	if attempts == 0 {
 		t.Error("glue resolution below maxGlueDepth attempted nothing")
+	}
+}
+
+// TestGlueBudgetBoundsFanout is the NXNSAttack regression test: a cached
+// delegation naming many out-of-bailiwick servers with no glue must stop
+// multiplying upstream traffic once the query's aggregate glue budget is
+// spent — the budget bounds sibling fanout, not just nesting depth.
+func TestGlueBudgetBoundsFanout(t *testing.T) {
+	const nsCount = 24
+
+	run := func(budget int) (attempts int, c CounterSnapshot) {
+		var n int
+		counting := transport.Exchanger(func(context.Context, transport.Addr, *dnswire.Message) (*dnswire.Message, error) {
+			n++
+			return nil, transport.ErrTimeout
+		})
+		r := newTestResolver(t, Config{Transport: counting, MaxGlueFetches: budget})
+		var set []dnswire.RR
+		for i := 0; i < nsCount; i++ {
+			set = append(set, rrNS("victim.test.", 3600, fmt.Sprintf("ns%d.elsewhere.", i)))
+		}
+		r.cache.Put(set, cache.CredAuthority, true)
+
+		ctx := withGlueBudget(context.Background(), r.cfg.MaxGlueFetches)
+		r.resolveMissingGlue(ctx, nil, dnswire.MustName("victim.test."), 0)
+		return n, r.Counters()
+	}
+
+	boundedAttempts, bounded := run(4)
+	if bounded.GlueFetches != 4 {
+		t.Errorf("GlueFetches = %d, want exactly the budget of 4", bounded.GlueFetches)
+	}
+	if bounded.GlueBudgetExhausted == 0 {
+		t.Error("budget exhaustion never counted despite 24 candidate servers")
+	}
+
+	unboundedAttempts, unbounded := run(-1)
+	if unbounded.GlueFetches != nsCount {
+		t.Errorf("unbounded run fetched glue %d times, want all %d", unbounded.GlueFetches, nsCount)
+	}
+	if boundedAttempts >= unboundedAttempts {
+		t.Errorf("budget did not reduce upstream traffic: %d attempts bounded vs %d unbounded",
+			boundedAttempts, unboundedAttempts)
+	}
+}
+
+// TestGlueBudgetInstalledPerQuery checks the budget rides the public
+// entry point's context: two sequential ResolveChain calls each get a
+// fresh pool rather than sharing one.
+func TestGlueBudgetInstalledPerQuery(t *testing.T) {
+	// The root serves the NXNS-shaped referral — glueless delegation to
+	// eight out-of-bailiwick servers; every other query times out.
+	victim := dnswire.MustName("victim.test.")
+	referring := transport.Exchanger(func(_ context.Context, _ transport.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+		if !q.Question[0].Name.IsSubdomainOf(victim) {
+			return nil, transport.ErrTimeout
+		}
+		resp := q.Reply()
+		for i := 0; i < 8; i++ {
+			resp.Authority = append(resp.Authority, rrNS("victim.test.", 3600, fmt.Sprintf("ns%d.elsewhere.", i)))
+		}
+		return resp, nil
+	})
+	r := newTestResolver(t, Config{Transport: referring, MaxGlueFetches: 2})
+
+	for call := 1; call <= 2; call++ {
+		_, _ = r.ResolveChain(context.Background(), nil, dnswire.MustName("www.victim.test."), dnswire.TypeA)
+		if got := r.Counters().GlueFetches; got != uint64(2*call) {
+			t.Fatalf("after call %d GlueFetches = %d, want %d (a fresh 2-fetch budget per query)",
+				call, got, 2*call)
+		}
 	}
 }

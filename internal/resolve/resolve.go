@@ -18,6 +18,7 @@
 package resolve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -44,6 +45,12 @@ type Hooks struct {
 	// InfraCached fires when ingest commits an infrastructure NS RRset,
 	// so the renewal scheduler can arm a pre-expiry check.
 	InfraCached func(zone dnswire.Name, expires time.Time)
+	// PeerFetch is the mesh fallback: consulted only after a top-level
+	// resolution has failed every live, quarantined, and stale path, it
+	// may return an answer from a fleet peer's cache. Nil (the default,
+	// and always in the simulator) leaves resolution behaviour
+	// untouched. A nil result means no peer could help.
+	PeerFetch func(ctx context.Context, qname dnswire.Name, qtype dnswire.Type) *Result
 }
 
 // Config parameterises a Resolver.
@@ -78,6 +85,13 @@ type Config struct {
 	MaxReferrals int
 	// MaxCNAME bounds CNAME chain chasing (default 8).
 	MaxCNAME int
+	// MaxGlueFetches caps the total out-of-bailiwick name-server
+	// address resolutions one client query may trigger, across sibling
+	// NS names as well as nesting — the NXNSAttack bound (maxGlueDepth
+	// alone only limits nesting, so a delegation fanning out to dozens
+	// of unresolvable NS names could still multiply upstream traffic).
+	// Zero means the default (16); negative disables the cap.
+	MaxGlueFetches int
 
 	// ValidateDNSSEC verifies answers from signed zones against the
 	// DS→DNSKEY chain rooted at TrustAnchors.
@@ -136,8 +150,9 @@ const maxGlueDepth = 4
 
 // Pipeline defaults.
 const (
-	defaultMaxReferrals = 24
-	defaultMaxCNAME     = 8
+	defaultMaxReferrals   = 24
+	defaultMaxCNAME       = 8
+	defaultMaxGlueFetches = 16
 )
 
 // Resolver runs the resolution pipeline over a shared cache and one fetch
@@ -196,6 +211,9 @@ func New(cfg Config) (*Resolver, error) {
 	}
 	if cfg.MaxCNAME == 0 {
 		cfg.MaxCNAME = defaultMaxCNAME
+	}
+	if cfg.MaxGlueFetches == 0 {
+		cfg.MaxGlueFetches = defaultMaxGlueFetches
 	}
 	if cfg.AddrMapper == nil {
 		cfg.AddrMapper = func(a netip.Addr) transport.Addr { return transport.Addr(a.String()) }

@@ -23,6 +23,7 @@ const (
 	StageIterate
 	StageValidateIngest
 	StageStaleFallback
+	StagePeerFetch
 	numStages
 )
 
@@ -40,6 +41,8 @@ func (s Stage) String() string {
 		return "validate_ingest"
 	case StageStaleFallback:
 		return "stale_fallback"
+	case StagePeerFetch:
+		return "peer_fetch"
 	}
 	return "unknown"
 }
@@ -91,6 +94,7 @@ type Trace struct {
 	cacheHit  bool
 	stale     bool
 	cacheOnly bool
+	peerFetch bool
 
 	stageNanos [numStages]int64
 	stageDepth [numStages]int
@@ -226,6 +230,14 @@ func (tr *Trace) MarkCacheOnly() {
 	}
 }
 
+// MarkPeerFetch records that the answer came from a mesh peer's cache
+// after local resolution failed.
+func (tr *Trace) MarkPeerFetch() {
+	if tr != nil {
+		tr.peerFetch = true
+	}
+}
+
 // RecordAttempt logs one upstream exchange attempt.
 func (tr *Trace) RecordAttempt(server transport.Addr, rtt time.Duration, err error) {
 	if tr == nil {
@@ -252,6 +264,7 @@ type TraceSummary struct {
 	CacheHit  bool      `json:"cache_hit,omitempty"`
 	Stale     bool      `json:"stale,omitempty"`
 	CacheOnly bool      `json:"cache_only,omitempty"`
+	PeerFetch bool      `json:"peer_fetch,omitempty"`
 	// StageMicros maps stage name → microseconds, nonzero stages only.
 	StageMicros map[string]int64 `json:"stages_us,omitempty"`
 	Attempts    []AttemptSummary `json:"attempts,omitempty"`
@@ -278,6 +291,7 @@ func (tr *Trace) summary() TraceSummary {
 		CacheHit:  tr.cacheHit,
 		Stale:     tr.stale,
 		CacheOnly: tr.cacheOnly,
+		PeerFetch: tr.peerFetch,
 	}
 	for s := Stage(0); s < numStages; s++ {
 		if n := tr.stageNanos[s]; n > 0 {

@@ -349,3 +349,36 @@ func takeAttempt(ctx context.Context) bool {
 	}
 	return b.remaining.Add(-1) >= 0
 }
+
+// glueBudget is the aggregate out-of-bailiwick glue-fetch counter one
+// client query carries through its context. Unlike maxGlueDepth (which
+// only bounds nesting), it bounds total fanout: every sibling NS name
+// chased at every level draws from the same pool, which is what stops
+// an NXNSAttack-style delegation from multiplying upstream traffic.
+type glueBudget struct {
+	remaining atomic.Int64
+}
+
+type glueBudgetKey struct{}
+
+// withGlueBudget installs a fresh budget of n glue fetches into ctx;
+// n < 0 leaves ctx unbounded.
+func withGlueBudget(ctx context.Context, n int) context.Context {
+	if n < 0 {
+		return ctx
+	}
+	b := &glueBudget{}
+	b.remaining.Store(int64(n))
+	return context.WithValue(ctx, glueBudgetKey{}, b)
+}
+
+// takeGlueFetch consumes one glue resolution from the context's budget,
+// reporting false when it is exhausted. Contexts without a budget
+// always allow the fetch.
+func takeGlueFetch(ctx context.Context) bool {
+	b, ok := ctx.Value(glueBudgetKey{}).(*glueBudget)
+	if !ok {
+		return true
+	}
+	return b.remaining.Add(-1) >= 0
+}

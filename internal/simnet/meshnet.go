@@ -1,0 +1,123 @@
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"resilientdns/internal/simclock"
+)
+
+// MeshNet is the deterministic in-memory fabric for the cooperative
+// resolver mesh: the simulation-side counterpart of the mesh package's
+// UDP transport. Like Network it is single-threaded by design and
+// charges virtual time per call. It knows nothing about frame contents
+// — datagrams are opaque byte slices handed to the registered handler
+// — so simnet does not import the mesh package; mesh nodes satisfy
+// MeshHandler structurally and each node's port satisfies the mesh
+// Transport interface.
+type MeshNet struct {
+	// RTT is the virtual time charged for a delivered call.
+	RTT time.Duration
+	// Timeout is the virtual time charged for a failed call.
+	Timeout time.Duration
+
+	clock    *simclock.Virtual
+	handlers map[string]MeshHandler
+	cut      map[[2]string]bool
+
+	// MeshStats counters.
+	Calls     uint64
+	Delivered uint64
+	Dropped   uint64
+}
+
+// MeshHandler processes one inbound mesh datagram and returns the reply
+// (nil for silence). mesh.Node.HandleFrame has this shape.
+type MeshHandler func(raw []byte, from string) []byte
+
+// NewMeshNet returns an empty mesh fabric on the given virtual clock.
+// Defaults match Network: 40 ms RTT, 2 s timeout.
+func NewMeshNet(clock *simclock.Virtual) *MeshNet {
+	return &MeshNet{
+		RTT:      40 * time.Millisecond,
+		Timeout:  2 * time.Second,
+		clock:    clock,
+		handlers: make(map[string]MeshHandler),
+		cut:      make(map[[2]string]bool),
+	}
+}
+
+// Register attaches a node's inbound handler at addr.
+func (m *MeshNet) Register(addr string, h MeshHandler) {
+	m.handlers[addr] = h
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Cut severs the link between a and b in both directions (calls time
+// out), simulating a network partition.
+func (m *MeshNet) Cut(a, b string) { m.cut[pairKey(a, b)] = true }
+
+// Heal restores a previously Cut link.
+func (m *MeshNet) Heal(a, b string) { delete(m.cut, pairKey(a, b)) }
+
+// Isolate cuts addr off from every registered node.
+func (m *MeshNet) Isolate(addr string) {
+	for other := range m.handlers {
+		if other != addr {
+			m.Cut(addr, other)
+		}
+	}
+}
+
+// Rejoin heals every link of addr.
+func (m *MeshNet) Rejoin(addr string) {
+	for other := range m.handlers {
+		if other != addr {
+			m.Heal(addr, other)
+		}
+	}
+}
+
+// Bind returns the transport endpoint for the node registered at self.
+func (m *MeshNet) Bind(self string) *MeshPort {
+	return &MeshPort{net: m, self: self}
+}
+
+// MeshPort is one node's view of the fabric; it satisfies the mesh
+// package's Transport interface.
+type MeshPort struct {
+	net  *MeshNet
+	self string
+}
+
+// Call delivers frame to peer's handler synchronously and returns its
+// reply. Severed links and unregistered peers charge Timeout and fail;
+// deliveries charge RTT. A handler returning nil (a deliberately
+// unanswered frame, e.g. a pre-handshake drop) charges Timeout too:
+// on a real network the caller would wait out its timer.
+func (p *MeshPort) Call(_ context.Context, peer string, frame []byte) ([]byte, error) {
+	m := p.net
+	m.Calls++
+	h, ok := m.handlers[peer]
+	if !ok || m.cut[pairKey(p.self, peer)] {
+		m.Dropped++
+		m.clock.Advance(m.Timeout)
+		return nil, fmt.Errorf("mesh call to %s: unreachable", peer)
+	}
+	reply := h(frame, p.self)
+	if reply == nil {
+		m.Dropped++
+		m.clock.Advance(m.Timeout)
+		return nil, fmt.Errorf("mesh call to %s: no reply", peer)
+	}
+	m.Delivered++
+	m.clock.Advance(m.RTT)
+	return reply, nil
+}
