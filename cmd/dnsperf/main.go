@@ -336,7 +336,11 @@ func runLoad(ctx context.Context, server transport.Addr, names []dnswire.Name,
 	duration time.Duration, concurrency int, timeout time.Duration, unique bool, rate float64) *loadStats {
 	stats := &loadStats{perWorker: make([]uint64, concurrency)}
 	deadline := time.Now().Add(duration)
-	ctx, cancel := context.WithDeadline(ctx, deadline)
+	// Fresh binding, not a reassignment of the parameter: the load
+	// window is the deadline for every in-flight query, and the fresh
+	// name is how ctxdeadline sees that the parameter never reaches an
+	// exchange unbounded.
+	lctx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
 	var interval time.Duration
 	if rate > 0 {
@@ -357,7 +361,7 @@ func runLoad(ctx context.Context, server transport.Addr, names []dnswire.Name,
 				q := dnswire.NewQuery(uint16(i), qname, dnswire.TypeA)
 				q.Flags.RecursionDesired = true
 				start := time.Now()
-				resp, err := tr.Exchange(ctx, server, q)
+				resp, err := tr.Exchange(lctx, server, q)
 				success := err == nil && resp.RCode != dnswire.RCodeServFail
 				stats.record(worker, time.Since(start), success)
 				if sleep := interval - time.Since(start); interval > 0 && sleep > 0 {

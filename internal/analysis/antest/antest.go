@@ -25,6 +25,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strconv"
@@ -105,6 +106,46 @@ func runPackage(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) 
 	check(t, fset, files, diags)
 }
 
+// factStore is the in-memory fact table backing a single fixture run.
+// The real drivers serialize facts across package boundaries; fixtures
+// are analyzed one package at a time, so facts only need to round-trip
+// within the pass (same-package objects) — which is exactly what the
+// fact-based analyzers use same-package fixpoints for anyway.
+type factStore struct {
+	objFacts map[types.Object][]analysis.Fact
+	pkgFacts map[*types.Package][]analysis.Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		objFacts: make(map[types.Object][]analysis.Fact),
+		pkgFacts: make(map[*types.Package][]analysis.Fact),
+	}
+}
+
+// setFact inserts fact into facts, replacing any existing fact of the
+// same dynamic type (one fact per type per key, like the real drivers).
+func setFact(facts []analysis.Fact, fact analysis.Fact) []analysis.Fact {
+	for i, f := range facts {
+		if reflect.TypeOf(f) == reflect.TypeOf(fact) {
+			facts[i] = fact
+			return facts
+		}
+	}
+	return append(facts, fact)
+}
+
+// getFact copies the stored fact with ptr's dynamic type into *ptr.
+func getFact(facts []analysis.Fact, ptr analysis.Fact) bool {
+	for _, f := range facts {
+		if reflect.TypeOf(f) == reflect.TypeOf(ptr) {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
 // runAnalyzer executes a's Requires closure then a itself, memoizing
 // results. Only diagnostics from the root analyzer are collected (the
 // diags slice is shared, but dependency passes like inspect never
@@ -122,6 +163,7 @@ func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, p
 		}
 		deps[req] = res
 	}
+	fs := newFactStore()
 	pass := &analysis.Pass{
 		Analyzer:   a,
 		Fset:       fset,
@@ -132,6 +174,37 @@ func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, p
 		ResultOf:   deps,
 		Report:     func(d analysis.Diagnostic) { *diags = append(*diags, d) },
 		ReadFile:   os.ReadFile,
+
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			fs.objFacts[obj] = setFact(fs.objFacts[obj], fact)
+		},
+		ImportObjectFact: func(obj types.Object, ptr analysis.Fact) bool {
+			return getFact(fs.objFacts[obj], ptr)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			fs.pkgFacts[pkg] = setFact(fs.pkgFacts[pkg], fact)
+		},
+		ImportPackageFact: func(p *types.Package, ptr analysis.Fact) bool {
+			return getFact(fs.pkgFacts[p], ptr)
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for obj, facts := range fs.objFacts {
+				for _, f := range facts {
+					out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+				}
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for p, facts := range fs.pkgFacts {
+				for _, f := range facts {
+					out = append(out, analysis.PackageFact{Package: p, Fact: f})
+				}
+			}
+			return out
+		},
 	}
 	res, err := a.Run(pass)
 	if err != nil {

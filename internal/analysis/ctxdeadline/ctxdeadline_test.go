@@ -1,0 +1,44 @@
+package ctxdeadline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resilientdns/internal/analysis/antest"
+	"resilientdns/internal/analysis/ctxdeadline"
+)
+
+// TestCtxdeadline runs the in-scope fixtures plus the stale-directive
+// package, which is deliberately NOT in -pkgs: stale suppressions are
+// reported regardless of scope.
+func TestCtxdeadline(t *testing.T) {
+	prev := ctxdeadline.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if err := ctxdeadline.Analyzer.Flags.Set("pkgs",
+		"ctxdeadline_bad,ctxdeadline_chain,ctxdeadline_ok"); err != nil {
+		t.Fatal(err)
+	}
+	defer ctxdeadline.Analyzer.Flags.Set("pkgs", prev)
+
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	antest.Run(t, dir, ctxdeadline.Analyzer,
+		"ctxdeadline_bad", "ctxdeadline_chain", "ctxdeadline_ok", "ctxdeadline_stale")
+}
+
+// TestOutOfScopePackage: a package not listed in -pkgs (the simulator,
+// the experiments) may run unbounded; any diagnostic fails the run.
+func TestOutOfScopePackage(t *testing.T) {
+	prev := ctxdeadline.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if err := ctxdeadline.Analyzer.Flags.Set("pkgs", "ctxdeadline_ok"); err != nil {
+		t.Fatal(err)
+	}
+	defer ctxdeadline.Analyzer.Flags.Set("pkgs", prev)
+
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	antest.Run(t, dir, ctxdeadline.Analyzer, "ctxdeadline_outofscope")
+}

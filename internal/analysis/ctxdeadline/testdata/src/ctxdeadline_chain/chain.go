@@ -1,0 +1,39 @@
+// Package ctxdeadline_chain is a failing fixture: the deadline
+// obligation propagates through the call graph (the NeedsDeadline
+// fact), so an unbounded context is caught where it enters the chain,
+// not just at the exchange itself.
+package ctxdeadline_chain
+
+import "context"
+
+// Transport mirrors the resilientdns transport.Transport shape.
+type Transport interface {
+	Exchange(ctx context.Context, server string, query []byte) ([]byte, error)
+}
+
+// refetch forwards its context straight to the exchange: it inherits
+// the deadline obligation.
+func refetch(ctx context.Context, tr Transport) {
+	tr.Exchange(ctx, "10.0.0.1", nil)
+}
+
+// RenewLoop hands refetch an unbounded context — flagged one hop away
+// from the exchange, at the spawn site.
+func RenewLoop(tr Transport) {
+	go refetch(context.Background(), tr) // want "context without a deadline"
+}
+
+// hop adds a second link; the obligation still reaches Deep.
+func hop(ctx context.Context, tr Transport) { refetch(ctx, tr) }
+
+// Deep feeds TODO through two hops.
+func Deep(tr Transport) {
+	hop(context.TODO(), tr) // want "context without a deadline"
+}
+
+// Bounded callers of the same chain are fine.
+func Renew(ctx context.Context, tr Transport) {
+	cctx, cancel := context.WithTimeout(ctx, 1)
+	defer cancel()
+	refetch(cctx, tr)
+}

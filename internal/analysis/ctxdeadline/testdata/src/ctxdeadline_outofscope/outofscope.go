@@ -1,0 +1,17 @@
+// Package ctxdeadline_outofscope has the forbidden flow but carries no
+// // want expectations: it stands in for the simulator and experiment
+// packages, where wall-clock deadlines would break virtual-clock
+// determinism and reporting is off by design.
+package ctxdeadline_outofscope
+
+import "context"
+
+// Transport mirrors the resilientdns transport.Transport shape.
+type Transport interface {
+	Exchange(ctx context.Context, server string, query []byte) ([]byte, error)
+}
+
+// Replay would be flagged in a scoped package.
+func Replay(tr Transport) {
+	tr.Exchange(context.Background(), "10.0.0.1", nil)
+}

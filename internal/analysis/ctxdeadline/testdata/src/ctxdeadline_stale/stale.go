@@ -1,0 +1,23 @@
+// Package ctxdeadline_stale exercises stale-suppression detection:
+// the code was fixed long ago but the directive outlived the finding.
+// Note this package is deliberately left out of the -pkgs scope in the
+// test: stale directives are reported everywhere, scope or not.
+package ctxdeadline_stale
+
+import (
+	"context"
+	"time"
+)
+
+// Transport mirrors the resilientdns transport.Transport shape.
+type Transport interface {
+	Exchange(ctx context.Context, server string, query []byte) ([]byte, error)
+}
+
+// Bounded got its WithTimeout in some past cleanup; the leftover
+// directive now suppresses nothing and must be deleted.
+func Bounded(tr Transport) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	tr.Exchange(ctx, "10.0.0.1", nil) //dnslint:ignore ctxdeadline legacy suppression // want "stale"
+}

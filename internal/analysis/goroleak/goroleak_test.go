@@ -1,0 +1,25 @@
+package goroleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resilientdns/internal/analysis/antest"
+	"resilientdns/internal/analysis/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	prev := goroleak.Analyzer.Flags.Lookup("pkgs").Value.String()
+	if err := goroleak.Analyzer.Flags.Set("pkgs",
+		"goroleak_bad,goroleak_ok,goroleak_stale"); err != nil {
+		t.Fatal(err)
+	}
+	defer goroleak.Analyzer.Flags.Set("pkgs", prev)
+
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	antest.Run(t, dir, goroleak.Analyzer,
+		"goroleak_bad", "goroleak_ok", "goroleak_stale", "goroleak_outofscope")
+}

@@ -1,0 +1,46 @@
+// Package goroleak_bad is a failing fixture: goroutines that can never
+// be stopped.
+package goroleak_bad
+
+import (
+	"context"
+	"time"
+)
+
+// Renew spins forever: no return, no stop channel, no ctx.Done.
+func Renew() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// Start spawns unstoppable work three ways.
+func Start(ctx context.Context) {
+	go Renew() // want "Renew can never be stopped"
+
+	// time.Tick fires forever; ranging over it is not a stop signal.
+	go func() { // want "this goroutine can never be stopped"
+		for range time.Tick(time.Second) {
+		}
+	}()
+
+	// A ticker-only select has no exit either.
+	tick := time.NewTicker(time.Second)
+	go func() { // want "this goroutine can never be stopped"
+		for {
+			select {
+			case <-tick.C:
+			}
+		}
+	}()
+}
+
+// sweep hides the unstoppable loop one call deep; Leaky propagates.
+func sweep() {
+	Renew()
+}
+
+// StartIndirect spawns it through the wrapper.
+func StartIndirect() {
+	go sweep() // want "sweep can never be stopped"
+}

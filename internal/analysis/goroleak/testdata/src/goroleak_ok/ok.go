@@ -1,0 +1,73 @@
+// Package goroleak_ok is a passing fixture: every goroutine observes a
+// stop signal or terminates. Any diagnostic here is a false positive.
+package goroleak_ok
+
+import (
+	"context"
+	"time"
+)
+
+// RunLoop is the canonical stoppable ticker loop.
+func RunLoop(ctx context.Context) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// Forever is pinned for the process lifetime; its one spawn site says
+// so through the escape hatch.
+func Forever() {
+	for {
+		time.Sleep(time.Hour)
+	}
+}
+
+// Start spawns only stoppable (or explicitly justified) work.
+func Start(ctx context.Context, work chan int, stop chan struct{}) {
+	go RunLoop(ctx)
+
+	// Ranging over a work channel ends when the owner closes it.
+	go func() {
+		for range work {
+		}
+	}()
+
+	// A dedicated stop channel counts too.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	// Finite work needs no stop signal.
+	go func() {
+		time.Sleep(time.Second)
+	}()
+
+	go Forever() //dnslint:ignore goroleak process-lifetime worker, reaped by exit on purpose
+}
+
+// serve models a read loop that exits on error: a conditional return
+// still makes the loop stoppable (closing the conn unblocks it).
+func serve(read func() error) {
+	for {
+		if err := read(); err != nil {
+			return
+		}
+	}
+}
+
+// StartServe spawns the error-exiting read loop.
+func StartServe(read func() error) {
+	go serve(read)
+}

@@ -1,0 +1,24 @@
+// Package goroleak_outofscope stands in for the short-lived CLIs: the
+// leaky spawn is not reported outside -pkgs, but a stale suppression
+// still is — scope never excuses dead directives.
+package goroleak_outofscope
+
+import "time"
+
+// Replay runs forever; the process exit is its collector.
+func Replay() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// Start would be flagged in a scoped package.
+func Start() {
+	go Replay()
+}
+
+// Sleep carries a directive that suppresses nothing: reported even
+// though the package is out of scope.
+func Sleep() {
+	time.Sleep(time.Second) //dnslint:ignore goroleak legacy suppression // want "stale"
+}

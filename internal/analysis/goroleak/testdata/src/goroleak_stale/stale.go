@@ -1,0 +1,26 @@
+// Package goroleak_stale exercises stale-suppression detection: the
+// loop got its ctx.Done case but the directive outlived the finding.
+package goroleak_stale
+
+import (
+	"context"
+	"time"
+)
+
+// RunLoop observes cancellation; nothing to suppress here anymore.
+func RunLoop(ctx context.Context) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// Start still carries the directive from before the fix.
+func Start(ctx context.Context) {
+	go RunLoop(ctx) //dnslint:ignore goroleak legacy suppression // want "stale"
+}

@@ -25,11 +25,24 @@ import (
 const IgnorePrefix = "//dnslint:ignore"
 
 // Suppressor answers whether a position is covered by a
-// //dnslint:ignore directive for a given analyzer. Build one per pass
-// with NewSuppressor.
+// //dnslint:ignore directive for a given analyzer, and remembers which
+// directives actually suppressed something so the stale ones can be
+// reported at the end of the pass. Build one per pass with
+// NewSuppressor.
 type Suppressor struct {
-	// byLine maps file base name + line to the analyzers ignored there.
-	lines map[lineKey][]string
+	// lines maps file name + line to the directives covering that line.
+	lines map[lineKey][]*directive
+	// all lists every directive in the pass, in scan order.
+	all []*directive
+}
+
+// directive is one parsed //dnslint:ignore comment. A directive covers
+// its own line and the next, and is "used" once it suppresses at least
+// one finding.
+type directive struct {
+	name string
+	pos  token.Pos
+	used bool
 }
 
 type lineKey struct {
@@ -42,7 +55,7 @@ type lineKey struct {
 // on its own line and on the line directly below it (so it can trail
 // the offending statement or sit on its own line above).
 func NewSuppressor(pass *analysis.Pass) *Suppressor {
-	s := &Suppressor{lines: make(map[lineKey][]string)}
+	s := &Suppressor{lines: make(map[lineKey][]*directive)}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -50,9 +63,11 @@ func NewSuppressor(pass *analysis.Pass) *Suppressor {
 				if !ok {
 					continue
 				}
+				d := &directive{name: name, pos: c.Pos()}
+				s.all = append(s.all, d)
 				pos := pass.Fset.Position(c.Pos())
-				s.lines[lineKey{pos.Filename, pos.Line}] = append(s.lines[lineKey{pos.Filename, pos.Line}], name)
-				s.lines[lineKey{pos.Filename, pos.Line + 1}] = append(s.lines[lineKey{pos.Filename, pos.Line + 1}], name)
+				s.lines[lineKey{pos.Filename, pos.Line}] = append(s.lines[lineKey{pos.Filename, pos.Line}], d)
+				s.lines[lineKey{pos.Filename, pos.Line + 1}] = append(s.lines[lineKey{pos.Filename, pos.Line + 1}], d)
 			}
 		}
 	}
@@ -76,15 +91,17 @@ func parseIgnore(text string) (analyzer string, ok bool) {
 }
 
 // Ignored reports whether a finding by the named analyzer at pos is
-// suppressed by a directive.
+// suppressed by a directive, marking the suppressing directive used.
 func (s *Suppressor) Ignored(pass *analysis.Pass, pos token.Pos, analyzer string) bool {
 	p := pass.Fset.Position(pos)
-	for _, name := range s.lines[lineKey{p.Filename, p.Line}] {
-		if name == analyzer {
-			return true
+	hit := false
+	for _, d := range s.lines[lineKey{p.Filename, p.Line}] {
+		if d.name == analyzer {
+			d.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // Report emits a diagnostic unless it is suppressed. It is the single
@@ -95,6 +112,28 @@ func (s *Suppressor) Report(pass *analysis.Pass, analyzer string, pos token.Pos,
 		return
 	}
 	pass.Reportf(pos, format, args...)
+}
+
+// ReportStale reports every directive naming analyzer that suppressed
+// nothing during the pass. Every analyzer calls it once at the end of
+// its run: a suppression that no longer suppresses is dead weight at
+// best and, at worst, a fixed bug's justification still licensing a
+// future regression. Deliberately not suppressible — the cure for a
+// stale directive is deleting it.
+func (s *Suppressor) ReportStale(pass *analysis.Pass, analyzer string) {
+	for _, d := range s.all {
+		if d.name == analyzer && !d.used {
+			pass.Reportf(d.pos, "stale //dnslint:ignore %s directive: it suppresses no %s finding; delete it",
+				analyzer, analyzer)
+		}
+	}
+}
+
+// ReportStaleAll is ReportStale for analyzers that skipped the package
+// entirely (scope filter): with the analyzer out of scope, no directive
+// naming it can ever suppress anything, so each one is stale.
+func ReportStaleAll(pass *analysis.Pass, analyzer string) {
+	NewSuppressor(pass).ReportStale(pass, analyzer)
 }
 
 // InTestFile reports whether pos is inside a _test.go file. The dnslint

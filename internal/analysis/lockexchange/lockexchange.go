@@ -92,6 +92,7 @@ func run(pass *analysis.Pass) (any, error) {
 	for _, decl := range decls {
 		c.scanBlock(decl.Body.List, map[string]bool{})
 	}
+	c.supp.ReportStale(pass, name)
 	return nil, nil
 }
 

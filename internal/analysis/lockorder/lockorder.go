@@ -1,0 +1,408 @@
+// Package lockorder proves the fleet of fine-grained mutexes is
+// acquired in one global order.
+//
+// PR 1 split the seed's single global lock into per-shard, per-zone,
+// and per-component mutexes so one slow upstream cannot serialize the
+// resolver — and PRs 3–7 kept adding locks (persist store, upstream
+// tracker, mesh node, guard limiter, renewal and flight registries).
+// The price of that decomposition is deadlock by lock-order inversion:
+// two components that each take the other's lock second freeze the
+// whole server the first time an attack drives both paths
+// concurrently. The invariant: the acquisition graph over named locks
+// must stay acyclic.
+//
+// The analysis runs on the control-flow graphs built by the shared
+// dataflow pass (vendored go/cfg; the toolchain has no go/ssa):
+//
+//   - a lock is named by its declaration: pkg.Type.field for a mutex
+//     field, pkg.var for a package-level mutex. Two shards of one
+//     sharded map are the same name — self-edges are skipped, because
+//     sharded containers order their own shards (the cache does, by
+//     index).
+//   - per function, a forward may-held dataflow over the CFG (union at
+//     join points) tracks which locks are held at each node: Lock/RLock
+//     adds, an inline Unlock/RUnlock removes, a deferred unlock holds
+//     to function end. Acquiring b with a held emits edge a→b.
+//   - each function exports an Acquires fact (every lock its call tree
+//     may take), so calling into another package while holding a lock
+//     emits the cross-package edges at the call site; each package
+//     exports its edge list as a Graph package fact.
+//   - a report fires at every current-package edge that closes a cycle
+//     in the union of the local and imported graphs — the importing
+//     package that completes an inversion is the one told about it.
+//
+// Test files are analyzed like any other code: a deadlock in a test
+// hangs CI just as dead as production.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+
+	"resilientdns/internal/analysis/dataflow"
+	"resilientdns/internal/analysis/lintutil"
+)
+
+const name = "lockorder"
+
+// Acquires lists every lock a function's call tree may take, so
+// callers holding a lock see the edges a call implies.
+type Acquires struct {
+	Locks []string
+}
+
+func (*Acquires) AFact() {}
+
+func (f *Acquires) String() string { return "Acquires" }
+
+// Edge is one observed acquisition order: To was acquired while From
+// was held.
+type Edge struct {
+	From, To string
+}
+
+// Graph is the per-package acquisition graph, exported as a package
+// fact so importers can detect cross-package inversions.
+type Graph struct {
+	Edges []Edge
+}
+
+func (*Graph) AFact() {}
+
+func (f *Graph) String() string { return "Graph" }
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "track named-mutex acquisition order across functions and packages and flag " +
+		"lock-order cycles (deadlock by inversion)",
+	Requires:  []*analysis.Analyzer{dataflow.Builder},
+	FactTypes: []analysis.Fact{(*Acquires)(nil), (*Graph)(nil)},
+	Run:       run,
+}
+
+type ownEdge struct {
+	Edge
+	pos token.Pos
+}
+
+type checker struct {
+	pass *analysis.Pass
+	df   *dataflow.Info
+	supp *lintutil.Suppressor
+	// acquires is the same-package may-acquire fixpoint.
+	acquires map[*types.Func]map[string]bool
+	// edges are this package's observed acquisition orders, first
+	// occurrence wins the report position.
+	edges map[Edge]token.Pos
+	order []Edge
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:     pass,
+		df:       pass.ResultOf[dataflow.Builder].(*dataflow.Info),
+		supp:     lintutil.NewSuppressor(pass),
+		acquires: make(map[*types.Func]map[string]bool),
+		edges:    make(map[Edge]token.Pos),
+	}
+
+	// May-acquire fixpoint: direct acquisitions plus callees'.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range c.df.Funcs {
+			if fi.Obj == nil || fi.Parent != nil {
+				continue
+			}
+			if c.growAcquires(fi) {
+				changed = true
+			}
+		}
+	}
+	for fn, set := range c.acquires {
+		if len(set) == 0 {
+			continue
+		}
+		locks := make([]string, 0, len(set))
+		for l := range set {
+			locks = append(locks, l)
+		}
+		sort.Strings(locks)
+		pass.ExportObjectFact(fn, &Acquires{Locks: locks})
+	}
+
+	// Held-set dataflow per function body (literals included: a closure
+	// may be invoked while its spawner's locks are NOT held, so each
+	// starts empty — same convention as lockexchange).
+	for _, fi := range c.df.Funcs {
+		c.flow(fi)
+	}
+
+	// Publish this package's graph.
+	if len(c.order) > 0 {
+		g := &Graph{Edges: append([]Edge(nil), c.order...)}
+		sort.Slice(g.Edges, func(i, j int) bool {
+			return g.Edges[i].From+"\x00"+g.Edges[i].To < g.Edges[j].From+"\x00"+g.Edges[j].To
+		})
+		pass.ExportPackageFact(g)
+	}
+
+	// Build the full graph (own + imported) and report every own edge
+	// that closes a cycle.
+	adj := make(map[string][]string)
+	addEdge := func(e Edge) { adj[e.From] = append(adj[e.From], e.To) }
+	for _, e := range c.order {
+		addEdge(e)
+	}
+	for _, pf := range pass.AllPackageFacts() {
+		if g, ok := pf.Fact.(*Graph); ok && pf.Package != pass.Pkg {
+			for _, e := range g.Edges {
+				addEdge(e)
+			}
+		}
+	}
+	for _, e := range c.order {
+		if reaches(adj, e.To, e.From) {
+			c.supp.Report(pass, name, c.edges[e],
+				"acquiring %s while holding %s completes a lock-order cycle (another path acquires them "+
+					"in the opposite order): establish a single acquisition order", e.To, e.From)
+		}
+	}
+	c.supp.ReportStale(pass, name)
+	return nil, nil
+}
+
+// reaches reports whether `from` can reach `to` in the acquisition
+// graph.
+func reaches(adj map[string][]string, from, to string) bool {
+	seen := map[string]bool{from: true}
+	work := []string{from}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, m := range adj[n] {
+			if m == to {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				work = append(work, m)
+			}
+		}
+	}
+	return false
+}
+
+// growAcquires updates fi's may-acquire set; reports whether it grew.
+func (c *checker) growAcquires(fi *dataflow.FuncInfo) bool {
+	set := c.acquires[fi.Obj]
+	if set == nil {
+		set = make(map[string]bool)
+		c.acquires[fi.Obj] = set
+	}
+	before := len(set)
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, acq, _ := c.lockOp(call); acq {
+			set[id] = true
+			return true
+		}
+		for _, l := range c.calleeAcquires(call) {
+			set[l] = true
+		}
+		return true
+	})
+	return len(set) != before
+}
+
+// calleeAcquires returns the locks the call's static callee may take.
+func (c *checker) calleeAcquires(call *ast.CallExpr) []string {
+	fn := c.df.Callee(call)
+	if fn == nil {
+		return nil
+	}
+	if set, ok := c.acquires[fn]; ok {
+		locks := make([]string, 0, len(set))
+		for l := range set {
+			locks = append(locks, l)
+		}
+		sort.Strings(locks)
+		return locks
+	}
+	var fact Acquires
+	if c.pass.ImportObjectFact(fn, &fact) {
+		return fact.Locks
+	}
+	return nil
+}
+
+// flow runs the forward may-held dataflow over fi's CFG and emits
+// acquisition edges.
+func (c *checker) flow(fi *dataflow.FuncInfo) {
+	g := fi.CFG()
+	if g == nil || len(g.Blocks) == 0 {
+		return
+	}
+	in := make([]map[string]bool, len(g.Blocks))
+	in[0] = map[string]bool{}
+	work := []int32{0}
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := g.Blocks[idx]
+		held := copySet(in[idx])
+		for _, n := range b.Nodes {
+			c.transfer(n, held)
+		}
+		for _, succ := range b.Succs {
+			if union(&in[succ.Index], held) {
+				work = append(work, succ.Index)
+			}
+		}
+	}
+}
+
+// transfer applies one CFG node to the held set, emitting edges for
+// acquisitions. Deferred unlocks keep the lock held; function literals
+// are their own flow.
+func (c *checker) transfer(n ast.Node, held map[string]bool) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch s := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if id, acq, rel := c.lockOp(s); acq || rel {
+				if rel {
+					delete(held, id)
+					return true
+				}
+				for from := range held {
+					c.emit(from, id, s.Pos())
+				}
+				held[id] = true
+				return true
+			}
+			if len(held) > 0 {
+				for _, to := range c.calleeAcquires(s) {
+					for from := range held {
+						c.emit(from, to, s.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// emit records an acquisition edge; self-edges are the sharded-lock
+// pattern and are skipped.
+func (c *checker) emit(from, to string, pos token.Pos) {
+	if from == to {
+		return
+	}
+	e := Edge{From: from, To: to}
+	if _, ok := c.edges[e]; !ok {
+		c.edges[e] = pos
+		c.order = append(c.order, e)
+	}
+}
+
+// lockOp classifies a call as a named-mutex acquire or inline release
+// and returns the lock's name.
+func (c *checker) lockOp(call *ast.CallExpr) (id string, acquire, release bool) {
+	fn := c.df.Callee(call)
+	if fn == nil {
+		return "", false, false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		acquire = true
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		release = true
+	default:
+		return "", false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	id = c.lockName(sel.X)
+	if id == "" {
+		return "", false, false
+	}
+	return id, acquire, release
+}
+
+// lockName names the mutex expression by its declaration: a field
+// selector becomes pkg.Type.field, a package-level var becomes
+// pkg.var. Locals and unrecognized shapes are anonymous ("").
+func (c *checker) lockName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := c.pass.TypesInfo.Selections[e]
+		if !ok {
+			// Qualified package identifier: pkgname.Var.
+			if id, ok := e.X.(*ast.Ident); ok {
+				if pn, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+					return pn.Imported().Path() + "." + e.Sel.Name
+				}
+			}
+			return ""
+		}
+		t := sel.Recv()
+		for {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+				continue
+			}
+			break
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// union merges src into *dst, allocating it if needed; reports change.
+func union(dst *map[string]bool, src map[string]bool) bool {
+	if *dst == nil {
+		*dst = copySet(src)
+		return true
+	}
+	changed := false
+	for k := range src {
+		if !(*dst)[k] {
+			(*dst)[k] = true
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resilientdns/internal/analysis/antest"
+	"resilientdns/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	antest.Run(t, dir, lockorder.Analyzer,
+		"lockorder_bad", "lockorder_ok", "lockorder_stale")
+}

@@ -67,6 +67,8 @@ var emitMethods = map[string]bool{
 func run(pass *analysis.Pass) (any, error) {
 	pkgs := pass.Analyzer.Flags.Lookup("pkgs").Value.String()
 	if !lintutil.PkgMatches(pass.Pkg.Path(), pkgs) {
+		// Out of scope: any maporder ignore directive here is stale.
+		lintutil.ReportStaleAll(pass, name)
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
@@ -89,6 +91,7 @@ func run(pass *analysis.Pass) (any, error) {
 				"map iteration order feeds output via %s: collect keys, sort, then emit (map order is randomized)", emit)
 		}
 	})
+	supp.ReportStale(pass, name)
 	return nil, nil
 }
 

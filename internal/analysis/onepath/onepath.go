@@ -63,6 +63,8 @@ func init() {
 func run(pass *analysis.Pass) (any, error) {
 	pkgs := pass.Analyzer.Flags.Lookup("pkgs").Value.String()
 	if !lintutil.PkgMatches(pass.Pkg.Path(), pkgs) {
+		// Out of scope: any onepath ignore directive here is stale.
+		lintutil.ReportStaleAll(pass, name)
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
@@ -90,6 +92,7 @@ func run(pass *analysis.Pass) (any, error) {
 			"direct Transport.Exchange call in %s: every upstream fetch must go through the fetch engine (resolve.Engine.Fetch)",
 			pass.Pkg.Path())
 	})
+	supp.ReportStale(pass, name)
 	return nil, nil
 }
 

@@ -1,0 +1,503 @@
+// Package taintwire taint-tracks network-origin bytes into the cache.
+//
+// The paper's poisoning defenses (bailiwick filtering, credibility
+// ranking, the infra/answer split) all live in one place: the resolve
+// ingest chokepoints, which classify every RRset before it touches
+// cache.Put. The cache-poisoning failure mode is therefore not "the
+// validator has a bug" but "somebody added a second door": a code path
+// that takes bytes straight off the wire — an Exchange result, a mesh
+// peer response, journal bytes replayed from disk — and writes them
+// into the cache or the persistence layer without passing through the
+// validators. This analyzer makes that door impossible to add quietly.
+//
+// It is a may-tainted dataflow over the shared def-use index (see
+// internal/analysis/dataflow; the vendored toolchain has no go/ssa):
+//
+// Sources (network-origin bytes):
+//   - results of Exchange-shaped methods (the transport.Transport
+//     shape: method named Exchange, first parameter context.Context);
+//   - results of a method named Call in a package named mesh (peer
+//     responses are exactly as attacker-influenced as upstream ones);
+//   - os.ReadFile in a package named persist (journal and snapshot
+//     bytes were cached from the network, and disk can be tampered);
+//   - calls to functions carrying the ReturnsTainted fact.
+//
+// Propagation is conservative: taint survives slicing, indexing,
+// field selection, composite literals, conversions, append, and calls
+// that pass payload-typed arguments ([]byte, dnswire types) through to
+// payload-typed results — dnswire.Unpack parses hostile input, it does
+// not sanitize it. Sanitization is positional, not computational: the
+// only way to launder taint is to route the write through a chokepoint.
+//
+// Sinks: methods named Put, PutOrigin, or Restore in a package named
+// cache, and Observe in a package named persist. Every argument is
+// checked. A non-chokepoint function that passes its own parameter to
+// a sink exports SinkViaParam, which turns its callers into sinks
+// across package boundaries; a function returning source-derived
+// payloads exports ReturnsTainted. Each package also exports a
+// Sanitizers package fact naming the chokepoints it declares, so
+// importers recognize sanctioned destinations without re-deriving
+// them.
+//
+// Chokepoints (-chokepoints, full names as printed by
+// dataflow.FuncString) default to the resolve ingest chain, persist
+// recovery, and cache.Put's own delegation to PutOrigin. Sink calls
+// inside a chokepoint body are the sanctioned writes and are exempt.
+// Test files are NOT exempt: a test that feeds exchanged bytes
+// straight into cache.Put is rehearsing the bug this analyzer exists
+// to prevent.
+package taintwire
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"resilientdns/internal/analysis/dataflow"
+	"resilientdns/internal/analysis/lintutil"
+)
+
+const name = "taintwire"
+
+const defaultChokepoints = "resilientdns/internal/resolve.(*Resolver).Ingest," +
+	"resilientdns/internal/resolve.(*Resolver).IngestFrom," +
+	"resilientdns/internal/resolve.(*Resolver).putInfraAware," +
+	"resilientdns/internal/persist.(*Store).Recover," +
+	"resilientdns/internal/cache.(*Cache).Put"
+
+// ReturnsTainted marks a function whose results carry network-origin
+// bytes (a wrapper around a source): its call sites are sources.
+type ReturnsTainted struct{}
+
+func (*ReturnsTainted) AFact() {}
+
+func (*ReturnsTainted) String() string { return "ReturnsTainted" }
+
+// SinkViaParam marks a function that passes the listed parameters into
+// a cache/persist mutation outside any chokepoint: its callers must
+// not hand it tainted bytes.
+type SinkViaParam struct {
+	Params []int
+}
+
+func (*SinkViaParam) AFact() {}
+
+func (f *SinkViaParam) String() string { return "SinkViaParam" }
+
+// Sanitizers is the per-package summary of declared chokepoints, so an
+// importing package can recognize sanctioned destinations from the
+// export data alone.
+type Sanitizers struct {
+	Funcs []string
+}
+
+func (*Sanitizers) AFact() {}
+
+func (f *Sanitizers) String() string { return "Sanitizers" }
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "taint-track network-origin bytes (Exchange results, mesh peer responses, journal bytes) and " +
+		"flag flows into cache.Put/PutOrigin/Restore or persist mutation that bypass the validated " +
+		"ingest chokepoints",
+	Requires:  []*analysis.Analyzer{dataflow.Builder},
+	FactTypes: []analysis.Fact{(*ReturnsTainted)(nil), (*SinkViaParam)(nil), (*Sanitizers)(nil)},
+	Run:       run,
+}
+
+func init() {
+	Analyzer.Flags.String("chokepoints", defaultChokepoints,
+		"comma-separated full function names (dataflow.FuncString form) through which all cache/persist mutation must flow")
+}
+
+type taint struct {
+	kind  int
+	param int
+}
+
+const (
+	tSource = iota
+	tParam
+)
+
+type checker struct {
+	pass        *analysis.Pass
+	df          *dataflow.Info
+	supp        *lintutil.Suppressor
+	chokepoints map[string]bool
+	// returns marks same-package functions whose results are tainted;
+	// sinks maps same-package functions to parameter indices that reach
+	// a sink. Both grow to a fixpoint.
+	returns map[*types.Func]bool
+	sinks   map[*types.Func]map[int]bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:        pass,
+		df:          pass.ResultOf[dataflow.Builder].(*dataflow.Info),
+		supp:        lintutil.NewSuppressor(pass),
+		chokepoints: make(map[string]bool),
+		returns:     make(map[*types.Func]bool),
+		sinks:       make(map[*types.Func]map[int]bool),
+	}
+	for _, s := range strings.Split(pass.Analyzer.Flags.Lookup("chokepoints").Value.String(), ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			c.chokepoints[s] = true
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range c.df.Funcs {
+			if fi.Obj == nil || fi.Parent != nil {
+				continue
+			}
+			if c.summarize(fi) {
+				changed = true
+			}
+		}
+	}
+
+	// Export facts: object facts for wrappers and sink conduits, and
+	// the package's sanitizer summary.
+	var declared []string
+	for _, fi := range c.df.Funcs {
+		if fi.Obj == nil || fi.Parent != nil {
+			continue
+		}
+		if c.isChokepoint(fi.Obj) {
+			declared = append(declared, dataflow.FuncString(fi.Obj))
+		}
+	}
+	if len(declared) > 0 {
+		sort.Strings(declared)
+		c.pass.ExportPackageFact(&Sanitizers{Funcs: declared})
+	}
+	for fn := range c.returns {
+		c.pass.ExportObjectFact(fn, &ReturnsTainted{})
+	}
+	for fn, params := range c.sinks {
+		if len(params) == 0 {
+			continue
+		}
+		idx := make([]int, 0, len(params))
+		for i := range params {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		c.pass.ExportObjectFact(fn, &SinkViaParam{Params: idx})
+	}
+
+	for _, fi := range c.df.Funcs {
+		if fi.Parent != nil {
+			continue
+		}
+		c.analyze(fi, true)
+	}
+	c.supp.ReportStale(pass, name)
+	return nil, nil
+}
+
+// summarize grows the fixpoint state for fi: parameter flows into
+// sinks (SinkViaParam) and source-derived returns (ReturnsTainted).
+// It reports whether anything changed.
+func (c *checker) summarize(fi *dataflow.FuncInfo) bool {
+	before := len(c.sinks[fi.Obj])
+	beforeRet := c.returns[fi.Obj]
+	c.analyze(fi, false)
+
+	// ReturnsTainted: any return statement whose results carry source
+	// taint. Nested closures' returns are their own, not fi's.
+	if !c.returns[fi.Obj] {
+		params := c.paramIndex(fi)
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				for _, t := range c.taints(res, params, make(map[*types.Var]bool)) {
+					if t.kind == tSource {
+						c.returns[fi.Obj] = true
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(fi.Body, walk)
+	}
+	return len(c.sinks[fi.Obj]) != before || c.returns[fi.Obj] != beforeRet
+}
+
+// analyze walks fi's body (closures included). With report=false it
+// accumulates SinkViaParam state; with report=true it emits
+// diagnostics for source taint reaching a sink.
+func (c *checker) analyze(fi *dataflow.FuncInfo, report bool) {
+	if fi.Obj != nil && c.isChokepoint(fi.Obj) {
+		return // the sanctioned writes live here
+	}
+	params := c.paramIndex(fi)
+	ast.Inspect(fi.Node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := c.df.Callee(call)
+		if callee == nil {
+			return true
+		}
+		sinkArgs := c.sinkParams(callee)
+		if len(sinkArgs) == 0 {
+			return true
+		}
+		tainted := false
+		for _, argIdx := range sinkArgs {
+			if argIdx >= len(call.Args) {
+				continue
+			}
+			for _, t := range c.taints(call.Args[argIdx], params, make(map[*types.Var]bool)) {
+				switch t.kind {
+				case tSource:
+					tainted = true
+				case tParam:
+					if !report && fi.Obj != nil {
+						set := c.sinks[fi.Obj]
+						if set == nil {
+							set = make(map[int]bool)
+							c.sinks[fi.Obj] = set
+						}
+						set[t.param] = true
+					}
+				}
+			}
+		}
+		if tainted && report {
+			c.supp.Report(c.pass, name, call.Pos(),
+				"network-origin bytes flow into %s outside the validated ingest chokepoints: "+
+					"route cache and persist mutation through resolve.Ingest/IngestFrom (or persist recovery)",
+				callee.Name())
+		}
+		return true
+	})
+}
+
+// sinkParams returns the argument indices to check when calling fn:
+// every argument for a shape-recognized cache/persist mutator, the
+// fact-listed parameters for a sink conduit, nil otherwise.
+func (c *checker) sinkParams(fn *types.Func) []int {
+	if c.isChokepoint(fn) {
+		return nil // sanctioned destination, not a sink
+	}
+	if sinkShaped(fn) {
+		sig := fn.Type().(*types.Signature)
+		idx := make([]int, sig.Params().Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	if set, ok := c.sinks[fn]; ok && len(set) > 0 {
+		idx := make([]int, 0, len(set))
+		for i := range set {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		return idx
+	}
+	var fact SinkViaParam
+	if c.pass.ImportObjectFact(fn, &fact) {
+		return fact.Params
+	}
+	return nil
+}
+
+// sinkShaped matches the cache/persist mutation surface by shape, so
+// the analyzer also fires on fixture copies under testdata.
+func sinkShaped(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	pkg := fn.Pkg()
+	inPkg := func(n string) bool {
+		return pkg.Name() == n || strings.HasSuffix(pkg.Path(), "/"+n)
+	}
+	switch fn.Name() {
+	case "Put", "PutOrigin", "Restore":
+		return inPkg("cache")
+	case "Observe":
+		return inPkg("persist")
+	}
+	return false
+}
+
+// isChokepoint reports whether fn is a sanctioned mutation path: named
+// in -chokepoints, or listed in its own package's Sanitizers fact.
+func (c *checker) isChokepoint(fn *types.Func) bool {
+	full := dataflow.FuncString(fn)
+	if c.chokepoints[full] {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Pkg() != c.pass.Pkg {
+		var fact Sanitizers
+		if c.pass.ImportPackageFact(fn.Pkg(), &fact) {
+			for _, f := range fact.Funcs {
+				if f == full {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// paramIndex maps fi's own parameters to their signature indices.
+func (c *checker) paramIndex(fi *dataflow.FuncInfo) map[*types.Var]int {
+	if fi.Obj == nil {
+		return nil
+	}
+	sig, ok := fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	out := make(map[*types.Var]int)
+	for i := 0; i < sig.Params().Len(); i++ {
+		out[sig.Params().At(i)] = i
+	}
+	return out
+}
+
+// taints computes the provenance set of an expression. params maps the
+// enclosing declaration's parameters to indices; seen breaks cycles.
+func (c *checker) taints(e ast.Expr, params map[*types.Var]int, seen map[*types.Var]bool) []taint {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.taints(e.X, params, seen)
+	case *ast.Ident:
+		v := c.df.VarOf(e)
+		if v == nil {
+			return nil
+		}
+		if i, ok := params[v]; ok {
+			return []taint{{kind: tParam, param: i}}
+		}
+		if seen[v] {
+			return nil
+		}
+		seen[v] = true
+		var out []taint
+		for _, d := range c.df.Defs(v) {
+			out = append(out, c.taints(d.RHS, params, seen)...)
+		}
+		return out
+	case *ast.CallExpr:
+		return c.callTaints(e, params, seen)
+	case *ast.SelectorExpr:
+		return c.taints(e.X, params, seen)
+	case *ast.IndexExpr:
+		return c.taints(e.X, params, seen)
+	case *ast.SliceExpr:
+		return c.taints(e.X, params, seen)
+	case *ast.StarExpr:
+		return c.taints(e.X, params, seen)
+	case *ast.UnaryExpr:
+		return c.taints(e.X, params, seen)
+	case *ast.TypeAssertExpr:
+		return c.taints(e.X, params, seen)
+	case *ast.KeyValueExpr:
+		return c.taints(e.Value, params, seen)
+	case *ast.CompositeLit:
+		var out []taint
+		for _, elt := range e.Elts {
+			out = append(out, c.taints(elt, params, seen)...)
+		}
+		return out
+	}
+	return nil
+}
+
+// callTaints resolves a call's taint: sources by shape or fact, plus
+// conservative pass-through of payload-typed arguments.
+func (c *checker) callTaints(call *ast.CallExpr, params map[*types.Var]int, seen map[*types.Var]bool) []taint {
+	// Type conversion: dnswire.Name(b) keeps b's taint.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return c.taints(call.Args[0], params, seen)
+	}
+	fn := c.df.Callee(call)
+	if fn == nil {
+		// Builtin (append, copy) or dynamic call: pass payload
+		// arguments through.
+		return c.argTaints(call, params, seen)
+	}
+	if taintSource(fn, c.pass.Pkg) {
+		return []taint{{kind: tSource}}
+	}
+	var fact ReturnsTainted
+	if c.returns[fn] || c.pass.ImportObjectFact(fn, &fact) {
+		return []taint{{kind: tSource}}
+	}
+	return c.argTaints(call, params, seen)
+}
+
+// argTaints unions the taint of payload-typed arguments — the generic
+// pass-through rule (Unpack parses, it does not sanitize).
+func (c *checker) argTaints(call *ast.CallExpr, params map[*types.Var]int, seen map[*types.Var]bool) []taint {
+	var out []taint
+	for _, arg := range call.Args {
+		if tv, ok := c.pass.TypesInfo.Types[arg]; ok && payloadType(tv.Type) {
+			out = append(out, c.taints(arg, params, seen)...)
+		}
+	}
+	return out
+}
+
+// taintSource matches the source shapes: upstream exchanges, mesh peer
+// calls, and journal reads inside the persist layer.
+func taintSource(fn *types.Func, current *types.Package) bool {
+	if dataflow.ExchangeShaped(fn) {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Name() == "Call" {
+		if fn.Pkg().Name() == "mesh" || strings.HasSuffix(fn.Pkg().Path(), "/mesh") {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+				sig.Params().Len() > 0 && dataflow.IsContextType(sig.Params().At(0).Type()) {
+				return true
+			}
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "ReadFile" {
+		if current.Name() == "persist" || strings.HasSuffix(current.Path(), "/persist") {
+			return true
+		}
+	}
+	return false
+}
+
+// payloadType reports whether t can carry DNS payload: byte slices and
+// dnswire types (plus slices/pointers of them). Credibility scores,
+// counters, and keys are not payload — taint does not ride on them.
+func payloadType(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Slice:
+		if b, ok := t.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+			return true
+		}
+		return payloadType(t.Elem())
+	case *types.Pointer:
+		return payloadType(t.Elem())
+	case *types.Named:
+		if pkg := t.Obj().Pkg(); pkg != nil &&
+			(pkg.Name() == "dnswire" || strings.HasSuffix(pkg.Path(), "/dnswire")) {
+			return true
+		}
+		return payloadType(t.Underlying())
+	}
+	return false
+}

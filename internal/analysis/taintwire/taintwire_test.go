@@ -1,0 +1,25 @@
+package taintwire_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"resilientdns/internal/analysis/antest"
+	"resilientdns/internal/analysis/taintwire"
+)
+
+func TestTaintwire(t *testing.T) {
+	flag := taintwire.Analyzer.Flags.Lookup("chokepoints")
+	prev := flag.Value.String()
+	if err := flag.Value.Set("taintwire_ok.Ingest"); err != nil {
+		t.Fatal(err)
+	}
+	defer flag.Value.Set(prev)
+
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	antest.Run(t, dir, taintwire.Analyzer,
+		"taintwire_bad", "taintwire_ok", "taintwire_stale")
+}

@@ -1,0 +1,18 @@
+// Package cache mirrors the resilientdns cache mutation surface for
+// the taintwire fixtures (the analyzer matches sinks by shape).
+package cache
+
+// Credibility mirrors the ranking the real chokepoints assign.
+type Credibility int
+
+// Cache is the fixture stand-in for the sharded cache.
+type Cache struct{}
+
+// Put is a mutation sink.
+func (c *Cache) Put(wire []byte, cred Credibility) {}
+
+// PutOrigin is a mutation sink.
+func (c *Cache) PutOrigin(wire []byte, cred Credibility, origin int) {}
+
+// Restore is the recovery-path mutation sink.
+func (c *Cache) Restore(wire []byte) bool { return true }

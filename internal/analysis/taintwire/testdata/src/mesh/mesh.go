@@ -1,0 +1,13 @@
+// Package mesh mirrors the resilientdns mesh peer-call shape for the
+// taintwire fixtures: peer responses are network-origin bytes.
+package mesh
+
+import "context"
+
+// Conn is the fixture stand-in for the mesh UDP connection.
+type Conn struct{}
+
+// Call sends a frame to a peer and returns its response bytes.
+func (c *Conn) Call(ctx context.Context, peer string, frame []byte) ([]byte, error) {
+	return nil, nil
+}

@@ -1,0 +1,49 @@
+// Package taintwire_bad is a failing fixture: raw network bytes
+// written into the cache without passing a validated chokepoint.
+package taintwire_bad
+
+import (
+	"context"
+
+	"cache"
+	"mesh"
+)
+
+// Transport mirrors the resilientdns transport.Transport shape.
+type Transport interface {
+	Exchange(ctx context.Context, server string, query []byte) ([]byte, error)
+}
+
+// Stash slurps the raw upstream response straight into the cache.
+func Stash(ctx context.Context, tr Transport, c *cache.Cache) {
+	resp, err := tr.Exchange(ctx, "10.0.0.1", nil)
+	if err != nil {
+		return
+	}
+	c.Put(resp, 0) // want "outside the validated ingest chokepoints"
+}
+
+// StashTail slices the response first; taint survives slicing.
+func StashTail(ctx context.Context, tr Transport, c *cache.Cache) {
+	resp, _ := tr.Exchange(ctx, "10.0.0.1", nil)
+	c.PutOrigin(resp[12:], 0, 1) // want "outside the validated ingest chokepoints"
+}
+
+// stash is a conduit: its parameter reaches a sink, so it exports
+// SinkViaParam and its callers become sinks.
+func stash(c *cache.Cache, b []byte) {
+	c.Put(b, 0)
+}
+
+// Fetch is caught one hop away from the mutation.
+func Fetch(ctx context.Context, tr Transport, c *cache.Cache) {
+	resp, _ := tr.Exchange(ctx, "10.0.0.1", nil)
+	stash(c, resp) // want "outside the validated ingest chokepoints"
+}
+
+// PeerFill trusts a mesh peer's bytes as much as an upstream's — that
+// is, not at all.
+func PeerFill(ctx context.Context, mc *mesh.Conn, c *cache.Cache) {
+	frame, _ := mc.Call(ctx, "peer-1", nil)
+	c.Restore(frame) // want "outside the validated ingest chokepoints"
+}

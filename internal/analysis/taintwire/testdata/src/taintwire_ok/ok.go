@@ -1,0 +1,42 @@
+// Package taintwire_ok is a passing fixture: writes routed through the
+// declared chokepoint, untainted writes, and the escape hatch. Any
+// diagnostic here is a false positive.
+package taintwire_ok
+
+import (
+	"context"
+
+	"cache"
+)
+
+// Transport mirrors the resilientdns transport.Transport shape.
+type Transport interface {
+	Exchange(ctx context.Context, server string, query []byte) ([]byte, error)
+}
+
+// Ingest is the validated chokepoint (listed via -chokepoints in the
+// test): its cache writes are the sanctioned ones.
+func Ingest(c *cache.Cache, resp []byte) {
+	if len(resp) < 12 {
+		return // validation lives here
+	}
+	c.Put(resp, 2)
+}
+
+// Fetch routes the response through the chokepoint: clean.
+func Fetch(ctx context.Context, tr Transport, c *cache.Cache) {
+	resp, _ := tr.Exchange(ctx, "10.0.0.1", nil)
+	Ingest(c, resp)
+}
+
+// Prime writes locally-authored bytes: no network origin, no finding.
+func Prime(c *cache.Cache) {
+	c.Put([]byte{0x00, 0x01}, 2)
+}
+
+// Gossip has reviewed its bypass and says why: the escape hatch needs
+// a justification to count.
+func Gossip(ctx context.Context, tr Transport, c *cache.Cache) {
+	resp, _ := tr.Exchange(ctx, "10.0.0.1", nil)
+	c.Put(resp, 0) //dnslint:ignore taintwire fixture-sanctioned bypass with a written justification
+}

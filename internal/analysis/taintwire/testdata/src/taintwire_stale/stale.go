@@ -1,0 +1,20 @@
+// Package taintwire_stale exercises stale-suppression detection: the
+// bypass was fixed but the directive outlived it.
+package taintwire_stale
+
+import (
+	"context"
+
+	"cache"
+)
+
+// Transport mirrors the resilientdns transport.Transport shape.
+type Transport interface {
+	Exchange(ctx context.Context, server string, query []byte) ([]byte, error)
+}
+
+// Prime was rewritten to use local bytes; the directive now suppresses
+// nothing and must be deleted.
+func Prime(ctx context.Context, tr Transport, c *cache.Cache) {
+	c.Put([]byte{0x00, 0x01}, 2) //dnslint:ignore taintwire legacy suppression // want "stale"
+}

@@ -25,3 +25,9 @@ func BareDirective() time.Time {
 func WrongAnalyzer() time.Time {
 	return time.Now() //dnslint:ignore weakrand wrong analyzer name // want "time.Now in determinism-critical package"
 }
+
+// StaleDirective suppresses nothing: the forbidden call was removed but
+// the directive stayed behind, so the directive itself is the finding.
+func StaleDirective() time.Time {
+	return time.Unix(0, 0) //dnslint:ignore wallclock fossil from a removed time.Now // want "stale"
+}

@@ -68,6 +68,9 @@ func init() {
 func run(pass *analysis.Pass) (any, error) {
 	pkgs := pass.Analyzer.Flags.Lookup("pkgs").Value.String()
 	if !lintutil.PkgMatches(pass.Pkg.Path(), pkgs) {
+		// Out of scope: no wallclock finding can exist here, so every
+		// wallclock ignore directive is stale by definition.
+		lintutil.ReportStaleAll(pass, name)
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
@@ -94,6 +97,7 @@ func run(pass *analysis.Pass) (any, error) {
 		supp.Report(pass, name, call.Pos(),
 			"%s in determinism-critical package %s: take time from simclock.Clock instead", full, pass.Pkg.Path())
 	})
+	supp.ReportStale(pass, name)
 	return nil, nil
 }
 

@@ -85,6 +85,7 @@ func run(pass *analysis.Pass) (any, error) {
 				fn.Name(), pass.Pkg.Path())
 		}
 	})
+	supp.ReportStale(pass, name)
 	return nil, nil
 }
 

@@ -70,6 +70,7 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 		}
 	})
+	supp.ReportStale(pass, name)
 	return nil, nil
 }
 

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"resilientdns/internal/authserver"
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+	"resilientdns/internal/zone"
+)
+
+// These tests pin the ctxdeadline invariant at runtime: every context
+// that reaches an upstream exchange from a detached execution path (a
+// singleflight flight, the live renewal loop) must carry a deadline,
+// because no caller's context bounds those paths.
+
+// deadlineCapture wraps a transport and records, per exchange, whether
+// the context carried a deadline.
+type deadlineCapture struct {
+	inner transport.Transport
+
+	mu      sync.Mutex
+	total   int
+	bounded int
+}
+
+func (d *deadlineCapture) Exchange(ctx context.Context, server transport.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+	_, ok := ctx.Deadline()
+	d.mu.Lock()
+	d.total++
+	if ok {
+		d.bounded++
+	}
+	d.mu.Unlock()
+	return d.inner.Exchange(ctx, server, q)
+}
+
+func (d *deadlineCapture) counts() (total, bounded int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.total, d.bounded
+}
+
+// TestFlightContextBounded verifies that the detached singleflight
+// context carries a deadline: a caller with an unbounded context must
+// not spawn an unbounded flight.
+func TestFlightContextBounded(t *testing.T) {
+	capture := &deadlineCapture{inner: flatRootPipe()}
+	cs := newPipeHierarchy(t, Config{Transport: capture}, 3600, 0)
+
+	if _, err := cs.Resolve(context.Background(), dnswire.MustName("www.example."), dnswire.TypeA); err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	total, bounded := capture.counts()
+	if total == 0 {
+		t.Fatal("no upstream exchanges recorded")
+	}
+	if bounded != total {
+		t.Errorf("%d/%d upstream exchanges carried a deadline, want all", bounded, total)
+	}
+}
+
+// TestRenewalLoopBoundsRefetches verifies that RunRenewalLoop hands
+// each sweep a bounded context even when its own context has no
+// deadline: a black-holed authoritative must not hang the loop.
+func TestRenewalLoopBoundsRefetches(t *testing.T) {
+	// IRR TTL 2s with renewLead 1s: the renewal scheduled when the
+	// example. referral is ingested comes due about a second after the
+	// first resolution.
+	const irrTTL = 2
+	root := zone.New(dnswire.Root)
+	root.MustAdd(rrNS(".", 3600000, "a.root-servers.net."))
+	root.MustAdd(rrA("a.root-servers.net.", 3600000, "10.0.0.1"))
+	root.MustAdd(rrNS("example.", irrTTL, "ns1.example."))
+	root.MustAdd(rrA("ns1.example.", irrTTL, "10.0.5.1"))
+	ex := zone.New(dnswire.MustName("example."))
+	ex.MustAdd(rrNS("example.", irrTTL, "ns1.example."))
+	ex.MustAdd(rrA("ns1.example.", irrTTL, "10.0.5.1"))
+	ex.MustAdd(rrA("www.example.", 300, "10.9.9.9"))
+	capture := &deadlineCapture{inner: &transport.Pipe{Handlers: map[transport.Addr]transport.Handler{
+		"10.0.0.1": authserver.New(root),
+		"10.0.5.1": authserver.New(ex),
+	}}}
+	cs := newPipeHierarchy(t, Config{
+		Transport:  capture,
+		RefreshTTL: true,
+		Renewal:    LRU{C: 2},
+	}, irrTTL, 0)
+
+	if _, err := cs.Resolve(context.Background(), dnswire.MustName("www.example."), dnswire.TypeA); err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if _, ok := cs.NextRenewalDue(); !ok {
+		t.Fatal("no renewal scheduled after resolution")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go cs.RunRenewalLoop(ctx)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for cs.Stats().Renewals == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("renewal loop never issued a refetch")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+
+	total, bounded := capture.counts()
+	if bounded != total {
+		t.Errorf("%d/%d upstream exchanges carried a deadline, want all", bounded, total)
+	}
+}

@@ -211,6 +211,12 @@ func (cs *CachingServer) renewZone(ctx context.Context, zone dnswire.Name, now t
 	return true
 }
 
+// renewalCycleTimeout bounds one live renewal sweep. A sweep refetches
+// every due zone sequentially, so it inherits the slowest upstream on
+// the list; 30s is enough for a handful of full referral walks and
+// small enough that a wedged sweep clears before renewals pile up.
+const renewalCycleTimeout = 30 * time.Second
+
 // RunRenewalLoop services renewals in real time until ctx is cancelled.
 // Use it with the wall clock when running as a live caching server; the
 // trace-driven simulator calls ProcessDueRenewals directly instead.
@@ -235,6 +241,13 @@ func (cs *CachingServer) RunRenewalLoop(ctx context.Context) {
 			return
 		case <-time.After(wait):
 		}
-		cs.ProcessDueRenewals(ctx, cs.cfg.Clock.Now())
+		// Each sweep gets its own deadline: a renewal refetch against a
+		// black-holed authoritative must not hang the loop (and with it
+		// every later renewal) past the next polling rounds. The
+		// simulator path (ProcessDueRenewals called directly) stays
+		// unbounded — the virtual clock cannot hang.
+		cctx, cancel := context.WithTimeout(ctx, renewalCycleTimeout)
+		cs.ProcessDueRenewals(cctx, cs.cfg.Clock.Now())
+		cancel()
 	}
 }

@@ -2,11 +2,21 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"resilientdns/internal/cache"
 	"resilientdns/internal/dnswire"
 	"resilientdns/internal/resolve"
 )
+
+// flightTimeout is the hard ceiling on one detached flight. A flight
+// deliberately outlives any single caller (a cancelled leader hands off
+// to the remaining waiters), so no caller's deadline bounds it — without
+// its own ceiling a black-holed upstream chain would pin the flight
+// goroutine and its table slot indefinitely. Generous compared to the
+// frontend's per-query budget: the flight only needs to die eventually,
+// waiters give up on their own schedule.
+const flightTimeout = 30 * time.Second
 
 // flightCall is one in-flight resolution of a (name, type) pair shared by
 // every concurrent Resolve call asking the same question.
@@ -40,7 +50,7 @@ func (cs *CachingServer) resolveCoalesced(ctx context.Context, tr *resolve.Trace
 	cs.flightMu.Lock()
 	c, joined := cs.flight[key]
 	if !joined {
-		fctx, fcancel := context.WithCancel(context.Background())
+		fctx, fcancel := context.WithTimeout(context.Background(), flightTimeout)
 		c = &flightCall{done: make(chan struct{}), cancel: fcancel}
 		cs.flight[key] = c
 		go cs.runFlight(fctx, key, c, qname, qtype)

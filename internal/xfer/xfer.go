@@ -170,12 +170,21 @@ func (s *Secondary) HandleQuery(q *dnswire.Message) *dnswire.Message {
 	return srv.HandleQuery(q)
 }
 
+// pollTimeout bounds one refresh round: an SOA serial check plus, when
+// the serial moved, a full AXFR over TCP.
+const pollTimeout = 30 * time.Second
+
 // Run refreshes the zone until ctx is cancelled, polling at the SOA
 // refresh interval (or PollInterval when set). Transfer errors are
 // retried at the poll cadence.
 func (s *Secondary) Run(ctx context.Context) {
 	for {
-		_, _ = s.Refresh(ctx) //nolint:errcheck // retried next round
+		// One poll (SOA check plus any transfer) gets its own deadline:
+		// a black-holed primary must not hang the loop past its next
+		// tick, it just fails this round and is retried.
+		rctx, cancel := context.WithTimeout(ctx, pollTimeout)
+		_, _ = s.Refresh(rctx) //nolint:errcheck // retried next round
+		cancel()
 		interval := s.PollInterval
 		if interval == 0 {
 			interval = time.Minute

@@ -238,3 +238,50 @@ func TestAXFROverUDPTruncates(t *testing.T) {
 		t.Fatal("truncated UDP transfer accepted")
 	}
 }
+
+// boundedCheckTransport wraps a transport and records whether every
+// exchange context carried a deadline.
+type boundedCheckTransport struct {
+	inner   transport.Transport
+	total   atomic.Int64
+	bounded atomic.Int64
+}
+
+func (b *boundedCheckTransport) Exchange(ctx context.Context, server transport.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+	b.total.Add(1)
+	if _, ok := ctx.Deadline(); ok {
+		b.bounded.Add(1)
+	}
+	return b.inner.Exchange(ctx, server, q)
+}
+
+// TestSecondaryRunBoundsPolls verifies that the refresh loop gives each
+// poll its own deadline even when its context has none: a black-holed
+// primary must fail one round, not hang the loop.
+func TestSecondaryRunBoundsPolls(t *testing.T) {
+	h := &swappableHandler{}
+	h.cur.Store(authserver.New(buildZone(t, 1)))
+	addr := startPrimary(t, h)
+	capture := &boundedCheckTransport{inner: &transport.TCP{Timeout: time.Second}}
+	sec := &Secondary{
+		Zone:         dnswire.MustName("example."),
+		Primary:      transport.Addr(addr),
+		Transport:    capture,
+		PollInterval: 20 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go sec.Run(ctx)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for sec.Serial() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("initial transfer never happened")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if total, bounded := capture.total.Load(), capture.bounded.Load(); total == 0 || bounded != total {
+		t.Errorf("%d/%d poll exchanges carried a deadline, want all (and at least one)", bounded, total)
+	}
+}
