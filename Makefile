@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-sarif test race check bench fuzz mesh-test
+.PHONY: build vet lint lint-sarif test race check bench bench-short bench-paper fuzz mesh-test
 
 build:
 	$(GO) build ./...
@@ -41,7 +41,25 @@ mesh-test:
 # check is what CI runs: the race detector and dnslint gate every PR.
 check: build vet lint race mesh-test
 
+# bench is the perf-trajectory snapshot: wire-hot-path micro-benchmarks
+# plus a dnsperf run against a real dnsserver+dnscache pair on loopback,
+# written to BENCH_10.json (qps, p50/p99, allocs/op). Compare against the
+# baseline recorded in EXPERIMENTS.md before accepting a perf-sensitive
+# change.
 bench:
+	$(GO) build -o bin/dnsserver ./cmd/dnsserver
+	$(GO) build -o bin/dnscache ./cmd/dnscache
+	$(GO) build -o bin/dnsperf ./cmd/dnsperf
+	$(GO) run ./cmd/dnsbench -out BENCH_10.json
+
+# bench-short is the CI variant: micro-benchmarks only, no sockets beyond
+# loopback exchange, no separate processes.
+bench-short:
+	$(GO) run ./cmd/dnsbench -e2e=false -out BENCH_10.json
+
+# bench-paper regenerates every table/figure benchmark in the root suite
+# (the paper-reproduction harness, one iteration each).
+bench-paper:
 	$(GO) test -bench=. -benchtime=1x .
 
 # fuzz is the CI smoke pass over the wire-format and persist-format parsers.

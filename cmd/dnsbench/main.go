@@ -1,0 +1,261 @@
+// Command dnsbench produces the repo's perf-trajectory snapshot
+// (BENCH_10.json and successors): steady-state micro-benchmarks of the
+// wire hot path measured in-process via testing.Benchmark, plus an
+// end-to-end dnsperf run against a real dnsserver+dnscache pair on
+// loopback. `make bench` runs it with the defaults; CI runs the
+// micro-only mode (-e2e=false) and uploads the result as an artifact.
+//
+// Usage:
+//
+//	dnsbench -out BENCH_10.json                 # full run (needs bin/)
+//	dnsbench -e2e=false -out BENCH_10.json      # micro-benchmarks only
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"resilientdns/internal/dnswire"
+	"resilientdns/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dnsbench:", err)
+		os.Exit(1)
+	}
+}
+
+// metric is one benchmark's steady-state cost.
+type metric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the BENCH_N.json shape. Fields are additive-only so later
+// issues can diff their snapshot against this one.
+type report struct {
+	Issue  int               `json:"issue"`
+	Micro  map[string]metric `json:"micro"`
+	Perf   json.RawMessage   `json:"dnsperf,omitempty"`
+	Config benchConfig       `json:"config"`
+}
+
+type benchConfig struct {
+	DurationS   float64 `json:"duration_s"`
+	Concurrency int     `json:"concurrency"`
+	UDPReaders  int     `json:"udp_readers"`
+}
+
+func run() error {
+	out := flag.String("out", "BENCH_10.json", "output file")
+	binDir := flag.String("bin", "bin", "directory holding dnsserver, dnscache, dnsperf (with -e2e)")
+	zone := flag.String("zone", "testdata/example.zone", "zone file served by the e2e dnsserver")
+	serverAddr := flag.String("server-addr", "127.0.0.1:5300", "e2e dnsserver listen address")
+	cacheAddr := flag.String("cache-addr", "127.0.0.1:5301", "e2e dnscache listen address")
+	duration := flag.Duration("duration", 5*time.Second, "e2e dnsperf duration")
+	concurrency := flag.Int("concurrency", 8, "e2e dnsperf concurrency")
+	udpReaders := flag.Int("udp-readers", 1, "e2e dnscache -udp-readers")
+	e2e := flag.Bool("e2e", true, "run the dnsperf end-to-end pass (needs built binaries)")
+	flag.Parse()
+
+	rep := report{
+		Issue: 10,
+		Micro: runMicro(),
+		Config: benchConfig{
+			DurationS:   duration.Seconds(),
+			Concurrency: *concurrency,
+			UDPReaders:  *udpReaders,
+		},
+	}
+	for name, m := range rep.Micro {
+		fmt.Printf("micro %-18s %10.1f ns/op %8d B/op %6d allocs/op\n",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+
+	if *e2e {
+		perf, err := runE2E(*binDir, *zone, *serverAddr, *cacheAddr, *duration, *concurrency, *udpReaders)
+		if err != nil {
+			return err
+		}
+		rep.Perf = perf
+		fmt.Printf("dnsperf: %s\n", perf)
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// sampleMessage mirrors the dnswire round-trip fixture: a compressible
+// referral-shaped response (1 question, 1 answer, 2 NS, 2 glue).
+func sampleMessage() *dnswire.Message {
+	mkA := func(name string, ip string) dnswire.RR {
+		return dnswire.RR{Name: dnswire.MustName(name), Class: dnswire.ClassIN, TTL: 3600,
+			Data: dnswire.A{Addr: netip.MustParseAddr(ip)}}
+	}
+	mkNS := func(name, host string) dnswire.RR {
+		return dnswire.RR{Name: dnswire.MustName(name), Class: dnswire.ClassIN, TTL: 86400,
+			Data: dnswire.NS{Host: dnswire.MustName(host)}}
+	}
+	m := dnswire.NewQuery(0x1234, dnswire.MustName("www.example.com"), dnswire.TypeA)
+	m.Flags.RecursionDesired = true
+	r := m.Reply()
+	r.Flags.Authoritative = true
+	r.Answer = []dnswire.RR{mkA("www.example.com", "192.0.2.1")}
+	r.Authority = []dnswire.RR{mkNS("example.com", "ns1.example.com"), mkNS("example.com", "ns2.example.com")}
+	r.Additional = []dnswire.RR{mkA("ns1.example.com", "192.0.2.53"), mkA("ns2.example.com", "192.0.2.54")}
+	return r
+}
+
+// runMicro measures the wire hot path in-process. testing.Benchmark
+// auto-scales N, so each number is a steady-state figure.
+func runMicro() map[string]metric {
+	msg := sampleMessage()
+	wire, err := msg.Pack()
+	if err != nil {
+		panic(err)
+	}
+	scratch := make([]byte, 0, 1024)
+
+	micro := map[string]metric{}
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		micro[name] = metric{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+
+	record("wire_pack", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := msg.Pack(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("wire_append_pack", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := msg.AppendPack(scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("wire_unpack", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dnswire.Unpack(wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("udp_exchange", func(b *testing.B) {
+		srv := &transport.UDPServer{Handler: transport.HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+			r := q.Reply()
+			r.Answer = []dnswire.RR{{Name: q.Question[0].Name, Class: dnswire.ClassIN, TTL: 60,
+				Data: dnswire.A{Addr: netip.MustParseAddr("192.0.2.1")}}}
+			return r
+		})}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		u := &transport.UDP{Timeout: 2 * time.Second}
+		q := dnswire.NewQuery(1, dnswire.MustName("www.example.com"), dnswire.TypeA)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := u.Exchange(context.Background(), transport.Addr(addr), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return micro
+}
+
+// runE2E starts dnsserver and dnscache from binDir, waits until the
+// cache answers, runs dnsperf against it, and returns dnsperf's -json
+// output verbatim.
+func runE2E(binDir, zone, serverAddr, cacheAddr string, duration time.Duration, concurrency, udpReaders int) (json.RawMessage, error) {
+	for _, bin := range []string{"dnsserver", "dnscache", "dnsperf"} {
+		if _, err := os.Stat(filepath.Join(binDir, bin)); err != nil {
+			return nil, fmt.Errorf("e2e needs %s/%s (run `make bench`, which builds it): %w", binDir, bin, err)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	server := exec.CommandContext(ctx, filepath.Join(binDir, "dnsserver"),
+		"-listen", serverAddr, "-zone", "example.com="+zone)
+	server.Stderr = os.Stderr
+	if err := server.Start(); err != nil {
+		return nil, fmt.Errorf("start dnsserver: %w", err)
+	}
+	defer func() { cancel(); server.Wait() }()
+
+	cache := exec.CommandContext(ctx, filepath.Join(binDir, "dnscache"),
+		"-listen", cacheAddr, "-root", serverAddr,
+		"-udp-readers", fmt.Sprint(udpReaders), "-stats", "0")
+	cache.Stderr = os.Stderr
+	if err := cache.Start(); err != nil {
+		return nil, fmt.Errorf("start dnscache: %w", err)
+	}
+	defer func() { cancel(); cache.Wait() }()
+
+	if err := waitReady(cacheAddr, 10*time.Second); err != nil {
+		return nil, err
+	}
+
+	jsonPath := filepath.Join(os.TempDir(), fmt.Sprintf("dnsperf-%d.json", os.Getpid()))
+	defer os.Remove(jsonPath)
+	perf := exec.CommandContext(ctx, filepath.Join(binDir, "dnsperf"),
+		"-server", cacheAddr, "-name", "www.example.com",
+		"-duration", duration.String(), "-concurrency", fmt.Sprint(concurrency),
+		"-json", jsonPath)
+	perf.Stdout = os.Stdout
+	perf.Stderr = os.Stderr
+	if err := perf.Run(); err != nil {
+		return nil, fmt.Errorf("dnsperf: %w", err)
+	}
+	return os.ReadFile(jsonPath)
+}
+
+// waitReady polls the cache with a real query until it resolves —
+// which also warms the cache, so the measured run is the hot path.
+func waitReady(addr string, patience time.Duration) error {
+	u := &transport.UDP{Timeout: 500 * time.Millisecond}
+	q := dnswire.NewQuery(9, dnswire.MustName("www.example.com"), dnswire.TypeA)
+	q.Flags.RecursionDesired = true
+	deadline := time.Now().Add(patience)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		resp, err := u.Exchange(ctx, transport.Addr(addr), q)
+		cancel()
+		if err == nil && resp.RCode == dnswire.RCodeNoError {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("dnscache at %s not ready after %s", addr, patience)
+}

@@ -117,6 +117,7 @@ func run() error {
 	queryLog := flag.String("query-log", "", "append one JSON line per finished query trace to this file (empty = off; enables per-query tracing)")
 	port := flag.Int("upstream-port", 53, "port appended to learned name-server addresses")
 	maxInflight := flag.Int("max-inflight", transport.DefaultMaxInflight, "max queries handled concurrently per listener")
+	udpReaders := flag.Int("udp-readers", 1, "UDP socket read-loop goroutines (1 = classic single reader)")
 	statsEvery := flag.Duration("stats", time.Minute, "stats reporting interval (0 = off)")
 	minTimeout := flag.Duration("min-timeout", 200*time.Millisecond, "lower clamp on the adaptive per-attempt upstream timeout")
 	maxTimeout := flag.Duration("max-timeout", 3*time.Second, "upper clamp on the adaptive per-attempt upstream timeout")
@@ -346,7 +347,7 @@ func run() error {
 	guardCounters := &metrics.GuardCounters{}
 	guardOn := *clientRPS > 0 || *overloadCacheOnly
 	var udpHandler transport.Handler = cs
-	udp := &transport.UDPServer{MaxInflight: *maxInflight, Counters: guardCounters}
+	udp := &transport.UDPServer{MaxInflight: *maxInflight, Readers: *udpReaders, Counters: guardCounters}
 	if guardOn {
 		// Handshake-confirmed mesh peers bypass the per-client bucket: a
 		// cooperating fleet member must never be rate-limited mid-attack.

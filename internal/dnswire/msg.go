@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"sync"
 )
 
 // Message is a complete DNS message: header flags plus the four sections.
@@ -149,28 +150,63 @@ func (m *Message) TruncatedCopy() *Message {
 	return t
 }
 
-// packer accumulates the wire encoding of a message and tracks name
-// compression targets.
-type packer struct {
+// Packer accumulates the wire encoding of messages and tracks name
+// compression targets. A Packer is reusable: Reset (or Pack, which
+// resets implicitly) clears the output and compression state while
+// keeping the allocated buffer and map, so a long-lived Packer encodes
+// messages without steady-state allocation. The zero value is ready to
+// use. A Packer must not be used concurrently.
+type Packer struct {
 	buf []byte
-	// ptr maps a canonical name to the offset of its first occurrence.
+	// base is the offset in buf where the current message starts;
+	// compression pointers are relative to it (AppendPack may start
+	// mid-buffer, e.g. after a TCP length prefix).
+	base int
+	// ptr maps a canonical name to the message-relative offset of its
+	// first occurrence.
 	ptr map[Name]int
 	// noCompress disables pointer emission entirely (DNSSEC canonical
 	// form, RFC 4034 §6.2).
 	noCompress bool
 }
 
-func (p *packer) appendUint16(v uint16) {
+// Reset discards the accumulated output and compression state, keeping
+// the buffer and map capacity for reuse.
+func (p *Packer) Reset() {
+	p.buf = p.buf[:0]
+	p.base = 0
+	clear(p.ptr)
+}
+
+// Pack resets the Packer and encodes m into its internal buffer. The
+// returned slice is owned by the Packer and valid only until the next
+// Pack or Reset call; callers that need the bytes beyond that must copy.
+func (p *Packer) Pack(m *Message) ([]byte, error) {
+	p.Reset()
+	if err := p.pack(m); err != nil {
+		return nil, err
+	}
+	return p.buf, nil
+}
+
+// packerPool recycles the compression state behind Message.AppendPack so
+// the convenience API allocates nothing beyond the caller's destination
+// buffer in steady state.
+var packerPool = sync.Pool{New: func() any { return new(Packer) }}
+
+func (p *Packer) appendUint16(v uint16) {
 	p.buf = append(p.buf, byte(v>>8), byte(v))
 }
 
-func (p *packer) appendUint32(v uint32) {
+func (p *Packer) appendUint32(v uint32) {
 	p.buf = append(p.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
 // appendCompressedName appends n, using a compression pointer when a
 // suffix of n has already been written, and recording new suffixes.
-func (p *packer) appendCompressedName(n Name) error {
+// Suffixes are substrings of the canonical name, so tracking them
+// allocates no memory beyond the map itself.
+func (p *Packer) appendCompressedName(n Name) error {
 	if n == "" {
 		return errors.New("dnswire: empty name")
 	}
@@ -179,49 +215,85 @@ func (p *packer) appendCompressedName(n Name) error {
 		p.buf, err = appendName(p.buf, n)
 		return err
 	}
-	labels := n.Labels()
-	for i := range labels {
-		suffix := Name(strings.Join(labels[i:], ".") + ".")
-		if off, ok := p.ptr[suffix]; ok && off <= 0x3FFF {
-			// Emit the labels before the matched suffix, then the pointer.
-			for _, label := range labels[:i] {
-				if len(label) > MaxLabelLen {
-					return ErrLabelTooLong
-				}
-				p.buf = append(p.buf, byte(len(label)))
-				p.buf = append(p.buf, label...)
-			}
+	s := string(n)
+	for start := 0; start < len(s); {
+		suffix := n[start:]
+		if suffix == Root {
+			break // the root's empty name is never a compression target
+		}
+		off, ok := p.ptr[suffix]
+		if ok && off <= 0x3FFF {
 			p.appendUint16(0xC000 | uint16(off))
 			return nil
 		}
-		// Record this suffix's offset for future pointers.
-		off := len(p.buf)
-		for _, label := range labels[:i] {
-			off += 1 + len(label)
+		if !ok {
+			if p.ptr == nil {
+				p.ptr = make(map[Name]int)
+			}
+			p.ptr[suffix] = len(p.buf) - p.base
 		}
-		if p.ptr == nil {
-			p.ptr = make(map[Name]int)
+		var label string
+		if dot := strings.IndexByte(s[start:], '.'); dot < 0 {
+			label = s[start:]
+			start = len(s)
+		} else {
+			label = s[start : start+dot]
+			start += dot + 1
 		}
-		if _, ok := p.ptr[suffix]; !ok {
-			p.ptr[suffix] = off
+		if len(label) > MaxLabelLen {
+			return ErrLabelTooLong
 		}
+		p.buf = append(p.buf, byte(len(label)))
+		p.buf = append(p.buf, label...)
 	}
-	var err error
-	p.buf, err = appendName(p.buf, n)
-	return err
+	p.buf = append(p.buf, 0)
+	return nil
 }
 
 // appendUncompressedName appends n without using or creating pointers
 // (required for RDATA of types not covered by RFC 1035 compression rules).
-func (p *packer) appendUncompressedName(n Name) error {
+func (p *Packer) appendUncompressedName(n Name) error {
 	var err error
 	p.buf, err = appendName(p.buf, n)
 	return err
 }
 
-// Pack encodes the message into wire format with name compression.
+// Pack encodes the message into wire format with name compression. The
+// returned buffer is freshly allocated and owned by the caller; hot
+// paths that can recycle buffers should prefer AppendPack or a reused
+// Packer.
 func (m *Message) Pack() ([]byte, error) {
-	p := &packer{buf: make([]byte, 0, 512)}
+	return m.AppendPack(make([]byte, 0, 512))
+}
+
+// AppendPack appends the wire encoding of m to dst and returns the
+// extended slice (reallocated if dst lacks capacity, like append).
+// Compression pointers are relative to len(dst), so a caller may pack
+// after a prefix — e.g. the TCP two-byte length — in the same buffer.
+// The packing scratch state is pooled; steady-state callers that pass a
+// recycled dst allocate nothing.
+func (m *Message) AppendPack(dst []byte) ([]byte, error) {
+	p := packerPool.Get().(*Packer)
+	p.buf = dst
+	p.base = len(dst)
+	err := p.pack(m)
+	out := p.buf
+	// Drop the buffer reference (it belongs to the caller) and clear the
+	// compression map (its keys are substrings of m's names) before
+	// pooling the scratch state.
+	p.buf = nil
+	p.base = 0
+	clear(p.ptr)
+	packerPool.Put(p)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pack appends the wire encoding of one message to p.buf, with p.base
+// already marking the message start.
+func (p *Packer) pack(m *Message) error {
 	p.appendUint16(m.ID)
 
 	var flags uint16
@@ -252,14 +324,14 @@ func (m *Message) Pack() ([]byte, error) {
 
 	for _, n := range []int{len(m.Question), len(m.Answer), len(m.Authority), len(m.Additional)} {
 		if n > 0xFFFF {
-			return nil, errors.New("dnswire: section too large")
+			return errors.New("dnswire: section too large")
 		}
 		p.appendUint16(uint16(n))
 	}
 
 	for _, q := range m.Question {
 		if err := p.appendCompressedName(q.Name); err != nil {
-			return nil, fmt.Errorf("packing question %s: %w", q.Name, err)
+			return fmt.Errorf("packing question %s: %w", q.Name, err)
 		}
 		p.appendUint16(uint16(q.Type))
 		p.appendUint16(uint16(q.Class))
@@ -267,14 +339,14 @@ func (m *Message) Pack() ([]byte, error) {
 	for _, section := range [][]RR{m.Answer, m.Authority, m.Additional} {
 		for _, rr := range section {
 			if err := p.appendRR(rr); err != nil {
-				return nil, fmt.Errorf("packing %s %s: %w", rr.Name, rr.Type(), err)
+				return fmt.Errorf("packing %s %s: %w", rr.Name, rr.Type(), err)
 			}
 		}
 	}
-	return p.buf, nil
+	return nil
 }
 
-func (p *packer) appendRR(rr RR) error {
+func (p *Packer) appendRR(rr RR) error {
 	if rr.Data == nil {
 		return errors.New("dnswire: RR with nil data")
 	}
@@ -299,10 +371,36 @@ func (p *packer) appendRR(rr RR) error {
 	return nil
 }
 
-// unpacker walks a wire-format message.
+// nameCacheSize bounds the per-message decoded-name cache. Messages
+// rarely carry more distinct names than this; past the bound, names
+// still decode correctly, just without reuse.
+const nameCacheSize = 24
+
+// unpacker walks a wire-format message. It is used by value on the
+// stack; msg is the unpacker's private arena copy of the wire, from
+// which the decoded Message's byte-slice fields are sliced directly.
 type unpacker struct {
 	msg []byte
 	off int
+
+	// nameBuf is the scratch the decoder lowercases labels into before
+	// the single string conversion that builds each Name; it lives in
+	// the (stack-allocated) unpacker so decoding allocates nothing
+	// beyond the resulting string.
+	nameBuf [MaxNameWireLen]byte
+
+	// names caches decoded names by the offset of their encoding, so a
+	// name reached again through a compression pointer (an RR owner
+	// pointing at the question, NS targets sharing a zone suffix) is
+	// returned without re-decoding or re-allocating.
+	names  [nameCacheSize]cachedName
+	nNames int
+}
+
+type cachedName struct {
+	off  int32
+	end  int32 // offset just past the encoding at off; 0 = pointer-target entry
+	name Name
 }
 
 func (u *unpacker) uint16() (uint16, error) {
@@ -324,20 +422,58 @@ func (u *unpacker) uint32() (uint32, error) {
 	return v, nil
 }
 
+// cachedAt returns the already-decoded name whose encoding starts at off.
+func (u *unpacker) cachedAt(off int) (Name, bool) {
+	for i := 0; i < u.nNames; i++ {
+		if u.names[i].off == int32(off) {
+			return u.names[i].name, true
+		}
+	}
+	return "", false
+}
+
+func (u *unpacker) cacheName(off, end int, n Name) {
+	if u.nNames < nameCacheSize {
+		u.names[u.nNames] = cachedName{off: int32(off), end: int32(end), name: n}
+		u.nNames++
+	}
+}
+
 // name decodes a possibly-compressed name starting at the current offset.
 func (u *unpacker) name() (Name, error) {
-	n, newOff, err := decodeName(u.msg, u.off)
+	start := u.off
+	for i := 0; i < u.nNames; i++ {
+		if c := &u.names[i]; c.off == int32(start) && c.end > 0 {
+			u.off = int(c.end)
+			return c.name, nil
+		}
+	}
+	n, end, err := u.decodeNameAt(start)
 	if err != nil {
 		return "", err
 	}
-	u.off = newOff
+	u.off = end
+	u.cacheName(start, end, n)
+	// When the encoding is a bare compression pointer, the same target
+	// is typically referenced again (repeated RR owners); cache it under
+	// the target offset too so those later references hit.
+	if b := u.msg[start]; b&0xC0 == 0xC0 && end == start+2 {
+		target := int(b&0x3F)<<8 | int(u.msg[start+1])
+		if _, ok := u.cachedAt(target); !ok {
+			u.cacheName(target, 0, n)
+		}
+	}
 	return n, nil
 }
 
-// decodeName decodes a name at off in msg, following compression pointers.
-// It returns the name and the offset just past the name's first encoding.
-func decodeName(msg []byte, off int) (Name, int, error) {
-	var sb strings.Builder
+// decodeNameAt decodes the name at start, following compression
+// pointers, lowercasing and validating labels in place. It returns the
+// canonical name and the offset just past the name's first encoding.
+// The one allocation is the resulting string.
+func (u *unpacker) decodeNameAt(start int) (Name, int, error) {
+	msg := u.msg
+	buf := u.nameBuf[:0]
+	off := start
 	ptrBudget := len(msg) // any longer chain must contain a loop
 	end := -1             // offset after the name at the original position
 	for {
@@ -350,14 +486,10 @@ func decodeName(msg []byte, off int) (Name, int, error) {
 			if end < 0 {
 				end = off + 1
 			}
-			if sb.Len() == 0 {
+			if len(buf) == 0 {
 				return Root, end, nil
 			}
-			n, err := CanonicalName(sb.String())
-			if err != nil {
-				return "", 0, err
-			}
-			return n, end, nil
+			return Name(buf), end, nil
 		case b&0xC0 == 0xC0:
 			if off+2 > len(msg) {
 				return "", 0, ErrTruncatedMessage
@@ -368,6 +500,20 @@ func decodeName(msg []byte, off int) (Name, int, error) {
 			target := int(b&0x3F)<<8 | int(msg[off+1])
 			if target >= off {
 				return "", 0, fmt.Errorf("%w: forward pointer", ErrCompressionLoop)
+			}
+			// A cached name at the target finishes the decode: append
+			// would just re-walk bytes that produced it.
+			if tail, ok := u.cachedAt(target); ok {
+				if len(buf)+len(tail) > MaxNameWireLen-1 {
+					return "", 0, fmt.Errorf("%w: %q", ErrNameTooLong, buf)
+				}
+				if len(buf) == 0 {
+					return tail, end, nil
+				}
+				if !tail.IsRoot() {
+					buf = append(buf, tail...)
+				}
+				return Name(buf), end, nil
 			}
 			ptrBudget--
 			if ptrBudget <= 0 {
@@ -381,14 +527,31 @@ func decodeName(msg []byte, off int) (Name, int, error) {
 			if off+1+l > len(msg) {
 				return "", 0, ErrTruncatedMessage
 			}
-			sb.Write(msg[off+1 : off+1+l])
-			sb.WriteByte('.')
-			off += 1 + l
-			if sb.Len() > MaxNameWireLen*4 {
-				return "", 0, ErrNameTooLong
+			// One pass per label: lowercase, validate, and copy. The
+			// wire bound (len ≤ 63) already enforces MaxLabelLen.
+			if len(buf)+l+1 > MaxNameWireLen-1 {
+				return "", 0, fmt.Errorf("%w: %q", ErrNameTooLong, msg[off+1:off+1+l])
 			}
+			for _, c := range msg[off+1 : off+1+l] {
+				if c >= 'A' && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				if !labelCharOK(c) {
+					return "", 0, fmt.Errorf("%w: %q", ErrBadLabel, msg[off+1:off+1+l])
+				}
+				buf = append(buf, c)
+			}
+			buf = append(buf, '.')
+			off += 1 + l
 		}
 	}
+}
+
+// decodeName decodes a name at off in msg, following compression pointers.
+// It returns the name and the offset just past the name's first encoding.
+func decodeName(msg []byte, off int) (Name, int, error) {
+	u := unpacker{msg: msg}
+	return u.decodeNameAt(off)
 }
 
 // Header is a decoded DNS message header, the 12 fixed bytes every
@@ -428,9 +591,29 @@ func decodeFlags(flags uint16) (Flags, Opcode, RCode) {
 	return f, Opcode(flags >> 11 & 0xF), RCode(flags & 0xF)
 }
 
+// sectionCap bounds a section's preallocation by what the remaining
+// bytes could possibly hold (minBytes per entry), so a forged count in a
+// short packet cannot force a huge allocation before parsing fails.
+func sectionCap(count uint16, remaining, minBytes int) int {
+	if c := remaining / minBytes; int(count) > c {
+		return c
+	}
+	return int(count)
+}
+
 // Unpack decodes a wire-format DNS message.
+//
+// Ownership: the returned Message owns all of its data. Unpack makes
+// exactly one private copy of the wire; every byte-slice RData field
+// (OPT options, DNSSEC key/digest/signature material, Unknown raw
+// payloads) is sliced from that copy rather than copied again, and
+// every Name is a freshly built string. The caller may therefore reuse
+// or recycle b — including returning a pooled read buffer — the moment
+// Unpack returns, and the Message stays valid for as long as any of its
+// records are retained (each retained slice keeps the one backing copy
+// alive).
 func Unpack(b []byte) (*Message, error) {
-	u := &unpacker{msg: b}
+	u := unpacker{msg: append([]byte(nil), b...)}
 	m := &Message{}
 
 	var err error
@@ -450,6 +633,10 @@ func Unpack(b []byte) (*Message, error) {
 		}
 	}
 
+	if counts[0] > 0 {
+		// Smallest question: 1-byte root name + type + class.
+		m.Question = make([]Question, 0, sectionCap(counts[0], len(u.msg)-u.off, 5))
+	}
 	for i := 0; i < int(counts[0]); i++ {
 		var q Question
 		if q.Name, err = u.name(); err != nil {
@@ -467,8 +654,13 @@ func Unpack(b []byte) (*Message, error) {
 		m.Question = append(m.Question, q)
 	}
 
-	sections := []*[]RR{&m.Answer, &m.Authority, &m.Additional}
+	sections := [3]*[]RR{&m.Answer, &m.Authority, &m.Additional}
 	for si, dst := range sections {
+		if counts[si+1] == 0 {
+			continue
+		}
+		// Smallest RR: 1-byte name + fixed 10-byte body, empty RDATA.
+		*dst = make([]RR, 0, sectionCap(counts[si+1], len(u.msg)-u.off, 11))
 		for i := 0; i < int(counts[si+1]); i++ {
 			rr, err := u.rr()
 			if err != nil {
@@ -477,8 +669,8 @@ func Unpack(b []byte) (*Message, error) {
 			*dst = append(*dst, rr)
 		}
 	}
-	if u.off != len(b) {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTrailingBytes, len(b)-u.off)
+	if u.off != len(u.msg) {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTrailingBytes, len(u.msg)-u.off)
 	}
 	return m, nil
 }
@@ -520,6 +712,18 @@ func (u *unpacker) rr() (RR, error) {
 		return rr, fmt.Errorf("dnswire: RDATA length mismatch for %s", Type(t))
 	}
 	return rr, nil
+}
+
+// arena returns the RDATA bytes from the current offset to rdEnd as a
+// capacity-clamped slice of the unpacker's private wire copy — the
+// zero-copy half of the ownership contract documented on Unpack. An
+// empty range returns nil so round-tripped records compare equal to
+// their hand-built forms.
+func (u *unpacker) arena(rdEnd int) []byte {
+	if u.off == rdEnd {
+		return nil
+	}
+	return u.msg[u.off:rdEnd:rdEnd]
 }
 
 func (u *unpacker) rdata(t Type, rdEnd int) (RData, error) {
@@ -605,7 +809,7 @@ func (u *unpacker) rdata(t Type, rdEnd int) (RData, error) {
 		}
 		return s, nil
 	case TypeOPT:
-		o := OPT{Options: append([]byte(nil), u.msg[u.off:rdEnd]...)}
+		o := OPT{Options: u.arena(rdEnd)}
 		u.off = rdEnd
 		return o, nil
 	case TypeDNSKEY:
@@ -620,7 +824,7 @@ func (u *unpacker) rdata(t Type, rdEnd int) (RData, error) {
 		k.Protocol = u.msg[u.off]
 		k.Algorithm = u.msg[u.off+1]
 		u.off += 2
-		k.PublicKey = append([]byte(nil), u.msg[u.off:rdEnd]...)
+		k.PublicKey = u.arena(rdEnd)
 		u.off = rdEnd
 		return k, nil
 	case TypeDS:
@@ -635,7 +839,7 @@ func (u *unpacker) rdata(t Type, rdEnd int) (RData, error) {
 		d.Algorithm = u.msg[u.off]
 		d.DigestType = u.msg[u.off+1]
 		u.off += 2
-		d.Digest = append([]byte(nil), u.msg[u.off:rdEnd]...)
+		d.Digest = u.arena(rdEnd)
 		u.off = rdEnd
 		return d, nil
 	case TypeRRSIG:
@@ -665,11 +869,11 @@ func (u *unpacker) rdata(t Type, rdEnd int) (RData, error) {
 		if u.off > rdEnd {
 			return nil, ErrTruncatedMessage
 		}
-		s.Signature = append([]byte(nil), u.msg[u.off:rdEnd]...)
+		s.Signature = u.arena(rdEnd)
 		u.off = rdEnd
 		return s, nil
 	default:
-		raw := Unknown{TypeCode: t, Raw: append([]byte(nil), u.msg[u.off:rdEnd]...)}
+		raw := Unknown{TypeCode: t, Raw: u.arena(rdEnd)}
 		u.off = rdEnd
 		return raw, nil
 	}

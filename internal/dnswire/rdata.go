@@ -18,7 +18,7 @@ type RData interface {
 	// appendTo appends the wire encoding of the payload (without the
 	// RDLENGTH prefix) to the packer. Names inside RDATA that RFC 3597
 	// allows to be compressed (NS, CNAME, SOA, PTR, MX) are compressed.
-	appendTo(p *packer) error
+	appendTo(p *Packer) error
 }
 
 // RR is a single DNS resource record.
@@ -53,7 +53,7 @@ func (A) Type() Type { return TypeA }
 // String implements RData.
 func (a A) String() string { return a.Addr.String() }
 
-func (a A) appendTo(p *packer) error {
+func (a A) appendTo(p *Packer) error {
 	if !a.Addr.Is4() {
 		return fmt.Errorf("dnswire: A record with non-IPv4 address %v", a.Addr)
 	}
@@ -73,7 +73,7 @@ func (AAAA) Type() Type { return TypeAAAA }
 // String implements RData.
 func (a AAAA) String() string { return a.Addr.String() }
 
-func (a AAAA) appendTo(p *packer) error {
+func (a AAAA) appendTo(p *Packer) error {
 	if !a.Addr.Is6() || a.Addr.Is4In6() {
 		return fmt.Errorf("dnswire: AAAA record with non-IPv6 address %v", a.Addr)
 	}
@@ -95,7 +95,7 @@ func (NS) Type() Type { return TypeNS }
 // String implements RData.
 func (n NS) String() string { return n.Host.String() }
 
-func (n NS) appendTo(p *packer) error { return p.appendCompressedName(n.Host) }
+func (n NS) appendTo(p *Packer) error { return p.appendCompressedName(n.Host) }
 
 // CNAME is a canonical-name alias record payload.
 type CNAME struct {
@@ -108,7 +108,7 @@ func (CNAME) Type() Type { return TypeCNAME }
 // String implements RData.
 func (c CNAME) String() string { return c.Target.String() }
 
-func (c CNAME) appendTo(p *packer) error { return p.appendCompressedName(c.Target) }
+func (c CNAME) appendTo(p *Packer) error { return p.appendCompressedName(c.Target) }
 
 // PTR is a pointer record payload.
 type PTR struct {
@@ -121,7 +121,7 @@ func (PTR) Type() Type { return TypePTR }
 // String implements RData.
 func (r PTR) String() string { return r.Target.String() }
 
-func (r PTR) appendTo(p *packer) error { return p.appendCompressedName(r.Target) }
+func (r PTR) appendTo(p *Packer) error { return p.appendCompressedName(r.Target) }
 
 // SOA is a start-of-authority record payload.
 type SOA struct {
@@ -143,7 +143,7 @@ func (s SOA) String() string {
 		s.MName, s.RName, s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum)
 }
 
-func (s SOA) appendTo(p *packer) error {
+func (s SOA) appendTo(p *Packer) error {
 	if err := p.appendCompressedName(s.MName); err != nil {
 		return err
 	}
@@ -170,7 +170,7 @@ func (MX) Type() Type { return TypeMX }
 // String implements RData.
 func (m MX) String() string { return fmt.Sprintf("%d %s", m.Preference, m.Host) }
 
-func (m MX) appendTo(p *packer) error {
+func (m MX) appendTo(p *Packer) error {
 	p.appendUint16(m.Preference)
 	return p.appendCompressedName(m.Host)
 }
@@ -192,7 +192,7 @@ func (t TXT) String() string {
 	return strings.Join(parts, " ")
 }
 
-func (t TXT) appendTo(p *packer) error {
+func (t TXT) appendTo(p *Packer) error {
 	if len(t.Strings) == 0 {
 		return errors.New("dnswire: TXT record with no strings")
 	}
@@ -223,7 +223,7 @@ func (s SRV) String() string {
 	return fmt.Sprintf("%d %d %d %s", s.Priority, s.Weight, s.Port, s.Target)
 }
 
-func (s SRV) appendTo(p *packer) error {
+func (s SRV) appendTo(p *Packer) error {
 	p.appendUint16(s.Priority)
 	p.appendUint16(s.Weight)
 	p.appendUint16(s.Port)
@@ -242,7 +242,7 @@ func (OPT) Type() Type { return TypeOPT }
 // String implements RData.
 func (o OPT) String() string { return fmt.Sprintf("OPT %d bytes of options", len(o.Options)) }
 
-func (o OPT) appendTo(p *packer) error {
+func (o OPT) appendTo(p *Packer) error {
 	p.buf = append(p.buf, o.Options...)
 	return nil
 }
@@ -260,7 +260,7 @@ func (u Unknown) Type() Type { return u.TypeCode }
 // String implements RData.
 func (u Unknown) String() string { return fmt.Sprintf("\\# %d %x", len(u.Raw), u.Raw) }
 
-func (u Unknown) appendTo(p *packer) error {
+func (u Unknown) appendTo(p *Packer) error {
 	p.buf = append(p.buf, u.Raw...)
 	return nil
 }

@@ -41,7 +41,7 @@ func (k DNSKEY) String() string {
 		base64.StdEncoding.EncodeToString(k.PublicKey))
 }
 
-func (k DNSKEY) appendTo(p *packer) error {
+func (k DNSKEY) appendTo(p *Packer) error {
 	p.appendUint16(k.Flags)
 	p.buf = append(p.buf, k.Protocol, k.Algorithm)
 	p.buf = append(p.buf, k.PublicKey...)
@@ -67,7 +67,7 @@ func (d DS) String() string {
 		hex.EncodeToString(d.Digest))
 }
 
-func (d DS) appendTo(p *packer) error {
+func (d DS) appendTo(p *Packer) error {
 	p.appendUint16(d.KeyTag)
 	p.buf = append(p.buf, d.Algorithm, d.DigestType)
 	p.buf = append(p.buf, d.Digest...)
@@ -99,7 +99,7 @@ func (s RRSIG) String() string {
 		base64.StdEncoding.EncodeToString(s.Signature))
 }
 
-func (s RRSIG) appendTo(p *packer) error {
+func (s RRSIG) appendTo(p *Packer) error {
 	p.appendUint16(uint16(s.TypeCovered))
 	p.buf = append(p.buf, s.Algorithm, s.Labels)
 	p.appendUint32(s.OrigTTL)
@@ -117,7 +117,7 @@ func (s RRSIG) appendTo(p *packer) error {
 // used by DNSSEC key tags, digests, and signature input.
 func rdataWire(d RData) ([]byte, error) {
 	// Canonical form (RFC 4034 §6.2) requires uncompressed names in RDATA.
-	p := &packer{noCompress: true}
+	p := &Packer{noCompress: true}
 	if err := d.appendTo(p); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,30 @@
+package transport
+
+import "sync"
+
+// readBufSize is the size of pooled wire buffers: large enough for the
+// biggest possible DNS message (the TCP length prefix is 16-bit), so one
+// pool serves reads and packing scratch alike.
+const readBufSize = 64 * 1024
+
+// bufPool recycles wire buffers across reads, packs, and exchanges.
+//
+// Ownership rule: a pooled buffer may be returned the moment no wire
+// bytes in it are needed — dnswire.Unpack makes its own private copy of
+// the wire (the Message never aliases the read buffer), and a packed
+// response is done with its scratch once the socket write returns. Every
+// getBuf is paired with a putBuf on all exit paths; a buffer must never
+// be put back while an Unpack or socket write on it is still in flight.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, readBufSize)
+	return &b
+}}
+
+// getBuf leases a readBufSize-capacity buffer from the pool. The pool
+// stores pointers so leasing does not re-allocate the slice header.
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// putBuf returns a leased buffer. The contents need not be cleared: DNS
+// wire parsing is length-driven, so stale bytes past the next read's
+// length are never interpreted.
+func putBuf(b *[]byte) { bufPool.Put(b) }

@@ -33,7 +33,13 @@ func (t *TCP) Exchange(ctx context.Context, server Addr, query *dnswire.Message)
 		deadline = d
 	}
 
-	conn, err := net.Dial("tcp", string(server))
+	// DialContext, not Dial: connect must respect the caller's context.
+	// A black-holed server (SYN dropped) would otherwise hold the dial
+	// for the kernel's own timeout, long past the engine's per-attempt
+	// deadline.
+	var dialer net.Dialer
+	dialer.Deadline = deadline
+	conn, err := dialer.DialContext(ctx, "tcp", string(server))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrServerUnreachable, err)
 	}
@@ -61,32 +67,38 @@ func (t *TCP) Exchange(ctx context.Context, server Addr, query *dnswire.Message)
 	return resp, nil
 }
 
-// WriteTCPMessage writes one length-prefixed DNS message.
+// WriteTCPMessage writes one length-prefixed DNS message. The message is
+// packed into pooled scratch directly after a reserved two-byte prefix,
+// so prefix and body go out in a single write (no tinygram pair) and the
+// scratch is returned once the write completes.
 func WriteTCPMessage(w io.Writer, m *dnswire.Message) error {
-	wire, err := m.Pack()
+	bp := getBuf()
+	defer putBuf(bp)
+	framed, err := m.AppendPack((*bp)[:2])
 	if err != nil {
 		return err
 	}
-	if len(wire) > 0xFFFF {
+	n := len(framed) - 2
+	if n > 0xFFFF {
 		return errors.New("transport: message exceeds TCP length prefix")
 	}
-	var prefix [2]byte
-	binary.BigEndian.PutUint16(prefix[:], uint16(len(wire)))
-	if _, err := w.Write(prefix[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(wire)
+	binary.BigEndian.PutUint16(framed[:2], uint16(n))
+	_, err = w.Write(framed)
 	return err
 }
 
-// ReadTCPMessage reads one length-prefixed DNS message.
+// ReadTCPMessage reads one length-prefixed DNS message. The body lands in
+// a pooled buffer returned before this function does — safe because
+// dnswire.Unpack copies the wire, so the Message never aliases it.
 func ReadTCPMessage(r io.Reader) (*dnswire.Message, error) {
 	var prefix [2]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint16(prefix[:])
-	buf := make([]byte, n)
+	bp := getBuf()
+	defer putBuf(bp)
+	buf := (*bp)[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
@@ -163,10 +175,21 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			continue
 		}
 		s.sem <- struct{}{}
-		resp := s.Handler.HandleQuery(query)
+		// Dispatch with the source address when the handler supports it,
+		// matching the UDP path: per-client policy (guard peer exemption,
+		// per-client tracing) must see TCP clients too.
+		var resp *dnswire.Message
+		if ah, ok := s.Handler.(AddrHandler); ok {
+			resp = ah.HandleQueryFrom(query, conn.RemoteAddr())
+		} else {
+			resp = s.Handler.HandleQuery(query)
+		}
 		<-s.sem
 		if resp == nil {
-			return
+			// The handler dropped this query (guard policy). Dropping one
+			// query must not tear down the connection: later pipelined
+			// queries on the same stream still deserve answers.
+			continue
 		}
 		if err := WriteTCPMessage(conn, resp); err != nil {
 			return

@@ -57,7 +57,13 @@ func (u *UDP) Exchange(ctx context.Context, server Addr, query *dnswire.Message)
 		return nil, err
 	}
 
-	wire, err := query.Pack()
+	// One pooled buffer serves the whole exchange: the query is packed
+	// into it, and once Write returns the kernel owns those bytes, so
+	// the same buffer is reused for reads. Unpack copies the wire, so
+	// returning the buffer on exit never races a live Message.
+	bp := getBuf()
+	defer putBuf(bp)
+	wire, err := query.AppendPack((*bp)[:0])
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +71,7 @@ func (u *UDP) Exchange(ctx context.Context, server Addr, query *dnswire.Message)
 		return nil, fmt.Errorf("%w: %v", ErrServerUnreachable, err)
 	}
 
-	buf := make([]byte, 64*1024)
+	buf := (*bp)[:readBufSize]
 	for {
 		n, err := conn.Read(buf)
 		if err != nil {
@@ -116,10 +122,18 @@ type UDPServer struct {
 	// is set it owns the shed accounting and Counters.Shed is not bumped
 	// here (a single source for each count).
 	Counters *metrics.GuardCounters
+	// Readers is the number of goroutines reading from the socket. The
+	// default 1 preserves the classic single-read-loop behavior; under
+	// heavy client load a single reader becomes the ceiling (one
+	// unpack-and-dispatch per arriving packet), so sharding onto N
+	// readers lets packet intake scale with cores. Each reader has its
+	// own pooled buffer; they share the MaxInflight handler bound.
+	Readers int
 
 	mu   sync.Mutex
 	conn net.PacketConn
 	wg   sync.WaitGroup
+	sem  chan struct{}
 }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:5300") and starts
@@ -133,31 +147,44 @@ func (s *UDPServer) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	inflight := s.MaxInflight
+	if inflight <= 0 {
+		inflight = DefaultMaxInflight
+	}
+	readers := s.Readers
+	if readers <= 0 {
+		readers = 1
+	}
 	s.mu.Lock()
 	s.conn = conn
+	s.sem = make(chan struct{}, inflight)
 	s.mu.Unlock()
 
-	s.wg.Add(1)
-	go s.serve(conn)
+	// net.PacketConn is safe for concurrent use, so N read loops share
+	// the one socket; the kernel hands each datagram to exactly one.
+	s.wg.Add(readers)
+	for i := 0; i < readers; i++ {
+		go s.serve(conn)
+	}
 	return conn.LocalAddr().String(), nil
 }
 
 func (s *UDPServer) serve(conn net.PacketConn) {
 	defer s.wg.Done()
-	inflight := s.MaxInflight
-	if inflight <= 0 {
-		inflight = DefaultMaxInflight
-	}
-	sem := make(chan struct{}, inflight)
-	buf := make([]byte, 64*1024)
+	sem := s.sem
+	// Per-read-loop buffer, leased for the loop's lifetime and reused
+	// for every packet (returned when the listener closes).
+	bp := getBuf()
+	defer putBuf(bp)
+	buf := (*bp)[:readBufSize]
 	for {
 		n, from, err := conn.ReadFrom(buf)
 		if err != nil {
 			return // closed
 		}
 		// Unpack before dispatching: the Message owns all its data
-		// (dnswire.Unpack copies every byte slice out of the wire
-		// buffer), so buf can be reused for the next packet.
+		// (dnswire.Unpack copies the wire once and never aliases the
+		// read buffer), so buf can be reused for the next packet.
 		query, err := dnswire.Unpack(buf[:n])
 		if err != nil {
 			s.replyFormErr(conn, buf[:n], from)
@@ -210,7 +237,9 @@ func (s *UDPServer) replyFormErr(conn net.PacketConn, pkt []byte, from net.Addr)
 		Flags:  dnswire.Flags{Response: true},
 		RCode:  dnswire.RCodeFormErr,
 	}
-	wire, err := resp.Pack()
+	bp := getBuf()
+	defer putBuf(bp)
+	wire, err := resp.AppendPack((*bp)[:0])
 	if err != nil {
 		return
 	}
@@ -232,23 +261,42 @@ func (s *UDPServer) respond(conn net.PacketConn, query *dnswire.Message, from ne
 	s.writeResponse(conn, query, resp, from)
 }
 
-// writeResponse packs resp, applies the UDP payload limit (honouring the
-// client's EDNS0 advertisement, truncating past it), and sends.
+// writeResponse packs resp (into pooled scratch, returned once the
+// socket write is done), applies the UDP payload limit, and sends.
+//
+// The limit is min(serverMax, max(adv, 512)) per RFC 6891 §6.2.5: a
+// datagram must never exceed what the client advertised — a client
+// saying 1232 gets truncation at 1232 even when the server could emit
+// 4096 — while an advertisement below 512 is raised to the classic
+// floor. serverMax is MaxPayload, defaulting for EDNS0 clients to
+// DefaultEDNS0PayloadSize (the server's own advertisement) and for
+// plain clients to the classic MaxUDPPayload.
 func (s *UDPServer) writeResponse(conn net.PacketConn, query, resp *dnswire.Message, from net.Addr) {
-	wire, err := resp.Pack()
+	bp := getBuf()
+	defer putBuf(bp)
+	wire, err := resp.AppendPack((*bp)[:0])
 	if err != nil {
 		return
 	}
-	limit := s.MaxPayload
-	if limit == 0 {
-		limit = dnswire.MaxUDPPayload
-	}
-	// Honour the client's EDNS0 payload advertisement.
-	if adv, ok := query.EDNS0PayloadSize(); ok && int(adv) > limit {
-		limit = int(adv)
+	limit := dnswire.MaxUDPPayload
+	if adv, ok := query.EDNS0PayloadSize(); ok {
+		client := int(adv)
+		if client < dnswire.MaxUDPPayload {
+			client = dnswire.MaxUDPPayload
+		}
+		serverMax := s.MaxPayload
+		if serverMax == 0 {
+			serverMax = dnswire.DefaultEDNS0PayloadSize
+		}
+		limit = client
+		if serverMax < limit {
+			limit = serverMax
+		}
+	} else if s.MaxPayload != 0 && s.MaxPayload < limit {
+		limit = s.MaxPayload
 	}
 	if len(wire) > limit {
-		wire, err = resp.TruncatedCopy().Pack()
+		wire, err = resp.TruncatedCopy().AppendPack(wire[:0])
 		if err != nil {
 			return
 		}
